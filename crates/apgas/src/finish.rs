@@ -1,0 +1,518 @@
+//! `finish`/`async` task structuring, in two flavours.
+//!
+//! **Non-resilient finish** keeps a shared countdown in the spawning place's
+//! memory: spawn increments, task completion decrements, the waiter blocks
+//! until zero. This is cheap but cannot survive a place failure — matching
+//! original (non-resilient) X10, where a crash left `finish` waiting forever
+//! and the paper's §III-C observation that GML applications simply died.
+//!
+//! **Resilient finish** routes every spawn and termination through a
+//! bookkeeping registry owned by **place zero** (the design of Resilient X10
+//! that the paper evaluates). Spawn records are *synchronous round trips* to
+//! place zero, which is precisely why the paper measures resilient overhead
+//! that grows with the number of places (Figs 2–4): all control traffic
+//! funnels through one mailbox. In exchange, when a place dies the registry
+//! knows exactly which tasks are lost, adjusts the counts, and delivers
+//! [`DeadPlaceException`]s to the waiting `finish` instead of hanging.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{ApgasError, DeadPlaceException};
+use crate::place::Place;
+use crate::runtime::{Ctx, Envelope};
+use crate::stats::RuntimeStats;
+
+/// Outcome of one finished task, reported to whichever finish owns it.
+#[derive(Debug, Clone)]
+pub(crate) enum TaskOutcome {
+    Completed,
+    Panicked(String),
+}
+
+/// Bookkeeping messages processed by the place-zero finish service.
+pub(crate) enum CtlMsg {
+    /// Record a task about to be sent to `dst` under finish `fid`.
+    /// Synchronous: the spawner blocks until `ack` fires.
+    Spawn { fid: u64, dst: Place, ack: Sender<SpawnAck> },
+    /// A task under finish `fid` finished at `place`.
+    Term { fid: u64, place: Place, outcome: TaskOutcome },
+    /// The finish body is done; signal `waiter` when all tasks are done.
+    Wait { fid: u64, waiter: Arc<Waiter> },
+    /// A place died: adjust every finish that had tasks there.
+    PlaceDied { place: Place },
+}
+
+/// Spawn-record acknowledgement from place zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpawnAck {
+    /// Recorded; go ahead and send the task.
+    Ok,
+    /// Target already dead; a `DeadPlaceException` was recorded with the
+    /// finish. Do not send the task.
+    Dead,
+}
+
+/// What a completed finish reports back to its waiter.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FinishReport {
+    pub dead: Vec<DeadPlaceException>,
+    pub panics: Vec<String>,
+}
+
+impl FinishReport {
+    fn into_result(self) -> Result<(), ApgasError> {
+        if !self.panics.is_empty() {
+            return Err(ApgasError::TaskPanic(self.panics.join("; ")));
+        }
+        match ApgasError::from_exceptions(self.dead) {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// Blocking rendezvous between a waiting finish and the place-zero service.
+pub(crate) struct Waiter {
+    slot: Mutex<Option<FinishReport>>,
+    cv: Condvar,
+}
+
+impl Waiter {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Waiter { slot: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    pub(crate) fn signal(&self, report: FinishReport) {
+        let mut s = self.slot.lock();
+        *s = Some(report);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn block(&self) -> FinishReport {
+        let mut s = self.slot.lock();
+        while s.is_none() {
+            self.cv.wait(&mut s);
+        }
+        s.take().expect("report present after wait")
+    }
+}
+
+/// Per-finish record in the place-zero registry.
+#[derive(Default)]
+struct Rec {
+    /// Live task count per place id.
+    pending: HashMap<u32, u32>,
+    report: FinishReport,
+    waiter: Option<Arc<Waiter>>,
+}
+
+impl Rec {
+    fn total_pending(&self) -> u32 {
+        self.pending.values().sum()
+    }
+}
+
+/// The place-zero finish registry. The *data* lives here, but every mutation
+/// arrives as a [`CtlMsg`] through place zero's mailbox, so the funnel and
+/// its serialization are real.
+#[derive(Default)]
+pub(crate) struct FinishService {
+    recs: Mutex<HashMap<u64, Rec>>,
+}
+
+impl FinishService {
+    /// Apply one bookkeeping message. Runs on place zero's dispatcher thread.
+    pub(crate) fn handle(&self, is_alive: impl Fn(Place) -> bool, msg: CtlMsg) {
+        let mut recs = self.recs.lock();
+        match msg {
+            CtlMsg::Spawn { fid, dst, ack } => {
+                let rec = recs.entry(fid).or_default();
+                if is_alive(dst) {
+                    *rec.pending.entry(dst.id()).or_insert(0) += 1;
+                    let _ = ack.send(SpawnAck::Ok);
+                } else {
+                    rec.report.dead.push(DeadPlaceException::new(dst, "spawn target dead"));
+                    let _ = ack.send(SpawnAck::Dead);
+                    Self::maybe_complete(&mut recs, fid);
+                }
+            }
+            CtlMsg::Term { fid, place, outcome } => {
+                if let Some(rec) = recs.get_mut(&fid) {
+                    match rec.pending.get_mut(&place.id()) {
+                        Some(c) if *c > 0 => *c -= 1,
+                        // Already zeroed by PlaceDied, or stray: ignore.
+                        _ => return,
+                    }
+                    if let TaskOutcome::Panicked(msg) = outcome {
+                        rec.report.panics.push(msg);
+                    }
+                    Self::maybe_complete(&mut recs, fid);
+                }
+            }
+            CtlMsg::Wait { fid, waiter } => {
+                let rec = recs.entry(fid).or_default();
+                rec.waiter = Some(waiter);
+                Self::maybe_complete(&mut recs, fid);
+            }
+            CtlMsg::PlaceDied { place } => {
+                let fids: Vec<u64> = recs.keys().copied().collect();
+                for fid in fids {
+                    let rec = recs.get_mut(&fid).expect("fid just listed");
+                    if let Some(c) = rec.pending.remove(&place.id()) {
+                        if c > 0 {
+                            rec.report.dead.push(DeadPlaceException::new(
+                                place,
+                                format!("{c} task(s) lost at place {}", place.id()),
+                            ));
+                        }
+                    }
+                    Self::maybe_complete(&mut recs, fid);
+                }
+            }
+        }
+    }
+
+    /// If `fid` has a registered waiter and no pending tasks, deliver the
+    /// report and drop the record.
+    fn maybe_complete(recs: &mut HashMap<u64, Rec>, fid: u64) {
+        let done = match recs.get(&fid) {
+            Some(rec) => rec.waiter.is_some() && rec.total_pending() == 0,
+            None => false,
+        };
+        if done {
+            let rec = recs.remove(&fid).expect("checked above");
+            rec.waiter.expect("waiter present").signal(rec.report);
+        }
+    }
+
+    /// Number of finishes currently tracked (for tests/diagnostics).
+    #[allow(dead_code)]
+    pub(crate) fn open_finishes(&self) -> usize {
+        self.recs.lock().len()
+    }
+}
+
+/// Local (non-resilient) finish state: a shared countdown latch.
+///
+/// The count may transiently reach zero while the finish body is still
+/// spawning (a fast task can complete before the next spawn), so the waiter
+/// re-checks the live count under the mutex rather than trusting any sticky
+/// "done" signal.
+///
+/// Public only because [`FinishHandle`] exposes it; construct via
+/// [`Ctx::finish`](crate::runtime::Ctx::finish).
+pub struct LocalFinish {
+    pending: Mutex<usize>,
+    cv: Condvar,
+    report: Mutex<FinishReport>,
+}
+
+impl LocalFinish {
+    fn new() -> Arc<Self> {
+        Arc::new(LocalFinish {
+            pending: Mutex::new(0),
+            cv: Condvar::new(),
+            report: Mutex::new(FinishReport::default()),
+        })
+    }
+
+    fn spawned(&self) {
+        *self.pending.lock() += 1;
+    }
+
+    fn terminated(&self, outcome: TaskOutcome) {
+        if let TaskOutcome::Panicked(msg) = outcome {
+            self.report.lock().panics.push(msg);
+        }
+        let mut pending = self.pending.lock();
+        debug_assert!(*pending > 0, "termination without matching spawn");
+        *pending -= 1;
+        if *pending == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn record_dead(&self, e: DeadPlaceException) {
+        self.report.lock().dead.push(e);
+    }
+
+    /// Blocks until the count is zero. Only sound once the finish body has
+    /// returned (no further top-level spawns can arrive), which `Ctx::finish`
+    /// guarantees by calling `wait` after the body. Nested spawns from
+    /// still-running tasks are safe: the parent's count is released only
+    /// after it has registered its children.
+    fn wait(&self) -> FinishReport {
+        let mut pending = self.pending.lock();
+        while *pending > 0 {
+            self.cv.wait(&mut pending);
+        }
+        drop(pending);
+        std::mem::take(&mut self.report.lock())
+    }
+}
+
+/// A cloneable, sendable handle to an open finish; lets tasks spawn nested
+/// asyncs governed by the same finish (X10 nested `async` semantics).
+#[derive(Clone)]
+pub enum FinishHandle {
+    #[doc(hidden)]
+    Local(Arc<LocalFinish>),
+    #[doc(hidden)]
+    Resilient { fid: u64 },
+}
+
+impl FinishHandle {
+    /// Spawn `f` at place `p` under this finish.
+    ///
+    /// If `p` is (or just became) dead, a [`DeadPlaceException`] is recorded
+    /// with the finish and delivered at its `wait`; the spawn itself does not
+    /// fail loudly — mirroring X10, where the exception surfaces at the
+    /// enclosing `finish`.
+    pub fn async_at<F>(&self, ctx: &Ctx, p: Place, f: F)
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let rt = ctx.rt();
+        RuntimeStats::bump(&rt.stats.tasks_spawned);
+        match self {
+            FinishHandle::Local(state) => {
+                if !rt.is_alive(p) {
+                    state.record_dead(DeadPlaceException::new(p, "async_at target dead"));
+                    return;
+                }
+                state.spawned();
+                let state2 = Arc::clone(state);
+                let sent = rt.send(
+                    p,
+                    Envelope::Task {
+                        run: Box::new(move |ctx| {
+                            let outcome = run_catching(ctx, f);
+                            state2.terminated(outcome);
+                        }),
+                    },
+                );
+                if let Err(e) = sent {
+                    // Lost the race with a kill: account for the task we
+                    // already registered.
+                    state.record_dead(e);
+                    state.terminated(TaskOutcome::Completed);
+                }
+            }
+            FinishHandle::Resilient { fid } => {
+                let fid = *fid;
+                // Synchronous spawn record at place zero — the expensive
+                // round trip that makes resilient finish costly.
+                RuntimeStats::bump(&rt.stats.ctl_spawns);
+                let (ack_tx, ack_rx) = bounded(1);
+                rt.send_ctl(CtlMsg::Spawn { fid, dst: p, ack: ack_tx });
+                match ack_rx.recv() {
+                    Ok(SpawnAck::Ok) => {}
+                    // Dead target: exception already recorded at the registry.
+                    Ok(SpawnAck::Dead) => return,
+                    Err(_) => return, // runtime shutting down
+                }
+                let sent = rt.send(
+                    p,
+                    Envelope::Task {
+                        run: Box::new(move |ctx| {
+                            let outcome = run_catching(ctx, f);
+                            let rt = ctx.rt();
+                            if rt.is_alive(ctx.here()) {
+                                RuntimeStats::bump(&rt.stats.ctl_terms);
+                                rt.send_ctl(CtlMsg::Term { fid, place: ctx.here(), outcome });
+                            }
+                            // If our place died mid-run, PlaceDied already
+                            // accounted for us at the registry.
+                        }),
+                    },
+                );
+                // If the send lost a race with a kill, the queued-task drop
+                // plus the PlaceDied reconciliation settle the count.
+                let _ = sent;
+            }
+        }
+    }
+}
+
+/// Run `f` converting panics into a reportable outcome.
+pub(crate) fn run_catching<F: FnOnce(&Ctx)>(ctx: &Ctx, f: F) -> TaskOutcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx))) {
+        Ok(()) => TaskOutcome::Completed,
+        Err(payload) => TaskOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The scope passed to the body of [`Ctx::finish`]; spawns tasks tracked by
+/// the enclosing finish.
+pub struct FinishScope<'a> {
+    ctx: &'a Ctx,
+    handle: FinishHandle,
+}
+
+impl<'a> FinishScope<'a> {
+    pub(crate) fn new_local(ctx: &'a Ctx) -> Self {
+        FinishScope { ctx, handle: FinishHandle::Local(LocalFinish::new()) }
+    }
+
+    pub(crate) fn new_resilient(ctx: &'a Ctx, fid: u64) -> Self {
+        FinishScope { ctx, handle: FinishHandle::Resilient { fid } }
+    }
+
+    /// Spawn an asynchronous task at place `p`, tracked by this finish.
+    pub fn async_at<F>(&self, p: Place, f: F)
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.handle.async_at(self.ctx, p, f);
+    }
+
+    /// A sendable handle for spawning nested tasks from within child tasks.
+    pub fn handle(&self) -> FinishHandle {
+        self.handle.clone()
+    }
+
+    /// Block until all tasks spawned under this finish have terminated.
+    pub(crate) fn wait(self) -> Result<(), ApgasError> {
+        let rt = self.ctx.rt();
+        let report = match self.handle {
+            FinishHandle::Local(state) => state.wait(),
+            FinishHandle::Resilient { fid } => {
+                RuntimeStats::bump(&rt.stats.ctl_waits);
+                let waiter = Waiter::new();
+                rt.send_ctl(CtlMsg::Wait { fid, waiter: Arc::clone(&waiter) });
+                waiter.block()
+            }
+        };
+        report.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alive_all(_: Place) -> bool {
+        true
+    }
+
+    #[test]
+    fn service_counts_spawn_term_wait() {
+        let svc = FinishService::default();
+        let (ack, ack_rx) = bounded(1);
+        svc.handle(alive_all, CtlMsg::Spawn { fid: 1, dst: Place::new(2), ack });
+        assert_eq!(ack_rx.recv().unwrap(), SpawnAck::Ok);
+        assert_eq!(svc.open_finishes(), 1);
+
+        let waiter = Waiter::new();
+        svc.handle(alive_all, CtlMsg::Wait { fid: 1, waiter: Arc::clone(&waiter) });
+        // Not yet complete: one task pending.
+        assert_eq!(svc.open_finishes(), 1);
+
+        svc.handle(
+            alive_all,
+            CtlMsg::Term { fid: 1, place: Place::new(2), outcome: TaskOutcome::Completed },
+        );
+        let report = waiter.block();
+        assert!(report.dead.is_empty());
+        assert!(report.panics.is_empty());
+        assert_eq!(svc.open_finishes(), 0);
+    }
+
+    #[test]
+    fn service_spawn_to_dead_place_records_exception() {
+        let svc = FinishService::default();
+        let dead = Place::new(3);
+        let (ack, ack_rx) = bounded(1);
+        svc.handle(|p| p != dead, CtlMsg::Spawn { fid: 7, dst: dead, ack });
+        assert_eq!(ack_rx.recv().unwrap(), SpawnAck::Dead);
+        let waiter = Waiter::new();
+        svc.handle(|p| p != dead, CtlMsg::Wait { fid: 7, waiter: Arc::clone(&waiter) });
+        let report = waiter.block();
+        assert_eq!(report.dead.len(), 1);
+        assert_eq!(report.dead[0].place, dead);
+    }
+
+    #[test]
+    fn service_place_death_releases_waiter_with_exception() {
+        let svc = FinishService::default();
+        let p = Place::new(2);
+        for _ in 0..3 {
+            let (ack, ack_rx) = bounded(1);
+            svc.handle(alive_all, CtlMsg::Spawn { fid: 9, dst: p, ack });
+            assert_eq!(ack_rx.recv().unwrap(), SpawnAck::Ok);
+        }
+        let waiter = Waiter::new();
+        svc.handle(alive_all, CtlMsg::Wait { fid: 9, waiter: Arc::clone(&waiter) });
+        svc.handle(alive_all, CtlMsg::PlaceDied { place: p });
+        let report = waiter.block();
+        assert_eq!(report.dead.len(), 1, "3 lost tasks collapse into one DPE per place");
+        assert_eq!(svc.open_finishes(), 0);
+    }
+
+    #[test]
+    fn service_ignores_stray_terms_after_death() {
+        let svc = FinishService::default();
+        let p = Place::new(1);
+        let (ack, ack_rx) = bounded(1);
+        svc.handle(alive_all, CtlMsg::Spawn { fid: 4, dst: p, ack });
+        ack_rx.recv().unwrap();
+        svc.handle(alive_all, CtlMsg::PlaceDied { place: p });
+        // The task actually completed and its Term raced in late.
+        svc.handle(
+            alive_all,
+            CtlMsg::Term { fid: 4, place: p, outcome: TaskOutcome::Completed },
+        );
+        let waiter = Waiter::new();
+        svc.handle(alive_all, CtlMsg::Wait { fid: 4, waiter: Arc::clone(&waiter) });
+        let report = waiter.block();
+        assert_eq!(report.dead.len(), 1);
+    }
+
+    #[test]
+    fn empty_finish_completes_immediately() {
+        let svc = FinishService::default();
+        let waiter = Waiter::new();
+        svc.handle(alive_all, CtlMsg::Wait { fid: 11, waiter: Arc::clone(&waiter) });
+        let report = waiter.block();
+        assert!(report.dead.is_empty());
+    }
+
+    #[test]
+    fn local_finish_latch() {
+        let lf = LocalFinish::new();
+        lf.spawned();
+        lf.spawned();
+        let lf2 = Arc::clone(&lf);
+        let t = std::thread::spawn(move || {
+            lf2.terminated(TaskOutcome::Completed);
+            lf2.terminated(TaskOutcome::Panicked("boom".into()));
+        });
+        let report = lf.wait();
+        t.join().unwrap();
+        assert_eq!(report.panics, vec!["boom".to_string()]);
+    }
+
+    #[test]
+    fn panic_message_extraction() {
+        let msg = panic_message(Box::new("static"));
+        assert_eq!(msg, "static");
+        let msg = panic_message(Box::new(String::from("owned")));
+        assert_eq!(msg, "owned");
+        let msg = panic_message(Box::new(42u32));
+        assert_eq!(msg, "non-string panic payload");
+    }
+}

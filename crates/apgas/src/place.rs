@@ -1,0 +1,217 @@
+//! Places and place groups.
+//!
+//! A [`Place`] is the unit of failure and data locality (X10's
+//! `x10.lang.Place`): an identifier for one simulated process. A
+//! [`PlaceGroup`] is an ordered collection of places (X10's
+//! `x10.lang.PlaceGroup`); GML objects are constructed over a group and can
+//! be *remade* over a different group after a failure. Group **indices**
+//! (positions within the group) are distinct from place **ids**: when dead
+//! places are filtered out, surviving places keep their ids but their
+//! indices shift — exactly the behaviour the paper's snapshot keys rely on.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A virtual process: the unit of locality and of failure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Place(u32);
+
+impl Place {
+    /// Construct a place handle from a raw id.
+    pub const fn new(id: u32) -> Self {
+        Place(id)
+    }
+
+    /// The stable numeric id of this place (never reused).
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Place zero: the immortal coordination place.
+    pub const ZERO: Place = Place(0);
+}
+
+impl fmt::Debug for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Place({})", self.0)
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An ordered, immutable collection of places.
+///
+/// Cloning is cheap (shared storage). Equality is element-wise.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PlaceGroup {
+    places: Arc<Vec<Place>>,
+}
+
+impl PlaceGroup {
+    /// Build a group from an explicit ordered list of places.
+    pub fn new(places: Vec<Place>) -> Self {
+        PlaceGroup { places: Arc::new(places) }
+    }
+
+    /// The group `0..n` of the first `n` place ids.
+    pub fn first(n: usize) -> Self {
+        PlaceGroup::new((0..n as u32).map(Place::new).collect())
+    }
+
+    /// Number of places in the group.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// True when the group contains no places.
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// The place at group index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn place(&self, i: usize) -> Place {
+        self.places[i]
+    }
+
+    /// The group index of `p`, if `p` is a member.
+    pub fn index_of(&self, p: Place) -> Option<usize> {
+        self.places.iter().position(|&q| q == p)
+    }
+
+    /// True if `p` is a member of this group.
+    pub fn contains(&self, p: Place) -> bool {
+        self.index_of(p).is_some()
+    }
+
+    /// Iterate over the places in group order.
+    pub fn iter(&self) -> impl Iterator<Item = Place> + '_ {
+        self.places.iter().copied()
+    }
+
+    /// The group index following `i`, wrapping around.
+    ///
+    /// This is the "next place" used by the double in-memory snapshot store
+    /// to choose where the backup copy of index `i`'s data lives.
+    pub fn next_index(&self, i: usize) -> usize {
+        debug_assert!(!self.is_empty());
+        (i + 1) % self.places.len()
+    }
+
+    /// The place following `p` in group order (wrapping), if `p` is a member.
+    pub fn next_place(&self, p: Place) -> Option<Place> {
+        self.index_of(p).map(|i| self.place(self.next_index(i)))
+    }
+
+    /// A new group with every place in `dead` removed, preserving order.
+    ///
+    /// Surviving places keep their ids; their indices shift down — the
+    /// "filtering out the dead places" operation from §IV-B of the paper.
+    pub fn without(&self, dead: &[Place]) -> PlaceGroup {
+        PlaceGroup::new(self.iter().filter(|p| !dead.contains(p)).collect())
+    }
+
+    /// A new group where each place in `dead` is substituted in-place by the
+    /// next unused place from `spares` (the *replace-redundant* restoration
+    /// mode). Returns `None` if there are not enough spares.
+    pub fn replace(&self, dead: &[Place], spares: &[Place]) -> Option<PlaceGroup> {
+        let mut fresh = spares.iter().filter(|s| !self.contains(**s) && !dead.contains(s));
+        let mut out = Vec::with_capacity(self.len());
+        for p in self.iter() {
+            if dead.contains(&p) {
+                out.push(*fresh.next()?);
+            } else {
+                out.push(p);
+            }
+        }
+        Some(PlaceGroup::new(out))
+    }
+
+    /// The raw ordered slice of places.
+    pub fn as_slice(&self) -> &[Place] {
+        &self.places
+    }
+}
+
+impl fmt::Debug for PlaceGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PlaceGroup{:?}", self.places.iter().map(|p| p.id()).collect::<Vec<_>>())
+    }
+}
+
+impl FromIterator<Place> for PlaceGroup {
+    fn from_iter<T: IntoIterator<Item = Place>>(iter: T) -> Self {
+        PlaceGroup::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_n_and_indexing() {
+        let g = PlaceGroup::first(4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.place(2), Place::new(2));
+        assert_eq!(g.index_of(Place::new(3)), Some(3));
+        assert_eq!(g.index_of(Place::new(9)), None);
+        assert!(g.contains(Place::ZERO));
+    }
+
+    #[test]
+    fn next_wraps() {
+        let g = PlaceGroup::first(3);
+        assert_eq!(g.next_index(0), 1);
+        assert_eq!(g.next_index(2), 0);
+        assert_eq!(g.next_place(Place::new(2)), Some(Place::new(0)));
+        assert_eq!(g.next_place(Place::new(7)), None);
+    }
+
+    #[test]
+    fn without_shifts_indices_but_keeps_ids() {
+        let g = PlaceGroup::first(5);
+        let survivors = g.without(&[Place::new(2)]);
+        assert_eq!(survivors.len(), 4);
+        // Place 3 keeps its id but its index shifts from 3 to 2.
+        assert_eq!(survivors.index_of(Place::new(3)), Some(2));
+        assert_eq!(survivors.place(2), Place::new(3));
+    }
+
+    #[test]
+    fn replace_uses_spares_in_order() {
+        let g = PlaceGroup::first(4);
+        let spares = [Place::new(4), Place::new(5)];
+        let r = g.replace(&[Place::new(1), Place::new(3)], &spares).expect("enough spares");
+        assert_eq!(r.as_slice(), &[Place::new(0), Place::new(4), Place::new(2), Place::new(5)]);
+        // Same size group: indices of survivors unchanged.
+        assert_eq!(r.index_of(Place::new(2)), Some(2));
+    }
+
+    #[test]
+    fn replace_fails_without_enough_spares() {
+        let g = PlaceGroup::first(3);
+        assert!(g.replace(&[Place::new(0), Place::new(1)], &[Place::new(3)]).is_none());
+    }
+
+    #[test]
+    fn replace_skips_spares_already_in_group() {
+        let g = PlaceGroup::new(vec![Place::new(0), Place::new(4), Place::new(2)]);
+        let r = g
+            .replace(&[Place::new(2)], &[Place::new(4), Place::new(5)])
+            .expect("spare 5 available");
+        assert_eq!(r.as_slice(), &[Place::new(0), Place::new(4), Place::new(5)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let g: PlaceGroup = (0..3).map(Place::new).collect();
+        assert_eq!(g.len(), 3);
+    }
+}

@@ -1,0 +1,819 @@
+//! The place runtime: mailboxes, dispatchers, remote execution, failure
+//! injection.
+//!
+//! Each place gets a *dispatcher thread* that owns its mailbox. Application
+//! tasks are handed to a shared [cached thread pool](crate::thread_cache) so
+//! a blocked activity (e.g. one waiting inside `finish`) never stalls the
+//! place's message processing — the same reason X10 grows a place's worker
+//! pool on blocking operations. Place zero's dispatcher additionally applies
+//! resilient-finish bookkeeping messages, making it the funnel the paper
+//! identifies as the source of resilient overhead.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{ApgasError, DeadPlaceException, Result};
+use crate::finish::{self, CtlMsg, FinishScope};
+use crate::place::{Place, PlaceGroup};
+use crate::plh::PlhRegistry;
+use crate::stats::{RuntimeStats, StatsSnapshot};
+use crate::thread_cache::ThreadCache;
+
+/// Configuration for a [`Runtime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Number of initially active places (the *world* group).
+    pub places: usize,
+    /// Extra places started up-front as spares for the replace-redundant
+    /// restoration mode. They idle until substituted for a failed place.
+    pub spares: usize,
+    /// Enable Resilient X10 semantics: place-zero finish bookkeeping and
+    /// tolerance of place failure. When false, `kill_place` is refused —
+    /// original X10's "a crash kills the whole application".
+    pub resilient: bool,
+}
+
+impl RuntimeConfig {
+    /// A non-resilient runtime with `places` active places and no spares.
+    pub fn new(places: usize) -> Self {
+        RuntimeConfig { places, spares: 0, resilient: false }
+    }
+
+    /// Set the number of spare places.
+    pub fn spares(mut self, spares: usize) -> Self {
+        self.spares = spares;
+        self
+    }
+
+    /// Enable or disable resilient semantics.
+    pub fn resilient(mut self, on: bool) -> Self {
+        self.resilient = on;
+        self
+    }
+
+    fn total_places(&self) -> usize {
+        self.places + self.spares
+    }
+}
+
+/// A message deliverable to a place's mailbox.
+pub(crate) enum Envelope {
+    /// Run an application task at the receiving place.
+    Task { run: Box<dyn FnOnce(&Ctx) + Send + 'static> },
+    /// Resilient-finish bookkeeping (only ever sent to place zero).
+    FinishCtl(CtlMsg),
+    /// Terminate the dispatcher (runtime shutdown).
+    Stop,
+}
+
+struct PlaceState {
+    alive: AtomicBool,
+    tx: Sender<Envelope>,
+}
+
+/// Shared runtime state. `Ctx` and dispatcher threads hold `Arc`s to this.
+///
+/// The place list is growable: `spawn_place` (Elastic X10's dynamic place
+/// creation, the mechanism behind the replace-elastic restoration mode)
+/// appends a fresh place at runtime.
+pub(crate) struct RtInner {
+    cfg: RuntimeConfig,
+    places: RwLock<Vec<Arc<PlaceState>>>,
+    world: PlaceGroup,
+    pub(crate) finish_svc: finish::FinishService,
+    pub(crate) plh: PlhRegistry,
+    cache: ThreadCache,
+    pub(crate) stats: RuntimeStats,
+    next_finish_id: AtomicU64,
+    pub(crate) next_plh_id: AtomicU64,
+    dispatchers: Mutex<Vec<JoinHandle<()>>>,
+    /// Set once shutdown begins; newly spawned places are refused.
+    stopping: AtomicBool,
+}
+
+impl RtInner {
+    fn place_state(&self, p: Place) -> Option<Arc<PlaceState>> {
+        self.places.read().get(p.id() as usize).cloned()
+    }
+
+    pub(crate) fn is_alive(&self, p: Place) -> bool {
+        self.place_state(p).map(|st| st.alive.load(Ordering::Acquire)).unwrap_or(false)
+    }
+
+    pub(crate) fn num_places(&self) -> usize {
+        self.places.read().len()
+    }
+
+    /// Deliver `env` to `p`'s mailbox; fails if `p` is dead or gone.
+    pub(crate) fn send(&self, p: Place, env: Envelope) -> std::result::Result<(), DeadPlaceException> {
+        let st = self
+            .place_state(p)
+            .ok_or_else(|| DeadPlaceException::new(p, "no such place"))?;
+        if !st.alive.load(Ordering::Acquire) {
+            return Err(DeadPlaceException::new(p, "send to dead place"));
+        }
+        st.tx.send(env).map_err(|_| DeadPlaceException::new(p, "runtime shut down"))
+    }
+
+    /// Start one dispatcher-backed place with the next free id. Used both
+    /// at startup and for elastic growth.
+    fn start_place(self: &Arc<Self>) -> Place {
+        let mut places = self.places.write();
+        let id = places.len() as u32;
+        let (tx, rx) = unbounded();
+        places.push(Arc::new(PlaceState { alive: AtomicBool::new(true), tx }));
+        drop(places);
+        self.plh.ensure_place(id as usize + 1);
+        let rt = Arc::clone(self);
+        let place = Place::new(id);
+        let h = std::thread::Builder::new()
+            .name(format!("apgas-place-{id}"))
+            .spawn(move || dispatch_loop(rt, place, rx))
+            .expect("spawn place dispatcher");
+        self.dispatchers.lock().push(h);
+        place
+    }
+
+    /// Route a bookkeeping message through place zero's mailbox.
+    pub(crate) fn send_ctl(&self, msg: CtlMsg) {
+        // Place zero is immortal; a failure here means shutdown, which the
+        // callers tolerate by their ack channels disconnecting.
+        let _ = self.send(Place::ZERO, Envelope::FinishCtl(msg));
+    }
+
+    fn fresh_finish_id(&self) -> u64 {
+        self.next_finish_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// The execution context every task receives: *where am I, and how do I
+/// reach the rest of the system*.
+pub struct Ctx {
+    rt: Arc<RtInner>,
+    here: Place,
+}
+
+impl Clone for Ctx {
+    /// Cloning yields another handle *at the same place* — useful for
+    /// helper threads that model external agents (failure detectors, bench
+    /// drivers). It does not move execution anywhere; use [`Ctx::at`] for
+    /// that.
+    fn clone(&self) -> Self {
+        Ctx { rt: Arc::clone(&self.rt), here: self.here }
+    }
+}
+
+impl Ctx {
+    pub(crate) fn new(rt: Arc<RtInner>, here: Place) -> Self {
+        Ctx { rt, here }
+    }
+
+    pub(crate) fn rt(&self) -> &Arc<RtInner> {
+        &self.rt
+    }
+
+    /// The place this task is executing at.
+    pub fn here(&self) -> Place {
+        self.here
+    }
+
+    /// The initial group of active places (excluding spares).
+    pub fn world(&self) -> PlaceGroup {
+        self.rt.world.clone()
+    }
+
+    /// Every place the runtime has started so far, including spares and
+    /// elastically spawned places.
+    pub fn all_places(&self) -> PlaceGroup {
+        PlaceGroup::first(self.rt.num_places())
+    }
+
+    /// Dynamically create a brand-new place (Elastic X10's dynamic place
+    /// creation). The new place starts alive, empty, and outside every
+    /// existing group; it backs the *replace-elastic* restoration mode,
+    /// which substitutes fresh places for failed ones without reserving
+    /// spares up-front.
+    pub fn spawn_place(&self) -> Result<Place> {
+        if self.rt.stopping.load(Ordering::Acquire) {
+            return Err(ApgasError::Unsupported("runtime is shutting down".into()));
+        }
+        let p = self.rt.start_place();
+        RuntimeStats::bump(&self.rt.stats.places_spawned);
+        Ok(p)
+    }
+
+    /// The spare places configured at startup (dead ones included), plus
+    /// any elastically spawned places.
+    pub fn spare_places(&self) -> Vec<Place> {
+        self.all_places().iter().skip(self.rt.cfg.places).collect()
+    }
+
+    /// Spare places that are still alive and usable for replacement.
+    pub fn live_spares(&self) -> Vec<Place> {
+        self.spare_places().into_iter().filter(|p| self.rt.is_alive(*p)).collect()
+    }
+
+    /// Is `p` currently alive?
+    pub fn is_alive(&self, p: Place) -> bool {
+        self.rt.is_alive(p)
+    }
+
+    /// All currently dead places.
+    pub fn dead_places(&self) -> Vec<Place> {
+        self.all_places().iter().filter(|p| !self.rt.is_alive(*p)).collect()
+    }
+
+    /// The subset of `group` that is still alive, in group order.
+    pub fn live_subset(&self, group: &PlaceGroup) -> PlaceGroup {
+        group.iter().filter(|p| self.rt.is_alive(*p)).collect()
+    }
+
+    /// Whether this runtime runs with resilient (place-zero bookkeeping)
+    /// finish semantics.
+    pub fn is_resilient(&self) -> bool {
+        self.rt.cfg.resilient
+    }
+
+    /// Synchronously execute `f` at place `p` and return its result — X10's
+    /// `at (p) { ... }`.
+    ///
+    /// Fails with [`DeadPlaceException`] if `p` is dead now or dies before
+    /// the result comes back.
+    pub fn at<R, F>(&self, p: Place, f: F) -> Result<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&Ctx) -> R + Send + 'static,
+    {
+        RuntimeStats::bump(&self.rt.stats.at_calls);
+        RuntimeStats::bump(&self.rt.stats.tasks_spawned);
+        let (tx, rx) = bounded::<std::result::Result<R, String>>(1);
+        self.rt.send(
+            p,
+            Envelope::Task {
+                run: Box::new(move |ctx| {
+                    let res =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+                    if ctx.rt.is_alive(ctx.here) {
+                        let _ = tx.send(res.map_err(finish::panic_message));
+                    }
+                    // If our place died mid-run, dropping `tx` tells the
+                    // caller via a DeadPlaceException.
+                }),
+            },
+        )?;
+        match rx.recv() {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(panic)) => Err(ApgasError::TaskPanic(panic)),
+            Err(_) => Err(DeadPlaceException::new(p, "place died during at()").into()),
+        }
+    }
+
+    /// Run `body`, then block until every task it spawned (transitively)
+    /// has terminated — X10's `finish { ... }`.
+    ///
+    /// In resilient mode, failures of involved places surface here as
+    /// `Err(DeadPlace/Multiple)`. In non-resilient mode failures cannot
+    /// occur (injection is refused), so `Ok` simply means quiescence.
+    pub fn finish<F>(&self, body: F) -> Result<()>
+    where
+        F: FnOnce(&FinishScope<'_>),
+    {
+        let scope = if self.rt.cfg.resilient {
+            FinishScope::new_resilient(self, self.rt.fresh_finish_id())
+        } else {
+            FinishScope::new_local(self)
+        };
+        body(&scope);
+        scope.wait()
+    }
+
+    /// Inject a fail-stop failure at `p`: its place-local data is wiped, its
+    /// queued tasks are dropped, and subsequent operations touching it raise
+    /// [`DeadPlaceException`].
+    ///
+    /// Refused for place zero (the paper's immortality assumption) and under
+    /// a non-resilient runtime (where a real crash would take the whole
+    /// application down, as in pre-resilience GML).
+    pub fn kill_place(&self, p: Place) -> Result<()> {
+        kill_place_inner(&self.rt, p)
+    }
+
+    /// Record `n` bytes of cross-place payload movement (called by the data
+    /// layers whenever they serialize data between places).
+    pub fn record_bytes(&self, n: usize) {
+        RuntimeStats::add(&self.rt.stats.bytes_shipped, n as u64);
+    }
+
+    /// A point-in-time copy of the runtime's activity counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.rt.stats.snapshot()
+    }
+}
+
+fn kill_place_inner(rt: &Arc<RtInner>, p: Place) -> Result<()> {
+    if p == Place::ZERO {
+        return Err(ApgasError::Unsupported("place zero is immortal".into()));
+    }
+    if !rt.cfg.resilient {
+        return Err(ApgasError::Unsupported(
+            "place failure under a non-resilient runtime aborts the whole application; \
+             run with RuntimeConfig::resilient(true) to tolerate it"
+                .into(),
+        ));
+    }
+    let st = rt
+        .place_state(p)
+        .ok_or_else(|| ApgasError::Unsupported(format!("no such place {p}")))?;
+    if st.alive.swap(false, Ordering::AcqRel) {
+        RuntimeStats::bump(&rt.stats.failures);
+        // The place's memory is gone.
+        rt.plh.clear_place(p);
+        // Tell the place-zero registry so open finishes settle their counts.
+        rt.send_ctl(CtlMsg::PlaceDied { place: p });
+    }
+    Ok(())
+}
+
+/// A running collection of places.
+///
+/// Most callers use the one-shot [`Runtime::run`]. `new`/`exec`/`shutdown`
+/// are available when several entry tasks must share one runtime.
+pub struct Runtime {
+    inner: Arc<RtInner>,
+}
+
+impl Runtime {
+    /// Start dispatcher threads for every configured place.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.places >= 1, "need at least one place");
+        let inner = Arc::new(RtInner {
+            cfg,
+            places: RwLock::new(Vec::new()),
+            world: PlaceGroup::first(cfg.places),
+            finish_svc: finish::FinishService::default(),
+            plh: PlhRegistry::new(0),
+            cache: ThreadCache::new(),
+            stats: RuntimeStats::default(),
+            next_finish_id: AtomicU64::new(1),
+            next_plh_id: AtomicU64::new(1),
+            dispatchers: Mutex::new(Vec::new()),
+            stopping: AtomicBool::new(false),
+        });
+        for _ in 0..cfg.total_places() {
+            inner.start_place();
+        }
+        Runtime { inner }
+    }
+
+    /// Run `main` as the root activity at place zero and return its result.
+    pub fn exec<R, F>(&self, main: F) -> Result<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&Ctx) -> R + Send + 'static,
+    {
+        let ctx = Ctx::new(Arc::clone(&self.inner), Place::ZERO);
+        ctx.at(Place::ZERO, main)
+    }
+
+    /// Inject a failure from outside the place world (e.g. a bench driver).
+    pub fn kill_place(&self, p: Place) -> Result<()> {
+        kill_place_inner(&self.inner, p)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Stop all dispatchers and join them. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        for st in self.inner.places.read().iter() {
+            let _ = st.tx.send(Envelope::Stop);
+        }
+        let mut handles = self.inner.dispatchers.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// One-shot convenience: start, run `main` at place zero, shut down.
+    pub fn run<R, F>(cfg: RuntimeConfig, main: F) -> Result<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&Ctx) -> R + Send + 'static,
+    {
+        let rt = Runtime::new(cfg);
+        let out = rt.exec(main);
+        rt.shutdown();
+        out
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(rt: Arc<RtInner>, place: Place, rx: Receiver<Envelope>) {
+    while let Ok(env) = rx.recv() {
+        match env {
+            Envelope::Stop => break,
+            Envelope::Task { run } => {
+                if rt.is_alive(place) {
+                    let ctx = Ctx::new(Arc::clone(&rt), place);
+                    rt.cache.submit(Box::new(move || run(&ctx)));
+                }
+                // Dead place: queued work is silently dropped; reply
+                // channels inside `run` disconnect and callers observe a
+                // DeadPlaceException.
+            }
+            Envelope::FinishCtl(msg) => {
+                debug_assert_eq!(place, Place::ZERO, "finish bookkeeping only at place zero");
+                let rt2 = Arc::clone(&rt);
+                rt.finish_svc.handle(move |p| rt2.is_alive(p), msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    #[test]
+    fn run_returns_main_result() {
+        let out = Runtime::run(RuntimeConfig::new(2), |ctx| ctx.here().id() + 41).unwrap();
+        assert_eq!(out, 41);
+    }
+
+    #[test]
+    fn at_executes_remotely_and_returns() {
+        let out = Runtime::run(RuntimeConfig::new(3), |ctx| {
+            let p = ctx.world().place(2);
+            ctx.at(p, |ctx| ctx.here().id()).unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 2);
+    }
+
+    #[test]
+    fn nested_at_round_trip() {
+        let out = Runtime::run(RuntimeConfig::new(3), |ctx| {
+            ctx.at(Place::new(1), |ctx| {
+                ctx.at(Place::new(2), |ctx| ctx.here().id() * 10).unwrap()
+            })
+            .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 20);
+    }
+
+    #[test]
+    fn at_panic_is_reported() {
+        let out = Runtime::run(RuntimeConfig::new(2), |ctx| {
+            ctx.at(Place::new(1), |_| -> u32 { panic!("kaboom") })
+        })
+        .unwrap();
+        match out {
+            Err(ApgasError::TaskPanic(msg)) => assert!(msg.contains("kaboom")),
+            other => panic!("expected TaskPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_waits_for_all_places_non_resilient() {
+        finish_waits_for_all_places(false);
+    }
+
+    #[test]
+    fn finish_waits_for_all_places_resilient() {
+        finish_waits_for_all_places(true);
+    }
+
+    fn finish_waits_for_all_places(resilient: bool) {
+        let n = 6;
+        let cfg = RuntimeConfig::new(n).resilient(resilient);
+        let total = Runtime::run(cfg, move |ctx| {
+            let acc = Arc::new(StdAtomicU64::new(0));
+            ctx.finish(|fs| {
+                for p in ctx.world().iter() {
+                    let acc = Arc::clone(&acc);
+                    fs.async_at(p, move |ctx| {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        acc.fetch_add(ctx.here().id() as u64, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            acc.load(Ordering::Relaxed)
+        })
+        .unwrap();
+        assert_eq!(total, (0..6u64).sum());
+    }
+
+    #[test]
+    fn nested_async_under_same_finish() {
+        let cfg = RuntimeConfig::new(4).resilient(true);
+        let total = Runtime::run(cfg, |ctx| {
+            let acc = Arc::new(StdAtomicU64::new(0));
+            ctx.finish(|fs| {
+                let h = fs.handle();
+                let acc2 = Arc::clone(&acc);
+                fs.async_at(Place::new(1), move |ctx| {
+                    // Fan out further from inside the child task.
+                    for p in [Place::new(2), Place::new(3)] {
+                        let acc3 = Arc::clone(&acc2);
+                        h.async_at(ctx, p, move |_| {
+                            acc3.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    acc2.fetch_add(1, Ordering::Relaxed);
+                });
+            })
+            .unwrap();
+            acc.load(Ordering::Relaxed)
+        })
+        .unwrap();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn kill_refused_for_place_zero_and_non_resilient() {
+        Runtime::run(RuntimeConfig::new(2).resilient(true), |ctx| {
+            assert!(matches!(
+                ctx.kill_place(Place::ZERO),
+                Err(ApgasError::Unsupported(_))
+            ));
+        })
+        .unwrap();
+        Runtime::run(RuntimeConfig::new(2), |ctx| {
+            assert!(matches!(
+                ctx.kill_place(Place::new(1)),
+                Err(ApgasError::Unsupported(_))
+            ));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn at_dead_place_fails_fast() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            ctx.kill_place(Place::new(2)).unwrap();
+            let err = ctx.at(Place::new(2), |_| 0u32).unwrap_err();
+            assert!(err.is_recoverable());
+            assert_eq!(err.dead_places(), vec![Place::new(2)]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn finish_reports_dead_place_for_lost_tasks() {
+        let cfg = RuntimeConfig::new(4).resilient(true);
+        Runtime::run(cfg, |ctx| {
+            let victim = Place::new(3);
+            let res = ctx.finish(|fs| {
+                for p in ctx.world().iter() {
+                    fs.async_at(p, move |ctx| {
+                        if ctx.here() == Place::new(1) {
+                            // Concurrent failure while tasks are in flight.
+                            ctx.kill_place(Place::new(3)).unwrap();
+                        } else if ctx.here() == victim {
+                            // Give the killer a chance to strike while this
+                            // task is still conceptually "running".
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                        }
+                    });
+                }
+            });
+            match res {
+                Ok(()) => {
+                    // The victim's task may have completed before the kill
+                    // landed; either outcome is legal, but the place must be
+                    // dead afterwards.
+                }
+                Err(e) => assert_eq!(e.dead_places(), vec![victim]),
+            }
+            assert!(!ctx.is_alive(victim));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn spawning_at_already_dead_place_surfaces_at_finish() {
+        let cfg = RuntimeConfig::new(3).resilient(true);
+        Runtime::run(cfg, |ctx| {
+            ctx.kill_place(Place::new(2)).unwrap();
+            let err = ctx
+                .finish(|fs| {
+                    for p in ctx.world().iter() {
+                        fs.async_at(p, |_| {});
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err.dead_places(), vec![Place::new(2)]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            ctx.kill_place(Place::new(1)).unwrap();
+            ctx.kill_place(Place::new(1)).unwrap();
+            assert_eq!(ctx.stats().failures, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn spares_are_started_and_idle() {
+        let cfg = RuntimeConfig::new(2).spares(2).resilient(true);
+        Runtime::run(cfg, |ctx| {
+            assert_eq!(ctx.world().len(), 2);
+            assert_eq!(ctx.all_places().len(), 4);
+            assert_eq!(ctx.spare_places(), vec![Place::new(2), Place::new(3)]);
+            // Spares are reachable before substitution.
+            let id = ctx.at(Place::new(3), |ctx| ctx.here().id()).unwrap();
+            assert_eq!(id, 3);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn live_subset_filters_dead() {
+        let cfg = RuntimeConfig::new(4).resilient(true);
+        Runtime::run(cfg, |ctx| {
+            ctx.kill_place(Place::new(2)).unwrap();
+            let live = ctx.live_subset(&ctx.world());
+            assert_eq!(live.len(), 3);
+            assert!(!live.contains(Place::new(2)));
+            assert_eq!(ctx.dead_places(), vec![Place::new(2)]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn resilient_mode_counts_bookkeeping() {
+        let cfg = RuntimeConfig::new(4).resilient(true);
+        let (ctl, tasks) = Runtime::run(cfg, |ctx| {
+            let before = ctx.stats();
+            ctx.finish(|fs| {
+                for p in ctx.world().iter() {
+                    fs.async_at(p, |_| {});
+                }
+            })
+            .unwrap();
+            let after = ctx.stats();
+            let d = after.since(&before);
+            (d.ctl_total(), d.tasks_spawned)
+        })
+        .unwrap();
+        assert_eq!(tasks, 4);
+        // 4 spawns + 4 terms + 1 wait.
+        assert_eq!(ctl, 9);
+    }
+
+    #[test]
+    fn non_resilient_mode_has_no_bookkeeping() {
+        let ctl = Runtime::run(RuntimeConfig::new(4), |ctx| {
+            ctx.finish(|fs| {
+                for p in ctx.world().iter() {
+                    fs.async_at(p, |_| {});
+                }
+            })
+            .unwrap();
+            ctx.stats().ctl_total()
+        })
+        .unwrap();
+        assert_eq!(ctl, 0);
+    }
+
+    #[test]
+    fn many_concurrent_finishes() {
+        let cfg = RuntimeConfig::new(4).resilient(true);
+        Runtime::run(cfg, |ctx| {
+            let acc = Arc::new(StdAtomicU64::new(0));
+            ctx.finish(|fs| {
+                for p in ctx.world().iter() {
+                    let acc = Arc::clone(&acc);
+                    fs.async_at(p, move |ctx| {
+                        // Each task opens its own nested finish.
+                        let acc2 = Arc::clone(&acc);
+                        ctx.finish(move |fs2| {
+                            for q in ctx.world().iter() {
+                                let acc3 = Arc::clone(&acc2);
+                                fs2.async_at(q, move |_| {
+                                    acc3.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        })
+                        .unwrap();
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(acc.load(Ordering::Relaxed), 16);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn finish_tolerates_transient_zero_pending_non_resilient() {
+        finish_tolerates_transient_zero(false);
+    }
+
+    #[test]
+    fn finish_tolerates_transient_zero_pending_resilient() {
+        finish_tolerates_transient_zero(true);
+    }
+
+    /// Regression test: a fast task can complete while the finish body is
+    /// still spawning, driving the pending count through zero. The finish
+    /// must still wait for the later spawns.
+    fn finish_tolerates_transient_zero(resilient: bool) {
+        let cfg = RuntimeConfig::new(2).resilient(resilient);
+        Runtime::run(cfg, |ctx| {
+            for _ in 0..50 {
+                let acc = Arc::new(StdAtomicU64::new(0));
+                ctx.finish(|fs| {
+                    let acc1 = Arc::clone(&acc);
+                    fs.async_at(Place::new(1), move |_| {
+                        acc1.fetch_add(1, Ordering::Relaxed);
+                    });
+                    // Give the first task time to finish before spawning
+                    // the second (drives pending through zero).
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                    let acc2 = Arc::clone(&acc);
+                    fs.async_at(Place::new(1), move |_| {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        acc2.fetch_add(1, Ordering::Relaxed);
+                    });
+                })
+                .unwrap();
+                assert_eq!(acc.load(Ordering::Relaxed), 2, "finish returned early");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn spawn_place_grows_the_system() {
+        let cfg = RuntimeConfig::new(2).resilient(true);
+        Runtime::run(cfg, |ctx| {
+            assert_eq!(ctx.all_places().len(), 2);
+            let fresh = ctx.spawn_place().unwrap();
+            assert_eq!(fresh, Place::new(2));
+            assert_eq!(ctx.all_places().len(), 3);
+            assert!(ctx.is_alive(fresh));
+            assert_eq!(ctx.stats().places_spawned, 1);
+            // The new place executes work like any other.
+            let got = ctx.at(fresh, |ctx| ctx.here().id() * 7).unwrap();
+            assert_eq!(got, 14);
+            // It participates in finish/async fan-out.
+            let acc = Arc::new(StdAtomicU64::new(0));
+            ctx.finish(|fs| {
+                for p in ctx.all_places().iter() {
+                    let acc = Arc::clone(&acc);
+                    fs.async_at(p, move |_| {
+                        acc.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(acc.load(Ordering::Relaxed), 3);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn spawned_place_replaces_a_dead_one() {
+        let cfg = RuntimeConfig::new(3).resilient(true);
+        Runtime::run(cfg, |ctx| {
+            ctx.kill_place(Place::new(1)).unwrap();
+            let fresh = ctx.spawn_place().unwrap();
+            let group = ctx.world().replace(&[Place::new(1)], &[fresh]).unwrap();
+            assert_eq!(group.len(), 3);
+            assert_eq!(group.index_of(fresh), Some(1), "fresh place slots in");
+            // Spawned places are killable too.
+            ctx.kill_place(fresh).unwrap();
+            assert!(!ctx.is_alive(fresh));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn exec_twice_on_same_runtime() {
+        let rt = Runtime::new(RuntimeConfig::new(2).resilient(true));
+        let a: u32 = rt.exec(|_| 1).unwrap();
+        let b: u32 = rt.exec(|_| 2).unwrap();
+        assert_eq!(a + b, 3);
+        rt.shutdown();
+    }
+}

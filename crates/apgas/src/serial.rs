@@ -1,0 +1,279 @@
+//! Byte-level serialization for cross-place payloads.
+//!
+//! In the real system a place is an OS process, so every matrix block or
+//! vector segment that crosses a place boundary is serialized onto the wire.
+//! The simulation keeps that cost honest: the GML layers move numeric data
+//! between places exclusively as [`bytes::Bytes`] buffers produced by this
+//! codec, never as shared references. Snapshot/restore costs in the paper's
+//! Table III and Figs 5–7 are dominated by exactly these copies.
+//!
+//! The format is a private little-endian stream; it is not a stable
+//! interchange format and both ends are always the same binary, so decode
+//! errors are programming errors and panic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Types that can be written to / read from a cross-place byte stream.
+pub trait Serial: Sized {
+    /// Append this value to `buf`.
+    fn write(&self, buf: &mut BytesMut);
+    /// Read one value from the front of `buf`.
+    fn read(buf: &mut Bytes) -> Self;
+    /// Exact encoded size in bytes, used to pre-reserve buffers.
+    fn byte_len(&self) -> usize;
+
+    /// Serialize a single value into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.byte_len());
+        self.write(&mut buf);
+        buf.freeze()
+    }
+
+    /// Deserialize a single value, asserting the buffer is fully consumed.
+    fn from_bytes(bytes: Bytes) -> Self {
+        let mut buf = bytes;
+        let v = Self::read(&mut buf);
+        debug_assert!(buf.is_empty(), "trailing bytes after deserialization");
+        v
+    }
+}
+
+macro_rules! impl_serial_primitive {
+    ($t:ty, $put:ident, $get:ident, $len:expr) => {
+        impl Serial for $t {
+            #[inline]
+            fn write(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            #[inline]
+            fn read(buf: &mut Bytes) -> Self {
+                buf.$get()
+            }
+            #[inline]
+            fn byte_len(&self) -> usize {
+                $len
+            }
+        }
+    };
+}
+
+impl_serial_primitive!(u8, put_u8, get_u8, 1);
+impl_serial_primitive!(u16, put_u16_le, get_u16_le, 2);
+impl_serial_primitive!(u32, put_u32_le, get_u32_le, 4);
+impl_serial_primitive!(u64, put_u64_le, get_u64_le, 8);
+impl_serial_primitive!(i64, put_i64_le, get_i64_le, 8);
+impl_serial_primitive!(f64, put_f64_le, get_f64_le, 8);
+
+impl Serial for usize {
+    #[inline]
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    #[inline]
+    fn read(buf: &mut Bytes) -> Self {
+        buf.get_u64_le() as usize
+    }
+    #[inline]
+    fn byte_len(&self) -> usize {
+        8
+    }
+}
+
+impl Serial for bool {
+    #[inline]
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    #[inline]
+    fn read(buf: &mut Bytes) -> Self {
+        buf.get_u8() != 0
+    }
+    #[inline]
+    fn byte_len(&self) -> usize {
+        1
+    }
+}
+
+impl Serial for String {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        buf.put_slice(self.as_bytes());
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        let n = buf.get_u64_le() as usize;
+        let raw = buf.split_to(n);
+        String::from_utf8(raw.to_vec()).expect("valid utf-8 in serial stream")
+    }
+    fn byte_len(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl<T: Serial> Serial for Vec<T> {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        for v in self {
+            v.write(buf);
+        }
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        let n = buf.get_u64_le() as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::read(buf));
+        }
+        out
+    }
+    fn byte_len(&self) -> usize {
+        8 + self.iter().map(Serial::byte_len).sum::<usize>()
+    }
+}
+
+impl<T: Serial> Serial for Option<T> {
+    fn write(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.write(buf);
+            }
+        }
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        match buf.get_u8() {
+            0 => None,
+            _ => Some(T::read(buf)),
+        }
+    }
+    fn byte_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Serial::byte_len)
+    }
+}
+
+impl<A: Serial, B: Serial> Serial for (A, B) {
+    fn write(&self, buf: &mut BytesMut) {
+        self.0.write(buf);
+        self.1.write(buf);
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        let a = A::read(buf);
+        let b = B::read(buf);
+        (a, b)
+    }
+    fn byte_len(&self) -> usize {
+        self.0.byte_len() + self.1.byte_len()
+    }
+}
+
+impl<A: Serial, B: Serial, C: Serial> Serial for (A, B, C) {
+    fn write(&self, buf: &mut BytesMut) {
+        self.0.write(buf);
+        self.1.write(buf);
+        self.2.write(buf);
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        let a = A::read(buf);
+        let b = B::read(buf);
+        let c = C::read(buf);
+        (a, b, c)
+    }
+    fn byte_len(&self) -> usize {
+        self.0.byte_len() + self.1.byte_len() + self.2.byte_len()
+    }
+}
+
+/// Append a `&[f64]` (length-prefixed) without building a `Vec` first.
+pub fn write_f64_slice(data: &[f64], buf: &mut BytesMut) {
+    buf.reserve(8 + 8 * data.len());
+    buf.put_u64_le(data.len() as u64);
+    for v in data {
+        buf.put_f64_le(*v);
+    }
+}
+
+/// Read a length-prefixed `f64` sequence into a `Vec`.
+pub fn read_f64_vec(buf: &mut Bytes) -> Vec<f64> {
+    let n = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_f64_le());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serial + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.byte_len(), "byte_len must match encoding");
+        let back = T::from_bytes(bytes);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(65535u16);
+        round_trip(123456789u32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(std::f64::consts::PI);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(false);
+        round_trip(usize::MAX);
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let bytes = f64::NAN.to_bytes();
+        let back = f64::from_bytes(bytes);
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn strings_and_containers() {
+        round_trip(String::from(""));
+        round_trip(String::from("résilience ✓"));
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<f64>::new());
+        round_trip(vec![vec![1u8], vec![], vec![2, 3]]);
+        round_trip(Some(7u64));
+        round_trip(Option::<u64>::None);
+        round_trip((1u32, 2.5f64));
+        round_trip((1u32, String::from("x"), vec![9u8]));
+    }
+
+    #[test]
+    fn f64_slice_helpers_match_vec_encoding() {
+        let data = vec![1.0, -2.5, 3.75];
+        let mut a = BytesMut::new();
+        write_f64_slice(&data, &mut a);
+        let mut b = BytesMut::new();
+        data.write(&mut b);
+        assert_eq!(a.freeze(), b.freeze());
+        let mut buf = {
+            let mut m = BytesMut::new();
+            write_f64_slice(&data, &mut m);
+            m.freeze()
+        };
+        assert_eq!(read_f64_vec(&mut buf), data);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn sequential_stream() {
+        let mut buf = BytesMut::new();
+        42u32.write(&mut buf);
+        String::from("hi").write(&mut buf);
+        vec![1.0f64, 2.0].write(&mut buf);
+        let mut r = buf.freeze();
+        assert_eq!(u32::read(&mut r), 42);
+        assert_eq!(String::read(&mut r), "hi");
+        assert_eq!(Vec::<f64>::read(&mut r), vec![1.0, 2.0]);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Runtime activity counters.
+//!
+//! These make the resilience costs the paper talks about *observable*: the
+//! number of place-zero bookkeeping messages (the source of resilient-X10
+//! overhead in Figs 2–4) and the number of bytes serialized across places
+//! (the source of checkpoint/restore cost in Table III and Figs 5–7).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters maintained by the runtime. Cheap to update; read them
+/// with [`RuntimeStats::snapshot`].
+#[derive(Default)]
+pub struct RuntimeStats {
+    /// Tasks dispatched to any place (both `async_at` and `at`).
+    pub tasks_spawned: AtomicU64,
+    /// Synchronous `at` round trips.
+    pub at_calls: AtomicU64,
+    /// Place-zero bookkeeping messages: task-spawn records (each is a
+    /// synchronous round trip to place zero in resilient mode).
+    pub ctl_spawns: AtomicU64,
+    /// Place-zero bookkeeping messages: task terminations.
+    pub ctl_terms: AtomicU64,
+    /// Place-zero bookkeeping messages: finish-wait registrations.
+    pub ctl_waits: AtomicU64,
+    /// Bytes of payload serialized for cross-place movement (maintained by
+    /// the data layers via [`crate::runtime::Ctx::record_bytes`]).
+    pub bytes_shipped: AtomicU64,
+    /// Places killed so far.
+    pub failures: AtomicU64,
+    /// Places created elastically after startup.
+    pub places_spawned: AtomicU64,
+}
+
+/// A point-in-time copy of [`RuntimeStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Tasks dispatched to any place.
+    pub tasks_spawned: u64,
+    /// Synchronous `at` round trips.
+    pub at_calls: u64,
+    /// Place-zero spawn records.
+    pub ctl_spawns: u64,
+    /// Place-zero termination records.
+    pub ctl_terms: u64,
+    /// Place-zero finish-wait registrations.
+    pub ctl_waits: u64,
+    /// Payload bytes serialized across places.
+    pub bytes_shipped: u64,
+    /// Places killed so far.
+    pub failures: u64,
+    /// Places created elastically after startup.
+    pub places_spawned: u64,
+}
+
+impl StatsSnapshot {
+    /// Total place-zero bookkeeping messages (the resilient-finish funnel).
+    pub fn ctl_total(&self) -> u64 {
+        self.ctl_spawns + self.ctl_terms + self.ctl_waits
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
+            at_calls: self.at_calls.saturating_sub(earlier.at_calls),
+            ctl_spawns: self.ctl_spawns.saturating_sub(earlier.ctl_spawns),
+            ctl_terms: self.ctl_terms.saturating_sub(earlier.ctl_terms),
+            ctl_waits: self.ctl_waits.saturating_sub(earlier.ctl_waits),
+            bytes_shipped: self.bytes_shipped.saturating_sub(earlier.bytes_shipped),
+            failures: self.failures.saturating_sub(earlier.failures),
+            places_spawned: self.places_spawned.saturating_sub(earlier.places_spawned),
+        }
+    }
+}
+
+impl RuntimeStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
+            at_calls: self.at_calls.load(Ordering::Relaxed),
+            ctl_spawns: self.ctl_spawns.load(Ordering::Relaxed),
+            ctl_terms: self.ctl_terms.load(Ordering::Relaxed),
+            ctl_waits: self.ctl_waits.load(Ordering::Relaxed),
+            bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            places_spawned: self.places_spawned.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let s = RuntimeStats::default();
+        RuntimeStats::bump(&s.tasks_spawned);
+        RuntimeStats::add(&s.bytes_shipped, 100);
+        let a = s.snapshot();
+        RuntimeStats::bump(&s.tasks_spawned);
+        RuntimeStats::bump(&s.ctl_spawns);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.tasks_spawned, 1);
+        assert_eq!(d.ctl_spawns, 1);
+        assert_eq!(d.bytes_shipped, 0);
+        assert_eq!(b.ctl_total(), 1);
+    }
+}

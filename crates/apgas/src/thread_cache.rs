@@ -1,0 +1,147 @@
+//! A cached-thread executor.
+//!
+//! X10's runtime grows a place's worker pool when activities block (e.g. in
+//! a `finish` wait or a remote fetch), so that progress is never lost to a
+//! blocked worker. We reproduce that with a simple cache of reusable OS
+//! threads shared by the whole runtime: submitting a job reuses an idle
+//! thread when one exists and spawns a fresh one otherwise. Idle threads
+//! park for a grace period and then exit, so test suites that create many
+//! runtimes do not accumulate threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A pool of reusable worker threads with no upper bound on size.
+pub struct ThreadCache {
+    idle: Arc<Mutex<Vec<Sender<Job>>>>,
+}
+
+impl ThreadCache {
+    pub fn new() -> Self {
+        ThreadCache { idle: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Run `job` on a cached or freshly spawned thread.
+    pub fn submit(&self, job: Job) {
+        let mut job = job;
+        loop {
+            let worker = self.idle.lock().pop();
+            match worker {
+                Some(tx) => match tx.send(job) {
+                    Ok(()) => return,
+                    // The worker timed out and exited between pop and send;
+                    // recover the job and try the next candidate.
+                    Err(e) => job = e.into_inner(),
+                },
+                None => {
+                    self.spawn_worker(job);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn spawn_worker(&self, first: Job) {
+        let idle = Arc::clone(&self.idle);
+        std::thread::Builder::new()
+            .name("apgas-worker".into())
+            .spawn(move || {
+                // Zero-capacity rendezvous: a send can only succeed while
+                // this worker is actively receiving, so a job can never be
+                // stranded in a buffer when the worker times out and exits
+                // (the sender observes the disconnect and retries instead).
+                let (tx, rx) = bounded::<Job>(0);
+                let mut job = first;
+                loop {
+                    job();
+                    idle.lock().push(tx.clone());
+                    match rx.recv_timeout(IDLE_TIMEOUT) {
+                        Ok(next) => job = next,
+                        Err(_) => {
+                            // Timed out or cache dropped: deregister (best
+                            // effort; submit() tolerates stale entries).
+                            let mut q = idle.lock();
+                            q.retain(|s| !s.same_channel(&tx));
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawn apgas worker thread");
+    }
+}
+
+impl Default for ThreadCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_many_jobs() {
+        let cache = ThreadCache::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = bounded(0);
+        for _ in 0..64 {
+            let counter = counter.clone();
+            let tx = tx.clone();
+            cache.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..64 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn reuses_idle_threads() {
+        let cache = ThreadCache::new();
+        let (tx, rx) = bounded(0);
+        // Run jobs strictly one after another. A finishing worker
+        // re-registers *after* delivering its result, so the next submit
+        // may race it and spawn one extra thread — but the pool must not
+        // grow linearly with the job count.
+        for _ in 0..8 {
+            let tx = tx.clone();
+            cache.submit(Box::new(move || tx.send(std::thread::current().id()).unwrap()));
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(cache.idle.lock().len() <= 3, "sequential jobs must reuse workers");
+    }
+
+    #[test]
+    fn blocked_jobs_do_not_starve_new_jobs() {
+        let cache = ThreadCache::new();
+        let (release_tx, release_rx) = bounded::<()>(0);
+        let (done_tx, done_rx) = bounded(0);
+        // A job that blocks until released.
+        {
+            let done = done_tx.clone();
+            cache.submit(Box::new(move || {
+                release_rx.recv().unwrap();
+                done.send("blocked").unwrap();
+            }));
+        }
+        // A second job must still run (on a new thread).
+        cache.submit(Box::new(move || done_tx.send("free").unwrap()));
+        assert_eq!(done_rx.recv_timeout(Duration::from_secs(5)).unwrap(), "free");
+        release_tx.send(()).unwrap();
+        assert_eq!(done_rx.recv_timeout(Duration::from_secs(5)).unwrap(), "blocked");
+    }
+}

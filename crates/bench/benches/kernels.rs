@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks for the single-place kernels the distributed
+//! layer is built on: dense/sparse matrix-vector products, sub-block
+//! extraction (the restore hot path) and serialization (the checkpoint hot
+//! path).
+
+use apgas::serial::Serial;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gml_matrix::{builder, DenseMatrix, SparseCSR, Vector};
+use std::hint::black_box;
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv");
+    for &n in &[128usize, 512] {
+        let a = builder::random_dense(n, n, 1);
+        let x = builder::random_vector(n, 2);
+        let mut y = Vector::zeros(n);
+        g.bench_function(format!("dense_{n}x{n}"), |b| {
+            b.iter(|| {
+                a.gemv(1.0, black_box(x.as_slice()), 0.0, y.as_mut_slice());
+                black_box(y.get(0));
+            })
+        });
+        g.bench_function(format!("dense_trans_{n}x{n}"), |b| {
+            let mut yt = Vector::zeros(n);
+            b.iter(|| {
+                a.gemv_trans(1.0, black_box(x.as_slice()), 0.0, yt.as_mut_slice());
+                black_box(yt.get(0));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    for &n in &[1000usize, 4000] {
+        let a = builder::random_csr(n, n, 8, 3);
+        let x = builder::random_vector(n, 4);
+        let mut y = Vector::zeros(n);
+        g.bench_function(format!("csr_{n}_nnz{}", a.nnz()), |b| {
+            b.iter(|| {
+                a.spmv(1.0, black_box(x.as_slice()), 0.0, y.as_mut_slice());
+                black_box(y.get(0));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sub_block_extraction");
+    let n = 512;
+    let dense = builder::random_dense(n, n, 5);
+    g.bench_function("dense_quarter", |b| {
+        b.iter(|| black_box(dense.sub_matrix(n / 4, 3 * n / 4, n / 4, 3 * n / 4)))
+    });
+    let sparse = builder::random_csr(4 * n, 4 * n, 8, 6);
+    g.bench_function("sparse_quarter_with_nnz_count", |b| {
+        b.iter(|| black_box(sparse.sub_matrix(n, 3 * n, n, 3 * n)))
+    });
+    g.bench_function("sparse_nnz_count_only", |b| {
+        b.iter(|| black_box(sparse.count_nnz_in(n, 3 * n, n, 3 * n)))
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serialization");
+    let dense = builder::random_dense(256, 256, 7);
+    g.bench_function("dense_256x256_write", |b| b.iter(|| black_box(dense.to_bytes())));
+    let bytes = dense.to_bytes();
+    g.bench_function("dense_256x256_read", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |by| black_box(DenseMatrix::from_bytes(by)),
+            BatchSize::SmallInput,
+        )
+    });
+    let sparse = builder::random_csr(2000, 2000, 8, 8);
+    g.bench_function("csr_16k_nnz_roundtrip", |b| {
+        b.iter(|| black_box(SparseCSR::from_bytes(sparse.to_bytes())))
+    });
+    g.finish();
+}
+
+criterion_group!(kernels, bench_gemv, bench_spmv, bench_extraction, bench_serialization);
+criterion_main!(kernels);

@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks for the resilience machinery itself: finish
+//! bookkeeping (the source of Figs 2–4's overhead), snapshot/checkpoint
+//! cost (Table III), restore by mode (Table IV), and broadcast cost.
+
+use apgas::prelude::*;
+use apgas::runtime::Runtime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gml_core::{DistBlockMatrix, DupVector, ResilientStore, Snapshottable};
+use gml_matrix::{builder, BlockData};
+use std::hint::black_box;
+
+const PLACES: usize = 8;
+
+/// Fan out one empty task per place under a finish — resilient mode pays
+/// the place-zero bookkeeping round trips.
+fn bench_finish_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("finish_fanout");
+    g.sample_size(20);
+    for resilient in [false, true] {
+        let rt = Runtime::new(RuntimeConfig::new(PLACES).resilient(resilient));
+        let label = if resilient { "resilient" } else { "non_resilient" };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                rt.exec(|ctx| {
+                    ctx.finish(|fs| {
+                        for p in ctx.world().iter() {
+                            fs.async_at(p, |_| {});
+                        }
+                    })
+                    .unwrap();
+                })
+                .unwrap();
+            })
+        });
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+/// Checkpoint cost: snapshotting a dense DistBlockMatrix into the double
+/// in-memory store (local copy + next-place backup per block).
+fn bench_snapshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot");
+    g.sample_size(10);
+    let rt = Runtime::new(RuntimeConfig::new(PLACES).resilient(true));
+    g.bench_function("dist_block_matrix_2k_x_64", |b| {
+        b.iter(|| {
+            rt.exec(|ctx| {
+                let world = ctx.world();
+                let store = ResilientStore::make(ctx).unwrap();
+                let m = DistBlockMatrix::make(
+                    ctx, 2048, 64, PLACES, 1, PLACES, 1, &world, false,
+                )
+                .unwrap();
+                m.init_with(ctx, |_, _, r0, _, rows, cols| {
+                    BlockData::Dense(builder::random_dense(rows, cols, r0 as u64))
+                })
+                .unwrap();
+                let snap = m.make_snapshot(ctx, &store).unwrap();
+                black_box(snap.total_bytes());
+            })
+            .unwrap();
+        })
+    });
+    rt.shutdown();
+    g.finish();
+}
+
+/// Restore cost by mode: block-by-block (same grid) vs overlap-copy
+/// (repartitioned grid) — the paper's Fig 1-b vs Fig 1-c distinction.
+fn bench_restore_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("restore");
+    g.sample_size(10);
+    for (label, rebalance) in [("shrink_same_grid", false), ("rebalance_overlap_copy", true)] {
+        let rt = Runtime::new(RuntimeConfig::new(PLACES).resilient(true));
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                rt.exec(move |ctx| {
+                    let world = ctx.world();
+                    let store = ResilientStore::make(ctx).unwrap();
+                    let mut m = DistBlockMatrix::make(
+                        ctx, 2048, 64, PLACES, 1, PLACES, 1, &world, false,
+                    )
+                    .unwrap();
+                    m.init_with(ctx, |_, _, r0, _, rows, cols| {
+                        BlockData::Dense(builder::random_dense(rows, cols, r0 as u64))
+                    })
+                    .unwrap();
+                    let snap = m.make_snapshot(ctx, &store).unwrap();
+                    // Restore over a smaller group (no kill: isolate restore
+                    // cost from failure handling).
+                    let smaller = world.without(&[world.place(world.len() - 1)]);
+                    m.remake(ctx, &smaller, rebalance).unwrap();
+                    m.restore_snapshot(ctx, &store, &snap).unwrap();
+                    black_box(m.rows());
+                })
+                .unwrap();
+            })
+        });
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+/// Broadcast cost: `DupVector::sync` over the group.
+fn bench_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dup_sync");
+    g.sample_size(20);
+    let rt = Runtime::new(RuntimeConfig::new(PLACES).resilient(true));
+    g.bench_function("dup_vector_100k", |b| {
+        b.iter(|| {
+            rt.exec(|ctx| {
+                let world = ctx.world();
+                let v = DupVector::make(ctx, 100_000, &world).unwrap();
+                v.sync(ctx).unwrap();
+                black_box(v.len());
+            })
+            .unwrap();
+        })
+    });
+    rt.shutdown();
+    g.finish();
+}
+
+criterion_group!(
+    resilience,
+    bench_finish_overhead,
+    bench_snapshot,
+    bench_restore_modes,
+    bench_sync
+);
+criterion_main!(resilience);

@@ -1,0 +1,7 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!  A. resilient-runtime bookkeeping per iteration (explains Figs 2-4);
+//!  B. double in-memory store backup copies (cost vs survivability).
+fn main() {
+    gml_bench::figures::bookkeeping_ablation();
+    gml_bench::figures::redundancy_ablation_table();
+}

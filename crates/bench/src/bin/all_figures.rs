@@ -1,0 +1,18 @@
+//! Regenerate every table and figure of the paper's evaluation in one go.
+//! Respects GML_BENCH_PLACES / GML_BENCH_RUNS / GML_BENCH_ITERS / GML_BENCH_SCALE.
+use gml_bench::figures;
+use gml_bench::AppKind;
+
+fn main() {
+    figures::loc_table();
+    figures::overhead_figure(AppKind::LinReg, "Fig2");
+    figures::overhead_figure(AppKind::LogReg, "Fig3");
+    figures::overhead_figure(AppKind::PageRank, "Fig4");
+    figures::checkpoint_table();
+    figures::restore_figure(AppKind::LinReg, "Fig5");
+    figures::restore_figure(AppKind::LogReg, "Fig6");
+    figures::restore_figure(AppKind::PageRank, "Fig7");
+    figures::breakdown_table();
+    figures::bookkeeping_ablation();
+    figures::redundancy_ablation_table();
+}

@@ -1,0 +1,4 @@
+//! Fig 2: Linear Regression — resilient X10 overhead (time per iteration).
+fn main() {
+    gml_bench::figures::overhead_figure(gml_bench::AppKind::LinReg, "Fig2");
+}

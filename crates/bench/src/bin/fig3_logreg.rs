@@ -1,0 +1,4 @@
+//! Fig 3: Logistic Regression — resilient X10 overhead (time per iteration).
+fn main() {
+    gml_bench::figures::overhead_figure(gml_bench::AppKind::LogReg, "Fig3");
+}

@@ -1,0 +1,4 @@
+//! Fig 4: PageRank — resilient X10 overhead (time per iteration).
+fn main() {
+    gml_bench::figures::overhead_figure(gml_bench::AppKind::PageRank, "Fig4");
+}

@@ -1,0 +1,5 @@
+//! Fig 5: Linear Regression — total runtime with a single failure under the
+//! three restoration modes.
+fn main() {
+    gml_bench::figures::restore_figure(gml_bench::AppKind::LinReg, "Fig5");
+}

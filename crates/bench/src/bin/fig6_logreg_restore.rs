@@ -1,0 +1,5 @@
+//! Fig 6: Logistic Regression — total runtime with a single failure under
+//! the three restoration modes.
+fn main() {
+    gml_bench::figures::restore_figure(gml_bench::AppKind::LogReg, "Fig6");
+}

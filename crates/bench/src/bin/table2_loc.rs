@@ -1,0 +1,5 @@
+//! Table II: lines-of-code comparison between the non-resilient and
+//! resilient versions of the benchmark programs.
+fn main() {
+    gml_bench::figures::loc_table();
+}

@@ -1,0 +1,4 @@
+//! Table III: time per checkpoint for the resilient GML applications.
+fn main() {
+    gml_bench::figures::checkpoint_table();
+}

@@ -1,0 +1,5 @@
+//! Table IV: percentage of total time consumed by checkpoint and restore
+//! operations at the largest place count.
+fn main() {
+    gml_bench::figures::breakdown_table();
+}

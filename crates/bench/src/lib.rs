@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # gml-bench — harnesses regenerating the paper's evaluation
+//!
+//! One binary per table/figure of the paper (§VII):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig2_linreg` | Fig 2 — LinReg time/iteration, resilient vs non-resilient |
+//! | `fig3_logreg` | Fig 3 — LogReg time/iteration |
+//! | `fig4_pagerank` | Fig 4 — PageRank time/iteration |
+//! | `table2_loc` | Table II — lines-of-code comparison |
+//! | `table3_checkpoint` | Table III — time per checkpoint |
+//! | `fig5_linreg_restore` | Fig 5 — LinReg total time with one failure |
+//! | `fig6_logreg_restore` | Fig 6 — LogReg total time with one failure |
+//! | `fig7_pagerank_restore` | Fig 7 — PageRank total time with one failure |
+//! | `table4_breakdown` | Table IV — checkpoint/restore % of total time |
+//!
+//! `cargo bench -p gml-bench` runs the criterion microbenches plus a quick
+//! pass over every figure/table. Environment knobs:
+//! `GML_BENCH_PLACES` (comma list), `GML_BENCH_RUNS`, `GML_BENCH_ITERS`,
+//! `GML_BENCH_SCALE` (workload multiplier, default 1.0).
+
+pub mod figures;
+pub mod harness;
+pub mod table;
+pub mod workloads;
+
+pub use harness::{
+    checkpoint_time, restore_total_time, time_per_iteration, IterTime, RestoreRun,
+};
+pub use workloads::{bench_iters, bench_places, bench_runs, AppKind};

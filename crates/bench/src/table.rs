@@ -1,0 +1,129 @@
+//! Plain-text table rendering for the harness binaries, plus CSV dumps so
+//! results can be re-plotted.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a new instance.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row of cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, " {:>w$} |", c, w = widths[i]);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.headers);
+        let _ = writeln!(
+            out,
+            "|{}|",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout and save a CSV copy under `target/paper-results/`.
+    pub fn emit(&self, csv_name: &str) {
+        println!("{}", self.render());
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        let dir = PathBuf::from("target/paper-results");
+        if fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(csv_name);
+            if fs::write(&path, csv).is_ok() {
+                println!("(csv saved to {})", path.display());
+            }
+        }
+    }
+}
+
+/// Format milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format seconds.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(123.4), "123");
+        assert_eq!(ms(12.34), "12.3");
+        assert_eq!(ms(1.234), "1.23");
+        assert_eq!(secs(1.5), "1.50");
+        assert_eq!(pct(33.3), "33");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

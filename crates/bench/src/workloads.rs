@@ -1,0 +1,140 @@
+//! Benchmark workload definitions, scaled down from the paper's cluster
+//! sizes to a single machine but preserving the weak-scaling structure
+//! (fixed work per place) and the workload *kinds* (dense training matrices
+//! for the regressions, a sparse link matrix for PageRank).
+
+use gml_apps::{LinRegConfig, LogRegConfig, PageRankConfig};
+
+/// The three benchmark applications of §VII.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppKind {
+    /// Linear Regression (CG).
+    LinReg,
+    /// Logistic Regression (gradient descent).
+    LogReg,
+    /// PageRank power iteration.
+    PageRank,
+}
+
+impl AppKind {
+    /// All three paper benchmarks.
+    pub const ALL: [AppKind; 3] = [AppKind::LinReg, AppKind::LogReg, AppKind::PageRank];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::LinReg => "LinReg",
+            AppKind::LogReg => "LogReg",
+            AppKind::PageRank => "PageRank",
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Workload scale multiplier (`GML_BENCH_SCALE`, default 1).
+pub fn scale() -> f64 {
+    env_f64("GML_BENCH_SCALE", 1.0)
+}
+
+/// The place counts to sweep (`GML_BENCH_PLACES`). Default mirrors the
+/// paper's 2–44 sweep at a coarser granularity.
+pub fn bench_places() -> Vec<usize> {
+    let default = vec![2, 4, 8, 12, 16, 24, 32, 44];
+    if let Ok(v) = std::env::var("GML_BENCH_PLACES") {
+        let parsed: Vec<usize> =
+            v.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&n| n >= 2).collect();
+        if parsed.is_empty() {
+            eprintln!(
+                "GML_BENCH_PLACES={v:?} has no usable entries (need integers >= 2); \
+                 using the default sweep {default:?}"
+            );
+            return default;
+        }
+        return parsed;
+    }
+    default
+}
+
+/// Repetitions per configuration (`GML_BENCH_RUNS`; paper used 30, we
+/// default to 3 on a single machine).
+pub fn bench_runs() -> usize {
+    env_usize("GML_BENCH_RUNS", 3)
+}
+
+/// Iterations per run (`GML_BENCH_ITERS`; paper used 30).
+pub fn bench_iters() -> u64 {
+    env_usize("GML_BENCH_ITERS", 30) as u64
+}
+
+/// LinReg: the paper trained 500 features × 50 000 examples/place; scaled
+/// to 50 × 1 000 by default.
+pub fn linreg_cfg(iterations: u64) -> LinRegConfig {
+    let s = scale();
+    LinRegConfig {
+        examples_per_place: (1000.0 * s) as usize,
+        features: (50.0 * s.sqrt()) as usize,
+        iterations,
+        lambda: 1e-6,
+        seed: 21,
+    }
+}
+
+/// LogReg: same training-set shape as LinReg.
+pub fn logreg_cfg(iterations: u64) -> LogRegConfig {
+    let s = scale();
+    LogRegConfig {
+        examples_per_place: (1000.0 * s) as usize,
+        features: (50.0 * s.sqrt()) as usize,
+        iterations,
+        lambda: 1e-3,
+        learning_rate: 1.0,
+        seed: 33,
+    }
+}
+
+/// PageRank: the paper used a network with 2M edges **per place** (weak
+/// scaling over edges). We mirror that reading: the node count is fixed and
+/// the out-degree grows with the place count so each place always holds the
+/// same number of edges (200 000 per place by default; the paper's 2M scaled
+/// by 10×). This keeps per-place SpMV work and the duplicated rank
+/// vector's size constant across the sweep — matching the paper's
+/// flattening checkpoint times (Table III) and PageRank's low resilient
+/// overhead per unit compute (Fig 4).
+pub fn pagerank_cfg_for(iterations: u64, places: usize) -> PageRankConfig {
+    let s = scale();
+    let nodes_total = (16_000.0 * s) as usize;
+    let edges_per_place = (200_000.0 * s) as usize;
+    let out_degree = (edges_per_place * places.max(1) / nodes_total).max(1);
+    PageRankConfig {
+        // PageRankConfig scales nodes by the group size; divide back so the
+        // total stays fixed across the sweep.
+        nodes_per_place: (nodes_total / places.max(1)).max(1),
+        out_degree,
+        iterations,
+        alpha: 0.85,
+        seed: 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert_eq!(AppKind::ALL.len(), 3);
+        assert!(bench_places().iter().all(|&p| p >= 2));
+        assert!(bench_runs() >= 1);
+        assert!(bench_iters() >= 1);
+        assert!(linreg_cfg(10).examples_per_place >= 1);
+        assert!(pagerank_cfg_for(10, 4).nodes_per_place >= 1);
+        assert_eq!(logreg_cfg(7).iterations, 7);
+    }
+}

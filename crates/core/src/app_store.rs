@@ -1,0 +1,346 @@
+//! The application resilient store (`AppResilientStore`, Listing 4).
+//!
+//! A coherent application checkpoint is a set of object snapshots taken
+//! **atomically**: the new application snapshot is valid only once every
+//! `save` succeeded and `commit` was called; any failure in between cancels
+//! the whole attempt and the previous committed snapshot remains the
+//! recovery point. With coordinated checkpointing only one committed
+//! snapshot needs to be retained — `commit` deletes the previous one —
+//! except that **read-only** objects' snapshots are shared across
+//! application snapshots (`save_read_only`), which is why the paper's
+//! PageRank checkpoints are so much cheaper than a full re-save.
+
+use std::collections::{HashMap, HashSet};
+
+use apgas::prelude::*;
+
+use crate::error::{GmlError, GmlResult};
+use crate::snapshot::{Snapshot, Snapshottable};
+use crate::store::ResilientStore;
+
+/// One committed (or in-flight) application snapshot.
+#[derive(Clone)]
+struct AppSnapshot {
+    /// The iteration this snapshot captures.
+    iteration: u64,
+    /// Object id → that object's snapshot.
+    map: HashMap<u64, Snapshot>,
+    /// snap_ids inherited from the previous application snapshot
+    /// (read-only reuse) — not to be deleted when that snapshot retires.
+    reused: HashSet<u64>,
+}
+
+/// Driver-side coordinator for atomic application checkpoints.
+pub struct AppResilientStore {
+    store: ResilientStore,
+    committed: Option<AppSnapshot>,
+    pending: Option<AppSnapshot>,
+    current_iteration: u64,
+}
+
+impl AppResilientStore {
+    /// Create the store (shards at every place, spares included).
+    pub fn make(ctx: &Ctx) -> GmlResult<Self> {
+        Self::make_with_redundancy(ctx, true)
+    }
+
+    /// Create the store with backup copies toggled (ablation; see
+    /// [`ResilientStore::make_with_redundancy`]).
+    pub fn make_with_redundancy(ctx: &Ctx, redundant: bool) -> GmlResult<Self> {
+        Ok(AppResilientStore {
+            store: ResilientStore::make_with_redundancy(ctx, redundant)?,
+            committed: None,
+            pending: None,
+            current_iteration: 0,
+        })
+    }
+
+    /// The underlying key/value store.
+    pub fn store(&self) -> &ResilientStore {
+        &self.store
+    }
+
+    /// Tell the store which iteration the next snapshot captures (called by
+    /// the executor before the application's `checkpoint` method runs).
+    pub fn set_current_iteration(&mut self, iteration: u64) {
+        self.current_iteration = iteration;
+    }
+
+    /// Begin a new application snapshot, discarding any uncommitted one.
+    pub fn start_new_snapshot(&mut self) {
+        self.pending = Some(AppSnapshot {
+            iteration: self.current_iteration,
+            map: HashMap::new(),
+            reused: HashSet::new(),
+        });
+    }
+
+    /// Snapshot `obj` into the pending application snapshot.
+    pub fn save(&mut self, ctx: &Ctx, obj: &dyn Snapshottable) -> GmlResult<()> {
+        let snap = obj.make_snapshot(ctx, &self.store)?;
+        let pending = self
+            .pending
+            .as_mut()
+            .ok_or_else(|| GmlError::shape("save() before start_new_snapshot()"))?;
+        pending.map.insert(obj.object_id(), snap);
+        Ok(())
+    }
+
+    /// Snapshot `obj` unless a **fully redundant** snapshot of it exists in
+    /// the committed application snapshot, in which case that one is reused
+    /// (the paper's `saveReadOnly`). A snapshot that lost one replica to a
+    /// failure is *not* reused — it is re-saved, so that every committed
+    /// checkpoint can absorb the next failure.
+    pub fn save_read_only(&mut self, ctx: &Ctx, obj: &dyn Snapshottable) -> GmlResult<()> {
+        let reusable = self.committed.as_ref().and_then(|c| {
+            c.map.get(&obj.object_id()).filter(|s| s.fully_redundant(ctx)).cloned()
+        });
+        match reusable {
+            Some(snap) => {
+                let pending = self
+                    .pending
+                    .as_mut()
+                    .ok_or_else(|| GmlError::shape("save_read_only() before start_new_snapshot()"))?;
+                pending.reused.insert(snap.snap_id);
+                pending.map.insert(obj.object_id(), snap);
+                Ok(())
+            }
+            None => self.save(ctx, obj),
+        }
+    }
+
+    /// Atomically promote the pending snapshot to committed and delete the
+    /// retired one's entries (except those reused by the new snapshot).
+    pub fn commit(&mut self, ctx: &Ctx) -> GmlResult<()> {
+        let pending = self
+            .pending
+            .take()
+            .ok_or_else(|| GmlError::shape("commit() before start_new_snapshot()"))?;
+        let old = self.committed.replace(pending);
+        if let Some(old) = old {
+            let keep: HashSet<u64> = self
+                .committed
+                .as_ref()
+                .expect("just replaced")
+                .map
+                .values()
+                .map(|s| s.snap_id)
+                .collect();
+            for snap in old.map.values() {
+                if !keep.contains(&snap.snap_id) {
+                    // Deleting old checkpoints is best-effort cleanup; a
+                    // failure here must not fail the commit.
+                    let _ = self.store.delete_snapshot(ctx, snap.snap_id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Abort the pending snapshot, deleting any entries it created (but not
+    /// reused read-only snapshots, which still belong to the committed one).
+    pub fn cancel_snapshot(&mut self, ctx: &Ctx) {
+        if let Some(pending) = self.pending.take() {
+            for snap in pending.map.values() {
+                if !pending.reused.contains(&snap.snap_id) {
+                    let _ = self.store.delete_snapshot(ctx, snap.snap_id);
+                }
+            }
+        }
+    }
+
+    /// True once a committed application snapshot exists.
+    pub fn has_snapshot(&self) -> bool {
+        self.committed.is_some()
+    }
+
+    /// The iteration captured by the committed snapshot.
+    pub fn snapshot_iteration(&self) -> Option<u64> {
+        self.committed.as_ref().map(|c| c.iteration)
+    }
+
+    /// The committed snapshot of one object.
+    pub fn snapshot_of(&self, object_id: u64) -> GmlResult<Snapshot> {
+        self.committed
+            .as_ref()
+            .and_then(|c| c.map.get(&object_id))
+            .cloned()
+            .ok_or_else(|| GmlError::data_loss(format!("no committed snapshot for object {object_id}")))
+    }
+
+    /// Restore every object in `objs` from the committed application
+    /// snapshot (the paper's single `restore()` call restoring all saved
+    /// GML objects).
+    pub fn restore(&self, ctx: &Ctx, objs: &mut [&mut dyn Snapshottable]) -> GmlResult<()> {
+        for obj in objs.iter_mut() {
+            let snap = self.snapshot_of(obj.object_id())?;
+            obj.restore_snapshot(ctx, &self.store, &snap)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dup_vector::DupVector;
+    use apgas::runtime::{Runtime, RuntimeConfig};
+
+    fn run(places: usize, f: impl FnOnce(&Ctx) + Send + 'static) {
+        Runtime::run(RuntimeConfig::new(places).resilient(true), f).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_commit_restore_cycle() {
+        run(3, |ctx| {
+            let g = ctx.world();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let mut v = DupVector::make(ctx, 4, &g).unwrap();
+            v.init(ctx, |i| i as f64).unwrap();
+
+            store.set_current_iteration(10);
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            assert!(store.has_snapshot());
+            assert_eq!(store.snapshot_iteration(), Some(10));
+
+            v.apply(ctx, |x| x.fill(0.0)).unwrap();
+            store.restore(ctx, &mut [&mut v]).unwrap();
+            assert_eq!(v.read_local(ctx).unwrap().as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        });
+    }
+
+    #[test]
+    fn save_requires_open_snapshot() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let v = DupVector::make(ctx, 2, &g).unwrap();
+            assert!(store.save(ctx, &v).is_err());
+            assert!(store.commit(ctx).is_err());
+        });
+    }
+
+    #[test]
+    fn commit_deletes_previous_snapshot_entries() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let v = DupVector::make(ctx, 2, &g).unwrap();
+
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            let first = store.snapshot_of(v.object_id()).unwrap();
+
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+
+            // The first snapshot's payload must be gone.
+            assert!(first.fetch(ctx, store.store(), 0).is_err());
+            // The new one is intact.
+            let second = store.snapshot_of(v.object_id()).unwrap();
+            assert!(second.fetch(ctx, store.store(), 0).is_ok());
+        });
+    }
+
+    #[test]
+    fn read_only_snapshot_is_reused_across_commits() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let v = DupVector::make(ctx, 2, &g).unwrap();
+
+            store.start_new_snapshot();
+            store.save_read_only(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            let first = store.snapshot_of(v.object_id()).unwrap();
+
+            store.start_new_snapshot();
+            store.save_read_only(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            let second = store.snapshot_of(v.object_id()).unwrap();
+
+            assert_eq!(first.snap_id, second.snap_id, "snapshot reused, not recreated");
+            assert!(second.fetch(ctx, store.store(), 0).is_ok(), "survived the commit cleanup");
+        });
+    }
+
+    #[test]
+    fn cancel_discards_pending_but_keeps_committed() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let mut v = DupVector::make(ctx, 2, &g).unwrap();
+            v.init(ctx, |_| 1.0).unwrap();
+
+            store.set_current_iteration(5);
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+
+            // A later snapshot attempt is cancelled mid-way.
+            v.apply(ctx, |x| x.fill(2.0)).unwrap();
+            store.set_current_iteration(9);
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.cancel_snapshot(ctx);
+
+            assert_eq!(store.snapshot_iteration(), Some(5), "committed point unchanged");
+            store.restore(ctx, &mut [&mut v]).unwrap();
+            assert_eq!(v.read_local(ctx).unwrap().as_slice(), &[1.0, 1.0]);
+        });
+    }
+
+    #[test]
+    fn cancel_preserves_reused_read_only_snapshots() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let v = DupVector::make(ctx, 2, &g).unwrap();
+
+            store.start_new_snapshot();
+            store.save_read_only(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+
+            store.start_new_snapshot();
+            store.save_read_only(ctx, &v).unwrap();
+            store.cancel_snapshot(ctx);
+
+            let snap = store.snapshot_of(v.object_id()).unwrap();
+            assert!(snap.fetch(ctx, store.store(), 0).is_ok(), "cancel must not nuke shared data");
+        });
+    }
+
+    #[test]
+    fn read_only_resnapshots_when_replicas_lost() {
+        run(4, |ctx| {
+            // Group not containing place 0 so the owner can die.
+            let g: PlaceGroup =
+                [Place::new(1), Place::new(2), Place::new(3)].into_iter().collect();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let mut v = DupVector::make(ctx, 2, &g).unwrap();
+            v.init(ctx, |_| 3.0).unwrap();
+
+            store.start_new_snapshot();
+            store.save_read_only(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            let first = store.snapshot_of(v.object_id()).unwrap();
+
+            // Kill both replicas of the read-only snapshot.
+            ctx.kill_place(Place::new(1)).unwrap();
+            ctx.kill_place(Place::new(2)).unwrap();
+            let survivors = g.without(&[Place::new(1), Place::new(2)]);
+            v.remake(ctx, &survivors).unwrap();
+            v.init(ctx, |_| 3.0).unwrap();
+
+            store.start_new_snapshot();
+            store.save_read_only(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            let second = store.snapshot_of(v.object_id()).unwrap();
+            assert_ne!(first.snap_id, second.snap_id, "unreachable snapshot re-created");
+        });
+    }
+}

@@ -1,0 +1,819 @@
+//! A vector partitioned into segments across a place group (`DistVector`).
+//!
+//! The vector is cut at `splits` into segments; each segment lives at one
+//! place (several segments may share a place). When a `DistVector` is the
+//! output of `DistBlockMatrix::mult`, its segments are aligned with the
+//! matrix's block rows and co-located with the matching blocks — which is
+//! what lets the shrink restore keep working when one place holds several
+//! block rows after a failure.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use apgas::prelude::*;
+use apgas::serial::Serial;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gml_matrix::Vector;
+use parking_lot::Mutex;
+
+use crate::error::{GmlError, GmlResult};
+use crate::snapshot::{ErrorPot, Snapshot, SnapshotBuilder, Snapshottable};
+use crate::store::ResilientStore;
+
+/// The segments one place holds: segment id → data.
+#[derive(Default)]
+pub(crate) struct SegmentStore {
+    pub(crate) segs: HashMap<usize, Vector>,
+}
+
+/// A vector distributed in contiguous segments over a place group.
+pub struct DistVector {
+    object_id: u64,
+    /// Segment boundaries: segment `s` covers `splits[s]..splits[s+1]`.
+    pub(crate) splits: Arc<Vec<usize>>,
+    /// Segment `s` lives at `group.place(seg_owner[s])`.
+    pub(crate) seg_owner: Arc<Vec<usize>>,
+    pub(crate) group: PlaceGroup,
+    pub(crate) plh: PlaceLocalHandle<Mutex<SegmentStore>>,
+}
+
+impl DistVector {
+    /// Create a zero vector of length `n` with one segment per place.
+    pub fn make(ctx: &Ctx, n: usize, group: &PlaceGroup) -> GmlResult<Self> {
+        let parts = group.len();
+        let base = n / parts;
+        let rem = n % parts;
+        let mut splits = Vec::with_capacity(parts + 1);
+        splits.push(0);
+        let mut acc = 0;
+        for i in 0..parts {
+            acc += base + usize::from(i < rem);
+            splits.push(acc);
+        }
+        let seg_owner = (0..parts).collect();
+        Self::make_with_layout(ctx, splits, seg_owner, group)
+    }
+
+    /// Create a zero vector with an explicit segment layout.
+    pub fn make_with_layout(
+        ctx: &Ctx,
+        splits: Vec<usize>,
+        seg_owner: Vec<usize>,
+        group: &PlaceGroup,
+    ) -> GmlResult<Self> {
+        if splits.len() != seg_owner.len() + 1 {
+            return Err(GmlError::shape("splits/owner length mismatch"));
+        }
+        if seg_owner.iter().any(|&o| o >= group.len()) {
+            return Err(GmlError::shape("segment owner outside group"));
+        }
+        let splits = Arc::new(splits);
+        let seg_owner = Arc::new(seg_owner);
+        let plh = {
+            let splits = Arc::clone(&splits);
+            let seg_owner = Arc::clone(&seg_owner);
+            let group2 = group.clone();
+            PlaceLocalHandle::make(ctx, group, move |ctx| {
+                let my_index = group2.index_of(ctx.here()).expect("place in group");
+                let mut store = SegmentStore::default();
+                for (s, &o) in seg_owner.iter().enumerate() {
+                    if o == my_index {
+                        store.segs.insert(s, Vector::zeros(splits[s + 1] - splits[s]));
+                    }
+                }
+                Mutex::new(store)
+            })?
+        };
+        Ok(DistVector {
+            object_id: crate::fresh_object_id(),
+            splits,
+            seg_owner,
+            group: group.clone(),
+            plh,
+        })
+    }
+
+    /// Total length.
+    pub fn len(&self) -> usize {
+        *self.splits.last().expect("non-empty splits")
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.seg_owner.len()
+    }
+
+    /// The place group this object is laid out over.
+    pub fn group(&self) -> &PlaceGroup {
+        &self.group
+    }
+
+    /// Global range `[lo, hi)` of segment `s`.
+    pub fn seg_range(&self, s: usize) -> (usize, usize) {
+        (self.splits[s], self.splits[s + 1])
+    }
+
+    /// The place holding segment `s`.
+    pub fn seg_place(&self, s: usize) -> Place {
+        self.group.place(self.seg_owner[s])
+    }
+
+    /// Run `f(seg_id, global_offset, segment)` at the owning place of every
+    /// segment, concurrently.
+    pub fn for_each_segment<F>(&self, ctx: &Ctx, f: F) -> GmlResult<()>
+    where
+        F: Fn(usize, usize, &mut Vector) + Send + Sync + Clone + 'static,
+    {
+        let plh = self.plh;
+        let pot = ErrorPot::new();
+        let res = ctx.finish(|fs| {
+            for (idx, p) in self.group.iter().enumerate() {
+                // One task per place touches all that place's segments.
+                let mine: Vec<(usize, usize)> = self
+                    .seg_owner
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o == idx)
+                    .map(|(s, _)| (s, self.splits[s]))
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let f = f.clone();
+                let pot = pot.clone();
+                fs.async_at(p, move |ctx| {
+                    pot.run(|| {
+                        let store = plh.local(ctx)?;
+                        let mut store = store.lock();
+                        for (s, off) in mine {
+                            let seg = store
+                                .segs
+                                .get_mut(&s)
+                                .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
+                            f(s, off, seg);
+                        }
+                        Ok(())
+                    });
+                });
+            }
+        });
+        pot.into_result(res)
+    }
+
+    /// Initialise as `v[i] = f(i)` (global index).
+    pub fn init<F>(&self, ctx: &Ctx, f: F) -> GmlResult<()>
+    where
+        F: Fn(usize) -> f64 + Send + Sync + Clone + 'static,
+    {
+        self.for_each_segment(ctx, move |_, off, seg| {
+            for (k, x) in seg.as_mut_slice().iter_mut().enumerate() {
+                *x = f(off + k);
+            }
+        })
+    }
+
+    /// Apply `f` element-wise to every segment.
+    pub fn map_all<F>(&self, ctx: &Ctx, f: F) -> GmlResult<()>
+    where
+        F: Fn(f64) -> f64 + Send + Sync + Clone + 'static,
+    {
+        self.for_each_segment(ctx, move |_, _, seg| {
+            seg.map_inplace(&f);
+        })
+    }
+
+    /// `self *= alpha` (GML's `scale`).
+    pub fn scale(&self, ctx: &Ctx, alpha: f64) -> GmlResult<()> {
+        self.for_each_segment(ctx, move |_, _, seg| {
+            seg.scale(alpha);
+        })
+    }
+
+    /// Element-wise combine with an **aligned** `DistVector` (same splits
+    /// and owners): `f(&mut self_seg, &other_seg)`.
+    pub fn zip_apply<F>(&self, ctx: &Ctx, other: &DistVector, f: F) -> GmlResult<()>
+    where
+        F: Fn(&mut Vector, &Vector) + Send + Sync + Clone + 'static,
+    {
+        if self.splits != other.splits || self.seg_owner != other.seg_owner {
+            return Err(GmlError::shape("zip_apply requires aligned DistVectors"));
+        }
+        if self.object_id == other.object_id {
+            // Same object: the per-place task would lock one mutex twice.
+            return Err(GmlError::shape("zip_apply operands must be distinct vectors"));
+        }
+        let b = other.plh;
+        let plh = self.plh;
+        let pot = ErrorPot::new();
+        let seg_owner = Arc::clone(&self.seg_owner);
+        let res = ctx.finish(|fs| {
+            for (idx, p) in self.group.iter().enumerate() {
+                let mine: Vec<usize> = seg_owner
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o == idx)
+                    .map(|(s, _)| s)
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let f = f.clone();
+                let pot = pot.clone();
+                fs.async_at(p, move |ctx| {
+                    pot.run(|| {
+                        let sa = plh.local(ctx)?;
+                        let sb = b.local(ctx)?;
+                        let mut sa = sa.lock();
+                        let sb = sb.lock();
+                        for s in mine {
+                            let other_seg = sb
+                                .segs
+                                .get(&s)
+                                .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
+                            let seg = sa
+                                .segs
+                                .get_mut(&s)
+                                .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
+                            f(seg, other_seg);
+                        }
+                        Ok(())
+                    });
+                });
+            }
+        });
+        pot.into_result(res)
+    }
+
+    /// Per-segment partial reductions gathered to the caller, summed in
+    /// deterministic segment order.
+    fn reduce_segments<F>(&self, ctx: &Ctx, f: F) -> GmlResult<f64>
+    where
+        F: Fn(usize, usize, &Vector, &Ctx) -> GmlResult<f64> + Send + Sync + Clone + 'static,
+    {
+        let plh = self.plh;
+        let pot = ErrorPot::new();
+        let partials: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seg_owner = Arc::clone(&self.seg_owner);
+        let splits = Arc::clone(&self.splits);
+        let res = ctx.finish(|fs| {
+            for (idx, p) in self.group.iter().enumerate() {
+                let mine: Vec<usize> = seg_owner
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o == idx)
+                    .map(|(s, _)| s)
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let f = f.clone();
+                let pot = pot.clone();
+                let partials = Arc::clone(&partials);
+                let splits = Arc::clone(&splits);
+                fs.async_at(p, move |ctx| {
+                    pot.run(|| {
+                        let store = plh.local(ctx)?;
+                        let store = store.lock();
+                        let mut local = Vec::with_capacity(mine.len());
+                        for s in mine {
+                            let seg = store
+                                .segs
+                                .get(&s)
+                                .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
+                            local.push((s, f(s, splits[s], seg, ctx)?));
+                        }
+                        // One "message" back to the driver per place.
+                        ctx.record_bytes(16 * local.len());
+                        partials.lock().extend(local);
+                        Ok(())
+                    });
+                });
+            }
+        });
+        pot.into_result(res)?;
+        let mut partials = Arc::try_unwrap(partials)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| arc.lock().clone());
+        partials.sort_unstable_by_key(|(s, _)| *s);
+        Ok(partials.into_iter().map(|(_, v)| v).sum())
+    }
+
+    /// Dot product with a duplicated vector of the same total length —
+    /// the `U.dot(P)` of the paper's PageRank (local partials + reduction).
+    pub fn dot_dup(&self, ctx: &Ctx, x: &crate::DupVector) -> GmlResult<f64> {
+        if x.len() != self.len() {
+            return Err(GmlError::shape("dot_dup length mismatch"));
+        }
+        let xl = x.plh_handle();
+        self.reduce_segments(ctx, move |_, off, seg, ctx| {
+            let dup = xl.local(ctx)?;
+            let dup = dup.lock();
+            let window = dup.segment(off, seg.len());
+            Ok(seg.as_slice().iter().zip(window).map(|(a, b)| a * b).sum())
+        })
+    }
+
+    /// Dot product with an aligned `DistVector`.
+    pub fn dot(&self, ctx: &Ctx, other: &DistVector) -> GmlResult<f64> {
+        if self.splits != other.splits || self.seg_owner != other.seg_owner {
+            return Err(GmlError::shape("dot requires aligned DistVectors"));
+        }
+        if self.object_id == other.object_id {
+            // dot(self, self): reuse the single-vector reduction instead of
+            // deadlocking on a re-entrant lock.
+            return self.norm2_sq(ctx);
+        }
+        let b = other.plh;
+        self.reduce_segments(ctx, move |s, _, seg, ctx| {
+            let sb = b.local(ctx)?;
+            let sb = sb.lock();
+            let other_seg =
+                sb.segs.get(&s).ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
+            Ok(seg.dot(other_seg))
+        })
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm2_sq(&self, ctx: &Ctx) -> GmlResult<f64> {
+        self.reduce_segments(ctx, |_, _, seg, _| Ok(seg.norm2_sq()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self, ctx: &Ctx) -> GmlResult<f64> {
+        self.reduce_segments(ctx, |_, _, seg, _| Ok(seg.sum()))
+    }
+
+    /// Maximum absolute element (0 for an empty vector).
+    pub fn max_abs(&self, ctx: &Ctx) -> GmlResult<f64> {
+        let plh = self.plh;
+        let pot = ErrorPot::new();
+        let maxima: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seg_owner = Arc::clone(&self.seg_owner);
+        let res = ctx.finish(|fs| {
+            for (idx, p) in self.group.iter().enumerate() {
+                if !seg_owner.contains(&idx) {
+                    continue;
+                }
+                let pot = pot.clone();
+                let maxima = Arc::clone(&maxima);
+                fs.async_at(p, move |ctx| {
+                    pot.run(|| {
+                        let store = plh.local(ctx)?;
+                        let store = store.lock();
+                        let m = store
+                            .segs
+                            .values()
+                            .flat_map(|s| s.as_slice())
+                            .fold(0.0f64, |m, v| m.max(v.abs()));
+                        maxima.lock().push(m);
+                        Ok(())
+                    });
+                });
+            }
+        });
+        pot.into_result(res)?;
+        let maxima = maxima.lock();
+        Ok(maxima.iter().fold(0.0f64, |m, &v| m.max(v)))
+    }
+
+    /// Gather the whole vector to the caller (the paper's
+    /// `GP.copyTo(P.local())` gather step). Costs one transfer per segment.
+    pub fn gather(&self, ctx: &Ctx) -> GmlResult<Vector> {
+        let plh = self.plh;
+        let pot = ErrorPot::new();
+        let pieces: Arc<Mutex<Vec<(usize, Bytes)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seg_owner = Arc::clone(&self.seg_owner);
+        let res = ctx.finish(|fs| {
+            for (idx, p) in self.group.iter().enumerate() {
+                let mine: Vec<usize> = seg_owner
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o == idx)
+                    .map(|(s, _)| s)
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let pot = pot.clone();
+                let pieces = Arc::clone(&pieces);
+                fs.async_at(p, move |ctx| {
+                    pot.run(|| {
+                        let store = plh.local(ctx)?;
+                        let store = store.lock();
+                        let mut local = Vec::with_capacity(mine.len());
+                        for s in mine {
+                            let seg = store
+                                .segs
+                                .get(&s)
+                                .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
+                            let bytes = seg.to_bytes();
+                            ctx.record_bytes(bytes.len());
+                            local.push((s, bytes));
+                        }
+                        pieces.lock().extend(local);
+                        Ok(())
+                    });
+                });
+            }
+        });
+        pot.into_result(res)?;
+        let mut out = Vector::zeros(self.len());
+        let pieces = Arc::try_unwrap(pieces)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| arc.lock().clone());
+        for (s, bytes) in pieces {
+            let seg = Vector::from_bytes(bytes);
+            out.copy_from_at(self.splits[s], seg.as_slice());
+        }
+        Ok(out)
+    }
+
+    /// Re-lay out over `new_places` with a fresh default layout (one segment
+    /// per place), zero-filled. For distributed classes the data grid must
+    /// be recalculated when the group changes (§IV-A2).
+    pub fn remake(&mut self, ctx: &Ctx, new_places: &PlaceGroup) -> GmlResult<()> {
+        let n = self.len();
+        let parts = new_places.len();
+        let base = n / parts;
+        let rem = n % parts;
+        let mut splits = Vec::with_capacity(parts + 1);
+        splits.push(0);
+        let mut acc = 0;
+        for i in 0..parts {
+            acc += base + usize::from(i < rem);
+            splits.push(acc);
+        }
+        self.remake_with_layout(ctx, splits, (0..parts).collect(), new_places)
+    }
+
+    /// Re-lay out with an explicit layout (used to stay aligned with a
+    /// `DistBlockMatrix` after its shrink/rebalance remake).
+    pub fn remake_with_layout(
+        &mut self,
+        ctx: &Ctx,
+        splits: Vec<usize>,
+        seg_owner: Vec<usize>,
+        new_places: &PlaceGroup,
+    ) -> GmlResult<()> {
+        if splits.len() != seg_owner.len() + 1 {
+            return Err(GmlError::shape("splits/owner length mismatch"));
+        }
+        if *splits.last().expect("non-empty") != self.len() {
+            return Err(GmlError::shape("remake cannot change total length"));
+        }
+        let plh = self.plh;
+        for p in self.group.iter() {
+            if ctx.is_alive(p) && !new_places.contains(p) {
+                ctx.at(p, move |ctx| plh.remove_local(ctx))?;
+            }
+        }
+        let splits = Arc::new(splits);
+        let seg_owner = Arc::new(seg_owner);
+        {
+            let splits = Arc::clone(&splits);
+            let seg_owner = Arc::clone(&seg_owner);
+            let group2 = new_places.clone();
+            ctx.finish(|fs| {
+                for p in new_places.iter() {
+                    let splits = Arc::clone(&splits);
+                    let seg_owner = Arc::clone(&seg_owner);
+                    let group2 = group2.clone();
+                    fs.async_at(p, move |ctx| {
+                        let my_index = group2.index_of(ctx.here()).expect("place in group");
+                        let mut store = SegmentStore::default();
+                        for (s, &o) in seg_owner.iter().enumerate() {
+                            if o == my_index {
+                                store.segs.insert(s, Vector::zeros(splits[s + 1] - splits[s]));
+                            }
+                        }
+                        plh.set_local(ctx, Mutex::new(store));
+                    });
+                }
+            })?;
+        }
+        self.splits = splits;
+        self.seg_owner = seg_owner;
+        self.group = new_places.clone();
+        Ok(())
+    }
+}
+
+impl Snapshottable for DistVector {
+    fn object_id(&self) -> u64 {
+        self.object_id
+    }
+
+    fn make_snapshot(&self, ctx: &Ctx, store: &ResilientStore) -> GmlResult<Snapshot> {
+        let snap_id = store.fresh_snap_id();
+        let builder = SnapshotBuilder::new();
+        let plh = self.plh;
+        let pot = ErrorPot::new();
+        let seg_owner = Arc::clone(&self.seg_owner);
+        let group = self.group.clone();
+        let store2 = store.clone();
+        let res = ctx.finish(|fs| {
+            for (idx, p) in group.iter().enumerate() {
+                let mine: Vec<usize> = seg_owner
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o == idx)
+                    .map(|(s, _)| s)
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let backup = group.place(group.next_index(idx));
+                let pot = pot.clone();
+                let builder = builder.clone();
+                let store2 = store2.clone();
+                fs.async_at(p, move |ctx| {
+                    pot.run(|| {
+                        for s in mine {
+                            let bytes = {
+                                let st = plh.local(ctx)?;
+                                let st = st.lock();
+                                let seg = st.segs.get(&s).ok_or_else(|| {
+                                    GmlError::data_loss(format!("segment {s} missing"))
+                                })?;
+                                seg.to_bytes()
+                            };
+                            let len =
+                                store2.save_pair(ctx, snap_id, s as u64, bytes, backup)?;
+                            builder.record(s as u64, ctx.here(), backup, len);
+                        }
+                        Ok(())
+                    });
+                });
+            }
+        });
+        pot.into_result(res)?;
+        // Descriptor: the splits at snapshot time.
+        let mut desc = BytesMut::new();
+        desc.put_u64_le(self.splits.len() as u64);
+        for &s in self.splits.iter() {
+            desc.put_u64_le(s as u64);
+        }
+        Ok(builder.build(snap_id, self.object_id, self.group.clone(), desc.freeze()))
+    }
+
+    fn restore_snapshot(
+        &mut self,
+        ctx: &Ctx,
+        store: &ResilientStore,
+        snapshot: &Snapshot,
+    ) -> GmlResult<()> {
+        let mut desc = snapshot.descriptor.clone();
+        let ns = desc.get_u64_le() as usize;
+        let old_splits: Vec<usize> = (0..ns).map(|_| desc.get_u64_le() as usize).collect();
+        if *old_splits.last().expect("non-empty") != self.len() {
+            return Err(GmlError::shape("snapshot length != DistVector length"));
+        }
+        let same_layout = old_splits == **self.splits;
+        let plh = self.plh;
+        let pot = ErrorPot::new();
+        let seg_owner = Arc::clone(&self.seg_owner);
+        let splits = Arc::clone(&self.splits);
+        let old_splits = Arc::new(old_splits);
+        let store2 = store.clone();
+        let snap = snapshot.clone();
+        let res = ctx.finish(|fs| {
+            for (idx, p) in self.group.iter().enumerate() {
+                let mine: Vec<usize> = seg_owner
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o == idx)
+                    .map(|(s, _)| s)
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let pot = pot.clone();
+                let store2 = store2.clone();
+                let snap = snap.clone();
+                let splits = Arc::clone(&splits);
+                let old_splits = Arc::clone(&old_splits);
+                fs.async_at(p, move |ctx| {
+                    pot.run(|| {
+                        for s in mine {
+                            let (lo, hi) = (splits[s], splits[s + 1]);
+                            let seg = if same_layout {
+                                Vector::from_bytes(snap.fetch(ctx, &store2, s as u64)?)
+                            } else {
+                                // Segment-by-overlap restore: pull every old
+                                // segment this new segment intersects and
+                                // copy the sub-ranges.
+                                let mut seg = Vector::zeros(hi - lo);
+                                let first =
+                                    old_splits.partition_point(|&b| b <= lo).saturating_sub(1);
+                                for os in first..old_splits.len() - 1 {
+                                    let (olo, ohi) = (old_splits[os], old_splits[os + 1]);
+                                    if olo >= hi {
+                                        break;
+                                    }
+                                    if ohi <= lo || olo == ohi {
+                                        continue;
+                                    }
+                                    let old =
+                                        Vector::from_bytes(snap.fetch(ctx, &store2, os as u64)?);
+                                    let a = lo.max(olo);
+                                    let b = hi.min(ohi);
+                                    seg.copy_from_at(a - lo, old.segment(a - olo, b - a));
+                                }
+                                seg
+                            };
+                            let st = plh.local(ctx)?;
+                            st.lock().segs.insert(s, seg);
+                        }
+                        Ok(())
+                    });
+                });
+            }
+        });
+        pot.into_result(res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dup_vector::DupVector;
+    use apgas::runtime::{Runtime, RuntimeConfig};
+
+    fn run(places: usize, f: impl FnOnce(&Ctx) + Send + 'static) {
+        Runtime::run(RuntimeConfig::new(places).resilient(true), f).unwrap();
+    }
+
+    #[test]
+    fn make_init_gather_round_trip() {
+        run(4, |ctx| {
+            let g = ctx.world();
+            let v = DistVector::make(ctx, 10, &g).unwrap();
+            assert_eq!(v.len(), 10);
+            assert_eq!(v.num_segments(), 4);
+            v.init(ctx, |i| i as f64).unwrap();
+            let full = v.gather(ctx).unwrap();
+            assert_eq!(full.as_slice(), (0..10).map(|i| i as f64).collect::<Vec<_>>().as_slice());
+        });
+    }
+
+    #[test]
+    fn uneven_split_boundaries() {
+        run(3, |ctx| {
+            let v = DistVector::make(ctx, 10, &ctx.world()).unwrap();
+            assert_eq!(v.seg_range(0), (0, 4));
+            assert_eq!(v.seg_range(1), (4, 7));
+            assert_eq!(v.seg_range(2), (7, 10));
+        });
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        run(3, |ctx| {
+            let g = ctx.world();
+            let a = DistVector::make(ctx, 7, &g).unwrap();
+            let b = DistVector::make(ctx, 7, &g).unwrap();
+            a.init(ctx, |i| i as f64).unwrap();
+            b.init(ctx, |_| 2.0).unwrap();
+            assert_eq!(a.dot(ctx, &b).unwrap(), 2.0 * 21.0);
+            assert_eq!(a.norm2_sq(ctx).unwrap(), (0..7).map(|i| (i * i) as f64).sum::<f64>());
+        });
+    }
+
+    #[test]
+    fn dot_dup_matches_local_computation() {
+        run(3, |ctx| {
+            let g = ctx.world();
+            let u = DistVector::make(ctx, 8, &g).unwrap();
+            let p = DupVector::make(ctx, 8, &g).unwrap();
+            u.init(ctx, |i| (i % 3) as f64).unwrap();
+            p.init(ctx, |i| 1.0 + i as f64).unwrap();
+            let got = u.dot_dup(ctx, &p).unwrap();
+            let expect: f64 = (0..8).map(|i| ((i % 3) as f64) * (1.0 + i as f64)).sum();
+            assert!((got - expect).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn sum_and_max_abs() {
+        run(3, |ctx| {
+            let g = ctx.world();
+            let v = DistVector::make(ctx, 9, &g).unwrap();
+            v.init(ctx, |i| if i == 5 { -10.0 } else { i as f64 }).unwrap();
+            assert_eq!(v.sum(ctx).unwrap(), (0..9).map(|i| i as f64).sum::<f64>() - 15.0);
+            assert_eq!(v.max_abs(ctx).unwrap(), 10.0);
+            let z = DistVector::make(ctx, 4, &g).unwrap();
+            assert_eq!(z.max_abs(ctx).unwrap(), 0.0);
+        });
+    }
+
+    #[test]
+    fn zip_apply_and_map() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let a = DistVector::make(ctx, 6, &g).unwrap();
+            let b = DistVector::make(ctx, 6, &g).unwrap();
+            a.init(ctx, |i| i as f64).unwrap();
+            b.init(ctx, |_| 10.0).unwrap();
+            a.zip_apply(ctx, &b, |x, y| {
+                x.cell_add(y);
+            })
+            .unwrap();
+            a.map_all(ctx, |v| v * 2.0).unwrap();
+            a.scale(ctx, 0.5).unwrap();
+            let full = a.gather(ctx).unwrap();
+            assert_eq!(full.as_slice(), &[10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
+        });
+    }
+
+    #[test]
+    fn self_aliasing_ops_do_not_deadlock() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let a = DistVector::make(ctx, 6, &g).unwrap();
+            a.init(ctx, |i| i as f64).unwrap();
+            // zip_apply(self, self) is rejected instead of deadlocking.
+            assert!(matches!(a.zip_apply(ctx, &a, |_, _| {}), Err(GmlError::Shape(_))));
+            // dot(self, self) routes through the single-vector reduction.
+            assert_eq!(a.dot(ctx, &a).unwrap(), a.norm2_sq(ctx).unwrap());
+        });
+    }
+
+    #[test]
+    fn misaligned_zip_rejected() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let a = DistVector::make(ctx, 6, &g).unwrap();
+            let b = DistVector::make_with_layout(ctx, vec![0, 2, 6], vec![0, 1], &g).unwrap();
+            assert!(matches!(a.zip_apply(ctx, &b, |_, _| {}), Err(GmlError::Shape(_))));
+        });
+    }
+
+    #[test]
+    fn snapshot_restore_same_layout() {
+        run(3, |ctx| {
+            let g = ctx.world();
+            let store = ResilientStore::make(ctx).unwrap();
+            let mut v = DistVector::make(ctx, 9, &g).unwrap();
+            v.init(ctx, |i| i as f64 * 1.5).unwrap();
+            let snap = v.make_snapshot(ctx, &store).unwrap();
+            assert_eq!(snap.entries.len(), 3);
+            v.init(ctx, |_| -1.0).unwrap();
+            v.restore_snapshot(ctx, &store, &snap).unwrap();
+            let full = v.gather(ctx).unwrap();
+            assert_eq!(full.as_slice()[4], 6.0);
+        });
+    }
+
+    #[test]
+    fn shrink_restore_with_repartition() {
+        run(4, |ctx| {
+            let g = ctx.world();
+            let store = ResilientStore::make(ctx).unwrap();
+            let mut v = DistVector::make(ctx, 10, &g).unwrap();
+            v.init(ctx, |i| (i * i) as f64).unwrap();
+            let snap = v.make_snapshot(ctx, &store).unwrap();
+            ctx.kill_place(Place::new(2)).unwrap();
+            let survivors = g.without(&[Place::new(2)]);
+            v.remake(ctx, &survivors).unwrap();
+            assert_eq!(v.num_segments(), 3);
+            v.restore_snapshot(ctx, &store, &snap).unwrap();
+            let full = v.gather(ctx).unwrap();
+            let expect: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+            assert_eq!(full.as_slice(), expect.as_slice());
+        });
+    }
+
+    #[test]
+    fn restore_with_explicit_multi_segment_layout() {
+        run(3, |ctx| {
+            let g = ctx.world();
+            let store = ResilientStore::make(ctx).unwrap();
+            let mut v = DistVector::make(ctx, 12, &g).unwrap();
+            v.init(ctx, |i| i as f64).unwrap();
+            let snap = v.make_snapshot(ctx, &store).unwrap();
+            ctx.kill_place(Place::new(1)).unwrap();
+            let survivors = g.without(&[Place::new(1)]);
+            // Shrink-style: keep 4 segments (old row-blocks), remap onto 2
+            // places — one place now holds two segments.
+            v.remake_with_layout(ctx, vec![0, 3, 6, 9, 12], vec![0, 1, 0, 1], &survivors)
+                .unwrap();
+            v.restore_snapshot(ctx, &store, &snap).unwrap();
+            let full = v.gather(ctx).unwrap();
+            assert_eq!(full.as_slice(), (0..12).map(|i| i as f64).collect::<Vec<_>>().as_slice());
+        });
+    }
+
+    #[test]
+    fn remake_cannot_change_length() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let mut v = DistVector::make(ctx, 5, &g).unwrap();
+            assert!(v.remake_with_layout(ctx, vec![0, 3], vec![0], &g).is_err());
+        });
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the resilient GML layer.
+
+use apgas::{ApgasError, Place};
+use std::fmt;
+
+/// Errors surfaced by GML operations.
+#[derive(Clone, Debug)]
+pub enum GmlError {
+    /// A runtime-level failure (dead places, task panics, ...).
+    Apgas(ApgasError),
+    /// Snapshot data could not be recovered: both the owning place and its
+    /// backup are gone, or the snapshot was never taken.
+    DataLoss(String),
+    /// Shape/configuration mismatch (dimension conflicts, unsupported place
+    /// grids, mismatched grids at restore time).
+    Shape(String),
+    /// The executor exhausted its restore budget or had no places left.
+    Unrecoverable(String),
+}
+
+impl GmlError {
+    /// True if a restore from checkpoint can fix this (one or more place
+    /// failures were observed but the snapshot data is still reachable).
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            GmlError::Apgas(e) => e.is_recoverable(),
+            _ => false,
+        }
+    }
+
+    /// The dead places implicated, if any.
+    pub fn dead_places(&self) -> Vec<Place> {
+        match self {
+            GmlError::Apgas(e) => e.dead_places(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Construct a shape/configuration error.
+    pub fn shape(msg: impl Into<String>) -> Self {
+        GmlError::Shape(msg.into())
+    }
+
+    /// Construct a data-loss error.
+    pub fn data_loss(msg: impl Into<String>) -> Self {
+        GmlError::DataLoss(msg.into())
+    }
+}
+
+impl fmt::Display for GmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmlError::Apgas(e) => write!(f, "runtime error: {e}"),
+            GmlError::DataLoss(m) => write!(f, "snapshot data loss: {m}"),
+            GmlError::Shape(m) => write!(f, "shape error: {m}"),
+            GmlError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GmlError {}
+
+impl From<ApgasError> for GmlError {
+    fn from(e: ApgasError) -> Self {
+        GmlError::Apgas(e)
+    }
+}
+
+/// Result alias for GML operations.
+pub type GmlResult<T> = Result<T, GmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgas::DeadPlaceException;
+
+    #[test]
+    fn recoverability_classification() {
+        let dead: GmlError =
+            ApgasError::DeadPlace(DeadPlaceException::new(Place::new(2), "x")).into();
+        assert!(dead.is_recoverable());
+        assert_eq!(dead.dead_places(), vec![Place::new(2)]);
+        assert!(!GmlError::data_loss("gone").is_recoverable());
+        assert!(!GmlError::shape("bad").is_recoverable());
+        assert!(!GmlError::Unrecoverable("done".into()).is_recoverable());
+    }
+
+    #[test]
+    fn display_renders() {
+        assert!(format!("{}", GmlError::shape("m != n")).contains("m != n"));
+        assert!(format!("{}", GmlError::data_loss("k7")).contains("k7"));
+    }
+}

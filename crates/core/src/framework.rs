@@ -1,0 +1,865 @@
+//! The resilient iterative-application framework (§V of the paper):
+//! the programming model ([`ResilientIterativeApp`]) and the executor
+//! ([`ResilientExecutor`]) with its three restoration modes.
+//!
+//! The executor applies **coordinated checkpoint/restart**: every
+//! `checkpoint_interval` iterations the application saves a consistent
+//! snapshot of all its GML objects through [`AppResilientStore`]; when a
+//! place failure surfaces (as a recoverable [`GmlError`] from any collective
+//! operation), the executor picks a new place group according to the
+//! configured [`RestoreMode`], rolls the application back to the last
+//! committed snapshot, and resumes from that iteration.
+
+use std::time::{Duration, Instant};
+
+use apgas::prelude::*;
+
+use crate::app_store::AppResilientStore;
+use crate::error::{GmlError, GmlResult};
+
+/// How the application adapts to the loss of places (§V-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreMode {
+    /// Continue on the surviving places, keeping the same data grid
+    /// (block-by-block restore, possible load imbalance).
+    Shrink,
+    /// Continue on the surviving places, repartitioning the data grid for
+    /// even load (overlap-copy restore, higher restore cost).
+    ShrinkRebalance,
+    /// Substitute a pre-allocated spare place for each failed one, keeping
+    /// both the group size and the load distribution. Falls back to a
+    /// shrink variant when the spares run out.
+    ReplaceRedundant,
+    /// Dynamically create a brand-new place for each failed one (the
+    /// paper's planned fourth mode, built on Elastic X10's dynamic place
+    /// creation). Keeps group size and load distribution like
+    /// replace-redundant, but without idling spare resources up-front.
+    ReplaceElastic,
+}
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Take a checkpoint whenever `iteration % checkpoint_interval == 0`
+    /// (including iteration 0). `0` disables checkpointing — failures then
+    /// become unrecoverable.
+    pub checkpoint_interval: u64,
+    /// The restoration mode.
+    pub mode: RestoreMode,
+    /// When `ReplaceRedundant` runs out of spares: rebalance (`true`) or
+    /// plain shrink (`false`) — the user choice the paper mentions.
+    pub fallback_rebalance: bool,
+    /// Give up after this many restores.
+    pub max_restores: u32,
+    /// When set, the executor *adapts* the checkpoint interval with Young's
+    /// formula: after each checkpoint it recomputes
+    /// `sqrt(2 · t_checkpoint · MTTF) / t_step` iterations from the measured
+    /// mean checkpoint and step times (§V: "Young's formula may be used to
+    /// determine the checkpointing interval"). `checkpoint_interval` then
+    /// only seeds the first interval.
+    pub mttf: Option<Duration>,
+}
+
+impl ExecutorConfig {
+    /// Create a new instance.
+    pub fn new(checkpoint_interval: u64, mode: RestoreMode) -> Self {
+        ExecutorConfig {
+            checkpoint_interval,
+            mode,
+            fallback_rebalance: false,
+            max_restores: 8,
+            mttf: None,
+        }
+    }
+
+    /// Enable Young's-formula adaptive checkpoint intervals for the given
+    /// mean time to failure.
+    pub fn with_mttf(mut self, mttf: Duration) -> Self {
+        self.mttf = Some(mttf);
+        self
+    }
+}
+
+/// Young's first-order approximation of the optimal checkpoint interval:
+/// `sqrt(2 * t_checkpoint * MTTF)` (in the same time unit as the inputs).
+pub fn young_interval(checkpoint_time: f64, mttf: f64) -> f64 {
+    (2.0 * checkpoint_time * mttf).sqrt()
+}
+
+/// Young's interval converted to a whole number of iterations using the
+/// measured mean checkpoint and step times; keeps `current` until enough
+/// measurements exist.
+fn young_iterations(stats: &RunStats, mttf: Duration, current: u64) -> u64 {
+    if stats.checkpoints == 0 || stats.iterations_run == 0 {
+        return current;
+    }
+    let mean_ckpt = stats.checkpoint_time.as_secs_f64() / stats.checkpoints as f64;
+    let mean_step = stats.step_time.as_secs_f64() / stats.iterations_run as f64;
+    if mean_step <= 0.0 || mean_ckpt <= 0.0 {
+        return current;
+    }
+    let opt_secs = young_interval(mean_ckpt, mttf.as_secs_f64());
+    (opt_secs / mean_step).round().max(1.0).min(1e12) as u64
+}
+
+/// What the application must implement (§V-A2): the four-method programming
+/// model. `iteration` is maintained by the executor and rolls back on
+/// restore.
+pub trait ResilientIterativeApp {
+    /// The termination condition (iteration count, convergence, ...).
+    fn is_finished(&self, ctx: &Ctx, iteration: u64) -> bool;
+
+    /// One iteration of the algorithm.
+    fn step(&mut self, ctx: &Ctx, iteration: u64) -> GmlResult<()>;
+
+    /// Save all state-carrying GML objects:
+    /// `start_new_snapshot` / `save*` / `commit` (Listing 5, lines 3–7).
+    fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()>;
+
+    /// Roll back to the snapshot: `remake` every GML object over
+    /// `new_places` (repartitioning if `rebalance`), then restore their
+    /// contents from `store` (Listing 5, lines 9–14).
+    fn restore(
+        &mut self,
+        ctx: &Ctx,
+        new_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+        snapshot_iteration: u64,
+        rebalance: bool,
+    ) -> GmlResult<()>;
+}
+
+/// Wall-clock breakdown of one executor run — the raw material for the
+/// paper's Table IV (checkpoint% / restore% of total time).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Completed iterations, counting re-executed ones after rollbacks.
+    pub iterations_run: u64,
+    /// Distinct checkpoints committed.
+    pub checkpoints: u64,
+    /// Restores performed.
+    pub restores: u64,
+    /// Wall time spent in `step`.
+    pub step_time: Duration,
+    /// Wall time spent checkpointing.
+    pub checkpoint_time: Duration,
+    /// Wall time spent restoring.
+    pub restore_time: Duration,
+    /// Wall time of the whole run.
+    pub total_time: Duration,
+}
+
+impl RunStats {
+    /// Checkpoint share of total time, in percent.
+    pub fn checkpoint_pct(&self) -> f64 {
+        100.0 * self.checkpoint_time.as_secs_f64() / self.total_time.as_secs_f64().max(1e-12)
+    }
+
+    /// Restore share of total time, in percent.
+    pub fn restore_pct(&self) -> f64 {
+        100.0 * self.restore_time.as_secs_f64() / self.total_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs a [`ResilientIterativeApp`] to completion, checkpointing and
+/// restoring as needed (§V-A3).
+pub struct ResilientExecutor {
+    cfg: ExecutorConfig,
+}
+
+impl ResilientExecutor {
+    /// Create a new instance.
+    pub fn new(cfg: ExecutorConfig) -> Self {
+        ResilientExecutor { cfg }
+    }
+
+    /// Execute `app` starting on `initial_places`. Returns the final place
+    /// group (it may have shrunk or had spares substituted) and the timing
+    /// breakdown.
+    pub fn run<A: ResilientIterativeApp>(
+        &self,
+        ctx: &Ctx,
+        app: &mut A,
+        initial_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+    ) -> GmlResult<(PlaceGroup, RunStats)> {
+        let mut stats = RunStats::default();
+        let start = Instant::now();
+        let mut group = initial_places.clone();
+        let mut iteration: u64 = 0;
+        let mut restores_left = self.cfg.max_restores;
+        let mut interval = self.cfg.checkpoint_interval;
+        let mut next_checkpoint: u64 = 0;
+
+        while !app.is_finished(ctx, iteration) {
+            // Periodic coordinated checkpoint (also re-taken right after a
+            // restore, re-establishing full snapshot redundancy).
+            if interval > 0 && iteration >= next_checkpoint {
+                store.set_current_iteration(iteration);
+                let t = Instant::now();
+                match app.checkpoint(ctx, store) {
+                    Ok(()) => {
+                        stats.checkpoint_time += t.elapsed();
+                        stats.checkpoints += 1;
+                        if let Some(mttf) = self.cfg.mttf {
+                            interval = young_iterations(&stats, mttf, interval);
+                        }
+                        next_checkpoint = iteration + interval;
+                    }
+                    Err(e) if e.is_recoverable() => {
+                        stats.checkpoint_time += t.elapsed();
+                        store.cancel_snapshot(ctx);
+                        self.recover(
+                            ctx, app, store, &mut group, &mut iteration, &mut restores_left,
+                            &mut stats,
+                        )?;
+                        next_checkpoint = iteration;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // One iteration of the algorithm.
+            let t = Instant::now();
+            match app.step(ctx, iteration) {
+                Ok(()) => {
+                    stats.step_time += t.elapsed();
+                    stats.iterations_run += 1;
+                    iteration += 1;
+                }
+                Err(e) if e.is_recoverable() => {
+                    stats.step_time += t.elapsed();
+                    self.recover(
+                        ctx, app, store, &mut group, &mut iteration, &mut restores_left,
+                        &mut stats,
+                    )?;
+                    next_checkpoint = iteration;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        stats.total_time = start.elapsed();
+        Ok((group, stats))
+    }
+
+    /// Pick a new group per the restore mode and roll the application back.
+    #[allow(clippy::too_many_arguments)]
+    fn recover<A: ResilientIterativeApp>(
+        &self,
+        ctx: &Ctx,
+        app: &mut A,
+        store: &mut AppResilientStore,
+        group: &mut PlaceGroup,
+        iteration: &mut u64,
+        restores_left: &mut u32,
+        stats: &mut RunStats,
+    ) -> GmlResult<()> {
+        loop {
+            if *restores_left == 0 {
+                return Err(GmlError::Unrecoverable("restore budget exhausted".into()));
+            }
+            *restores_left -= 1;
+            let snapshot_iter = store.snapshot_iteration().ok_or_else(|| {
+                GmlError::Unrecoverable("place failure before any committed checkpoint".into())
+            })?;
+            let dead: Vec<Place> = group.iter().filter(|p| !ctx.is_alive(*p)).collect();
+            if dead.is_empty() {
+                return Err(GmlError::Unrecoverable(
+                    "recoverable error but no dead place observed".into(),
+                ));
+            }
+            let (new_group, rebalance) = match self.cfg.mode {
+                RestoreMode::Shrink => (group.without(&dead), false),
+                RestoreMode::ShrinkRebalance => (group.without(&dead), true),
+                RestoreMode::ReplaceRedundant => {
+                    match group.replace(&dead, &ctx.live_spares()) {
+                        Some(g) => (g, false),
+                        // Spares exhausted: fall back to the user-chosen
+                        // shrink variant.
+                        None => (group.without(&dead), self.cfg.fallback_rebalance),
+                    }
+                }
+                RestoreMode::ReplaceElastic => {
+                    // Create brand-new places on demand (Elastic X10).
+                    let mut fresh = Vec::with_capacity(dead.len());
+                    for _ in &dead {
+                        fresh.push(ctx.spawn_place()?);
+                    }
+                    match group.replace(&dead, &fresh) {
+                        Some(g) => (g, false),
+                        None => (group.without(&dead), self.cfg.fallback_rebalance),
+                    }
+                }
+            };
+            if new_group.is_empty() {
+                return Err(GmlError::Unrecoverable("no live places remain".into()));
+            }
+            let t = Instant::now();
+            let result = app.restore(ctx, &new_group, store, snapshot_iter, rebalance);
+            stats.restore_time += t.elapsed();
+            match result {
+                Ok(()) => {
+                    stats.restores += 1;
+                    *group = new_group;
+                    *iteration = snapshot_iter;
+                    return Ok(());
+                }
+                Err(e) if e.is_recoverable() => {
+                    // Another place died during the restore: go around again
+                    // from the (unchanged) old group minus all dead places.
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Wraps an app to inject a fail-stop failure of `victim` at the start of
+/// iteration `kill_at` — the fault-injection pattern used throughout the
+/// paper's restore experiments (Figs 5–7: "a single place failure occurs at
+/// iteration 15").
+pub struct FailureInjector<A> {
+    /// The wrapped application.
+    pub app: A,
+    /// Iteration at which the failure fires.
+    pub kill_at: u64,
+    /// The place to kill.
+    pub victim: Place,
+    fired: bool,
+}
+
+impl<A> FailureInjector<A> {
+    /// Create a new instance.
+    pub fn new(app: A, kill_at: u64, victim: Place) -> Self {
+        FailureInjector { app, kill_at, victim, fired: false }
+    }
+
+    /// Whether the injected failure has fired yet.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+}
+
+impl<A: ResilientIterativeApp> ResilientIterativeApp for FailureInjector<A> {
+    fn is_finished(&self, ctx: &Ctx, iteration: u64) -> bool {
+        self.app.is_finished(ctx, iteration)
+    }
+
+    fn step(&mut self, ctx: &Ctx, iteration: u64) -> GmlResult<()> {
+        if iteration == self.kill_at && !self.fired {
+            self.fired = true;
+            ctx.kill_place(self.victim)?;
+        }
+        self.app.step(ctx, iteration)
+    }
+
+    fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+        self.app.checkpoint(ctx, store)
+    }
+
+    fn restore(
+        &mut self,
+        ctx: &Ctx,
+        new_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+        snapshot_iteration: u64,
+        rebalance: bool,
+    ) -> GmlResult<()> {
+        self.app.restore(ctx, new_places, store, snapshot_iteration, rebalance)
+    }
+}
+
+/// Wraps an app to inject *random* fail-stop failures: each iteration, with
+/// probability `p`, one random live place (never immortal place zero) is
+/// killed. Deterministic for a given seed, so chaos runs are reproducible.
+/// This is the MTTF-style failure model behind Young's formula.
+pub struct ChaosInjector<A> {
+    /// The wrapped application.
+    pub app: A,
+    p: f64,
+    max_kills: u32,
+    kills: u32,
+    rng_state: u64,
+}
+
+impl<A> ChaosInjector<A> {
+    /// Create a new instance.
+    pub fn new(app: A, per_iteration_probability: f64, max_kills: u32, seed: u64) -> Self {
+        ChaosInjector {
+            app,
+            p: per_iteration_probability.clamp(0.0, 1.0),
+            max_kills,
+            kills: 0,
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Failures injected so far.
+    pub fn kills(&self) -> u32 {
+        self.kills
+    }
+
+    /// xorshift64* — enough randomness for failure injection, and keeps
+    /// this crate free of an RNG dependency.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<A: ResilientIterativeApp> ResilientIterativeApp for ChaosInjector<A> {
+    fn is_finished(&self, ctx: &Ctx, iteration: u64) -> bool {
+        self.app.is_finished(ctx, iteration)
+    }
+
+    fn step(&mut self, ctx: &Ctx, iteration: u64) -> GmlResult<()> {
+        if self.kills < self.max_kills && self.next_f64() < self.p {
+            let candidates: Vec<Place> = ctx
+                .all_places()
+                .iter()
+                .filter(|p| *p != Place::ZERO && ctx.is_alive(*p))
+                .collect();
+            // Leave at least one victim-able place alive for the app.
+            if candidates.len() > 1 {
+                let victim = candidates[self.next_u64() as usize % candidates.len()];
+                self.kills += 1;
+                ctx.kill_place(victim)?;
+            }
+        }
+        self.app.step(ctx, iteration)
+    }
+
+    fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+        self.app.checkpoint(ctx, store)
+    }
+
+    fn restore(
+        &mut self,
+        ctx: &Ctx,
+        new_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+        snapshot_iteration: u64,
+        rebalance: bool,
+    ) -> GmlResult<()> {
+        self.app.restore(ctx, new_places, store, snapshot_iteration, rebalance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dup_vector::DupVector;
+    
+    use apgas::runtime::{Runtime, RuntimeConfig};
+
+    /// Test app: a duplicated vector incremented by 1 each iteration; a
+    /// configurable failure is injected at a given iteration.
+    struct CounterApp {
+        v: DupVector,
+        group: PlaceGroup,
+        total_iters: u64,
+        kill_at: Option<(u64, Place)>,
+        kill_during_checkpoint: Option<Place>,
+    }
+
+    impl CounterApp {
+        fn value(&self, ctx: &Ctx) -> f64 {
+            self.v.read_local(ctx).unwrap().get(0)
+        }
+    }
+
+    impl ResilientIterativeApp for CounterApp {
+        fn is_finished(&self, _ctx: &Ctx, iteration: u64) -> bool {
+            iteration >= self.total_iters
+        }
+
+        fn step(&mut self, ctx: &Ctx, iteration: u64) -> GmlResult<()> {
+            if let Some((at, victim)) = self.kill_at {
+                if iteration == at && ctx.is_alive(victim) {
+                    ctx.kill_place(victim)?;
+                }
+            }
+            self.v.apply(ctx, |x| {
+                x.cell_add_scalar(1.0);
+            })
+        }
+
+        fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+            if let Some(victim) = self.kill_during_checkpoint.take() {
+                if ctx.is_alive(victim) {
+                    ctx.kill_place(victim)?;
+                }
+            }
+            store.start_new_snapshot();
+            store.save(ctx, &self.v)?;
+            store.commit(ctx)
+        }
+
+        fn restore(
+            &mut self,
+            ctx: &Ctx,
+            new_places: &PlaceGroup,
+            store: &mut AppResilientStore,
+            _snapshot_iteration: u64,
+            _rebalance: bool,
+        ) -> GmlResult<()> {
+            self.v.remake(ctx, new_places)?;
+            store.restore(ctx, &mut [&mut self.v])?;
+            self.group = new_places.clone();
+            Ok(())
+        }
+    }
+
+    fn counter_app(ctx: &Ctx, group: &PlaceGroup, total: u64) -> (CounterApp, AppResilientStore) {
+        let v = DupVector::make(ctx, 3, group).unwrap();
+        let store = AppResilientStore::make(ctx).unwrap();
+        (
+            CounterApp {
+                v,
+                group: group.clone(),
+                total_iters: total,
+                kill_at: None,
+                kill_during_checkpoint: None,
+            },
+            store,
+        )
+    }
+
+    #[test]
+    fn failure_free_run_counts_all_iterations() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 12);
+            let exec = ResilientExecutor::new(ExecutorConfig::new(5, RestoreMode::Shrink));
+            let (final_group, stats) = exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 12.0);
+            assert_eq!(final_group, g);
+            assert_eq!(stats.iterations_run, 12);
+            assert_eq!(stats.checkpoints, 3, "at iterations 0, 5, 10");
+            assert_eq!(stats.restores, 0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn shrink_recovers_and_result_is_exact() {
+        Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 30);
+            app.kill_at = Some((15, Place::new(2)));
+            let exec = ResilientExecutor::new(ExecutorConfig::new(10, RestoreMode::Shrink));
+            let (final_group, stats) = exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 30.0, "rollback + re-execution is exact");
+            assert_eq!(final_group.len(), 3);
+            assert!(!final_group.contains(Place::new(2)));
+            assert_eq!(stats.restores, 1);
+            // Iterations 10..15 re-ran: 30 + (15 - 10) = 35.
+            assert_eq!(stats.iterations_run, 35);
+            assert!(stats.restore_time > Duration::ZERO);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn replace_redundant_keeps_group_size() {
+        Runtime::run(RuntimeConfig::new(3).spares(2).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 20);
+            app.kill_at = Some((7, Place::new(1)));
+            let exec =
+                ResilientExecutor::new(ExecutorConfig::new(5, RestoreMode::ReplaceRedundant));
+            let (final_group, stats) = exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 20.0);
+            assert_eq!(final_group.len(), 3, "spare substituted in place");
+            assert!(final_group.contains(Place::new(3)), "first spare joined");
+            assert_eq!(stats.restores, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn replace_elastic_spawns_fresh_places() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 20);
+            app.kill_at = Some((7, Place::new(1)));
+            let exec =
+                ResilientExecutor::new(ExecutorConfig::new(5, RestoreMode::ReplaceElastic));
+            let (final_group, stats) = exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 20.0);
+            assert_eq!(final_group.len(), 3, "group back to full strength");
+            assert!(
+                final_group.contains(Place::new(3)),
+                "a brand-new place was created: {final_group:?}"
+            );
+            assert_eq!(stats.restores, 1);
+            assert_eq!(ctx.stats().places_spawned, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn replace_elastic_handles_repeated_failures() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (inner, mut store) = counter_app(ctx, &g, 18);
+            struct MultiKill {
+                inner: CounterApp,
+                kills: Vec<u64>,
+                victim_idx: usize,
+            }
+            impl ResilientIterativeApp for MultiKill {
+                fn is_finished(&self, ctx: &Ctx, it: u64) -> bool {
+                    self.inner.is_finished(ctx, it)
+                }
+                fn step(&mut self, ctx: &Ctx, it: u64) -> GmlResult<()> {
+                    if self.kills.first() == Some(&it) {
+                        self.kills.remove(0);
+                        // Kill the current incarnation of group slot 1.
+                        let victim = self.inner.group.place(self.victim_idx);
+                        if ctx.is_alive(victim) {
+                            ctx.kill_place(victim)?;
+                        }
+                    }
+                    self.inner.step(ctx, it)
+                }
+                fn checkpoint(&mut self, ctx: &Ctx, s: &mut AppResilientStore) -> GmlResult<()> {
+                    self.inner.checkpoint(ctx, s)
+                }
+                fn restore(
+                    &mut self,
+                    ctx: &Ctx,
+                    g: &PlaceGroup,
+                    s: &mut AppResilientStore,
+                    si: u64,
+                    rb: bool,
+                ) -> GmlResult<()> {
+                    self.inner.restore(ctx, g, s, si, rb)
+                }
+            }
+            let mut app = MultiKill { inner, kills: vec![4, 9, 14], victim_idx: 1 };
+            let exec =
+                ResilientExecutor::new(ExecutorConfig::new(4, RestoreMode::ReplaceElastic));
+            let (final_group, stats) = exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.inner.value(ctx), 18.0);
+            assert_eq!(final_group.len(), 3);
+            assert_eq!(stats.restores, 3);
+            assert_eq!(ctx.stats().places_spawned, 3, "one fresh place per failure");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn replace_redundant_falls_back_to_shrink_without_spares() {
+        Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 16);
+            app.kill_at = Some((6, Place::new(3)));
+            let exec =
+                ResilientExecutor::new(ExecutorConfig::new(4, RestoreMode::ReplaceRedundant));
+            let (final_group, _) = exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 16.0);
+            assert_eq!(final_group.len(), 3, "no spares: shrank instead");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn failure_during_checkpoint_rolls_back_to_previous() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 10);
+            // The checkpoint at iteration 5 is sabotaged; the one at 0 must
+            // serve as the recovery point.
+            app.kill_during_checkpoint = Some(Place::new(2));
+            let exec = ResilientExecutor::new(ExecutorConfig::new(5, RestoreMode::Shrink));
+            // kill_during_checkpoint fires at iteration 0's checkpoint...
+            // which would leave no committed snapshot. Commit one first by
+            // letting iteration 0's checkpoint succeed: arrange the kill at
+            // the *second* checkpoint instead.
+            app.kill_during_checkpoint = None;
+            store.set_current_iteration(0);
+            store.start_new_snapshot();
+            store.save(ctx, &app.v).unwrap();
+            store.commit(ctx).unwrap();
+            app.kill_during_checkpoint = Some(Place::new(2));
+            let (final_group, stats) = exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 10.0);
+            assert_eq!(final_group.len(), 2);
+            assert!(stats.restores >= 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn failure_without_checkpointing_is_unrecoverable() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 10);
+            app.kill_at = Some((3, Place::new(1)));
+            let exec = ResilientExecutor::new(ExecutorConfig::new(0, RestoreMode::Shrink));
+            let err = exec.run(ctx, &mut app, &g, &mut store).unwrap_err();
+            assert!(matches!(err, GmlError::Unrecoverable(_)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn repeated_failures_all_recovered() {
+        Runtime::run(RuntimeConfig::new(5).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (app, mut store) = counter_app(ctx, &g, 24);
+            let exec = ResilientExecutor::new(ExecutorConfig::new(6, RestoreMode::Shrink));
+            // Kill a different place on each pass by chaining kill_at via
+            // a small custom app wrapper: reuse kill_at thrice.
+            struct MultiKill {
+                inner: CounterApp,
+                kills: Vec<(u64, Place)>,
+            }
+            impl ResilientIterativeApp for MultiKill {
+                fn is_finished(&self, ctx: &Ctx, it: u64) -> bool {
+                    self.inner.is_finished(ctx, it)
+                }
+                fn step(&mut self, ctx: &Ctx, it: u64) -> GmlResult<()> {
+                    if let Some(pos) =
+                        self.kills.iter().position(|(at, p)| *at == it && ctx.is_alive(*p))
+                    {
+                        let (_, victim) = self.kills.remove(pos);
+                        ctx.kill_place(victim)?;
+                    }
+                    self.inner.step(ctx, it)
+                }
+                fn checkpoint(&mut self, ctx: &Ctx, s: &mut AppResilientStore) -> GmlResult<()> {
+                    self.inner.checkpoint(ctx, s)
+                }
+                fn restore(
+                    &mut self,
+                    ctx: &Ctx,
+                    g: &PlaceGroup,
+                    s: &mut AppResilientStore,
+                    si: u64,
+                    rb: bool,
+                ) -> GmlResult<()> {
+                    self.inner.restore(ctx, g, s, si, rb)
+                }
+            }
+            let mut app = MultiKill {
+                inner: app,
+                kills: vec![(4, Place::new(1)), (9, Place::new(2)), (14, Place::new(3))],
+            };
+            let (final_group, stats) = exec
+                .run(ctx, &mut app, &g, &mut store)
+                .expect("three failures, three recoveries");
+            assert_eq!(app.inner.value(ctx), 24.0);
+            assert_eq!(final_group.len(), 2);
+            assert_eq!(stats.restores, 3);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn restore_budget_exhaustion_gives_up() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 10);
+            app.kill_at = Some((2, Place::new(1)));
+            let mut cfg = ExecutorConfig::new(5, RestoreMode::Shrink);
+            cfg.max_restores = 0;
+            let exec = ResilientExecutor::new(cfg);
+            let err = exec.run(ctx, &mut app, &g, &mut store).unwrap_err();
+            assert!(matches!(err, GmlError::Unrecoverable(_)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn adaptive_interval_follows_youngs_formula() {
+        // Synthetic stats: 10ms checkpoints, 1ms steps, MTTF 10s →
+        // optimal interval sqrt(2*0.01*10) ≈ 0.447s ≈ 447 steps.
+        let stats = RunStats {
+            checkpoints: 2,
+            checkpoint_time: Duration::from_millis(20),
+            iterations_run: 10,
+            step_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let n = young_iterations(&stats, Duration::from_secs(10), 5);
+        assert!((440..=455).contains(&n), "got {n}");
+        // No measurements yet: seed interval is kept.
+        let empty = RunStats::default();
+        assert_eq!(young_iterations(&empty, Duration::from_secs(10), 7), 7);
+    }
+
+    #[test]
+    fn executor_with_mttf_adapts_and_still_recovers() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 40);
+            app.kill_at = Some((25, Place::new(2)));
+            // A tiny MTTF forces frequent checkpoints; the run must still
+            // complete correctly.
+            let cfg = ExecutorConfig::new(10, RestoreMode::Shrink)
+                .with_mttf(Duration::from_millis(5));
+            let exec = ResilientExecutor::new(cfg);
+            let (final_group, stats) = exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 40.0);
+            assert_eq!(final_group.len(), 2);
+            assert!(stats.checkpoints >= 2, "adaptive mode checkpointed: {stats:?}");
+            assert_eq!(stats.restores, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn chaos_injector_is_survivable_and_deterministic() {
+        let run_once = |seed: u64| {
+            Runtime::run(RuntimeConfig::new(6).resilient(true), move |ctx| {
+                let g = ctx.world();
+                let (app, mut store) = counter_app(ctx, &g, 30);
+                let mut chaos = ChaosInjector::new(app, 0.15, 3, seed);
+                let exec = ResilientExecutor::new(ExecutorConfig::new(5, RestoreMode::Shrink));
+                let (final_group, stats) =
+                    exec.run(ctx, &mut chaos, &g, &mut store).unwrap();
+                assert_eq!(chaos.app.value(ctx), 30.0, "exact result despite chaos");
+                (chaos.kills(), final_group.len(), stats.restores)
+            })
+            .unwrap()
+        };
+        let a = run_once(42);
+        let b = run_once(42);
+        assert_eq!(a, b, "same seed, same chaos");
+        let (kills, final_len, restores) = a;
+        assert!(kills >= 1, "the seed should produce at least one kill");
+        assert_eq!(final_len, 6 - kills as usize);
+        assert!(restores >= kills as u64);
+    }
+
+    #[test]
+    fn young_formula() {
+        // 2 * 10s checkpoint * 500s MTTF = 10000 → 100s interval.
+        assert!((young_interval(10.0, 500.0) - 100.0).abs() < 1e-9);
+        assert_eq!(young_interval(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn stats_percentages() {
+        let stats = RunStats {
+            total_time: Duration::from_secs(10),
+            checkpoint_time: Duration::from_secs(2),
+            restore_time: Duration::from_secs(1),
+            ..Default::default()
+        };
+        assert!((stats.checkpoint_pct() - 20.0).abs() < 1e-9);
+        assert!((stats.restore_pct() - 10.0).abs() < 1e-9);
+    }
+}

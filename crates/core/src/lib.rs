@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # gml-core — the resilient Global Matrix Library
+//!
+//! This crate is the paper's contribution: multi-place matrix/vector classes
+//! that (a) can be constructed over an **arbitrary place group** and *remade*
+//! over a different group when places fail (§IV-A), (b) can save and restore
+//! their state through a **double in-memory snapshot store** (§IV-B), and
+//! (c) plug into a **coordinated checkpoint/restart framework for iterative
+//! applications** with three restoration modes (§V).
+//!
+//! Layout mirrors Table I of the paper:
+//!
+//! | | Duplicated | Distributed |
+//! |---|---|---|
+//! | Vector | [`DupVector`] | [`DistVector`] |
+//! | Matrix | [`DupDenseMatrix`] | [`DistBlockMatrix`], [`DistDenseMatrix`], [`DistSparseMatrix`] |
+//!
+//! plus the resilience machinery: [`Snapshottable`], [`ResilientStore`],
+//! [`AppResilientStore`], [`ResilientExecutor`] and [`RestoreMode`].
+
+pub mod app_store;
+pub mod dist_block_matrix;
+pub mod dist_dense;
+pub mod dist_sparse;
+pub mod dist_vector;
+pub mod dup_dense;
+pub mod dup_vector;
+pub mod error;
+pub mod framework;
+pub mod snapshot;
+pub mod store;
+
+pub use app_store::AppResilientStore;
+pub use dist_block_matrix::{DistBlockHandle, DistBlockMatrix, DupOperand};
+pub use dist_dense::DistDenseMatrix;
+pub use dist_sparse::DistSparseMatrix;
+pub use dist_vector::DistVector;
+pub use dup_dense::{DupDenseHandle, DupDenseMatrix};
+pub use dup_vector::DupVector;
+pub use error::{GmlError, GmlResult};
+pub use framework::{
+    young_interval, ChaosInjector, ExecutorConfig, FailureInjector, ResilientExecutor,
+    ResilientIterativeApp, RestoreMode, RunStats,
+};
+pub use snapshot::{Snapshot, Snapshottable};
+pub use store::ResilientStore;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique id for a GML object; snapshots are keyed by it.
+pub(crate) fn fresh_object_id() -> u64 {
+    NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,272 @@
+//! Snapshot metadata and the `Snapshottable` interface (Listing 3 of the
+//! paper).
+//!
+//! A [`Snapshot`] records, for one GML object, *where* each piece of its
+//! serialized state lives (owner place + backup place per key) plus a small
+//! class-specific descriptor (grids, dimensions, the group at snapshot
+//! time). The payload itself lives in the [`ResilientStore`]; the metadata
+//! is held by the driver activity at place zero, matching the paper's
+//! place-zero-coordinated checkpoints.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use apgas::prelude::*;
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::error::{GmlError, GmlResult};
+use crate::store::ResilientStore;
+
+/// Where one snapshot entry's replicas live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryLoc {
+    /// The place that produced (and locally stores) the entry.
+    pub owner: Place,
+    /// The next place in the group, holding the backup copy.
+    pub backup: Place,
+    /// Payload size in bytes.
+    pub len: usize,
+}
+
+/// Metadata for one object snapshot: a key → location map plus a
+/// class-specific descriptor. Cloning is cheap (shared map).
+#[derive(Clone)]
+pub struct Snapshot {
+    /// Namespace of this snapshot's entries in the store.
+    pub snap_id: u64,
+    /// The object this snapshot belongs to.
+    pub object_id: u64,
+    /// The object's place group at snapshot time. Keys that are "place
+    /// index" keys refer to indices in *this* group.
+    pub group: PlaceGroup,
+    /// Key → replica locations.
+    pub entries: Arc<HashMap<u64, EntryLoc>>,
+    /// Class-specific metadata (serialized grid, dims, ...).
+    pub descriptor: Bytes,
+}
+
+impl Snapshot {
+    /// Total payload bytes across all entries.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.len).sum()
+    }
+
+    /// True if every entry still has at least one live replica.
+    pub fn reachable(&self, ctx: &Ctx, store: &ResilientStore) -> bool {
+        self.entries.values().all(|e| store.reachable(ctx, e.owner, e.backup))
+    }
+
+    /// True if every entry still has **both** replicas alive, i.e. the
+    /// snapshot can absorb one more failure. Read-only snapshot reuse
+    /// requires this: after a failure degrades an entry to a single
+    /// replica, the next checkpoint must re-save the object to restore
+    /// double redundancy.
+    pub fn fully_redundant(&self, ctx: &Ctx) -> bool {
+        self.entries.values().all(|e| ctx.is_alive(e.owner) && ctx.is_alive(e.backup))
+    }
+
+    /// Look up an entry's location.
+    pub fn entry(&self, key: u64) -> GmlResult<EntryLoc> {
+        self.entries
+            .get(&key)
+            .copied()
+            .ok_or_else(|| GmlError::data_loss(format!("snapshot {} has no key {key}", self.snap_id)))
+    }
+
+    /// Fetch an entry's payload from wherever it survives.
+    pub fn fetch(&self, ctx: &Ctx, store: &ResilientStore, key: u64) -> GmlResult<Bytes> {
+        let loc = self.entry(key)?;
+        store.fetch(ctx, self.snap_id, key, loc.owner, loc.backup)
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Snapshot(id={}, object={}, {} entries, {} bytes)",
+            self.snap_id,
+            self.object_id,
+            self.entries.len(),
+            self.total_bytes()
+        )
+    }
+}
+
+/// GML objects whose state can be saved to and restored from a resilient
+/// store — the paper's `Snapshottable` interface, with the store passed
+/// explicitly (Rust has no ambient place-zero singleton).
+pub trait Snapshottable {
+    /// Process-unique identity used to key application snapshots.
+    fn object_id(&self) -> u64;
+
+    /// Save this object's distributed state into `store`; returns the
+    /// metadata needed to restore it.
+    fn make_snapshot(&self, ctx: &Ctx, store: &ResilientStore) -> GmlResult<Snapshot>;
+
+    /// Overwrite this object's (already re-allocated) distributed state from
+    /// `snapshot`. The object may be laid out over a different place group
+    /// and/or grid than at snapshot time (`remake` first, then restore).
+    fn restore_snapshot(
+        &mut self,
+        ctx: &Ctx,
+        store: &ResilientStore,
+        snapshot: &Snapshot,
+    ) -> GmlResult<()>;
+}
+
+/// Accumulates entry locations produced concurrently by the per-place save
+/// tasks of a collective `make_snapshot`.
+#[derive(Clone)]
+pub struct SnapshotBuilder {
+    entries: Arc<Mutex<HashMap<u64, EntryLoc>>>,
+}
+
+impl SnapshotBuilder {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        SnapshotBuilder { entries: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
+    /// Record that `key` was saved at `owner` with backup `backup`.
+    pub fn record(&self, key: u64, owner: Place, backup: Place, len: usize) {
+        self.entries.lock().insert(key, EntryLoc { owner, backup, len });
+    }
+
+    /// Finish building: package the metadata.
+    pub fn build(
+        self,
+        snap_id: u64,
+        object_id: u64,
+        group: PlaceGroup,
+        descriptor: Bytes,
+    ) -> Snapshot {
+        let entries = Arc::new(
+            Arc::try_unwrap(self.entries)
+                .map(Mutex::into_inner)
+                .unwrap_or_else(|arc| arc.lock().clone()),
+        );
+        Snapshot { snap_id, object_id, group, entries, descriptor }
+    }
+}
+
+impl Default for SnapshotBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Collects errors raised inside the per-place tasks of a collective
+/// operation; `finish` only reports *lost* tasks, so tasks that observe
+/// errors (e.g. a dead backup during save) park them here.
+#[derive(Clone)]
+pub struct ErrorPot {
+    errors: Arc<Mutex<Vec<GmlError>>>,
+}
+
+impl ErrorPot {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        ErrorPot { errors: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Park an error observed by a collective task.
+    pub fn push(&self, e: GmlError) {
+        self.errors.lock().push(e);
+    }
+
+    /// Run `f`, parking its error if it fails.
+    pub fn run(&self, f: impl FnOnce() -> GmlResult<()>) {
+        if let Err(e) = f() {
+            self.push(e);
+        }
+    }
+
+    /// Combine the enclosing finish result with parked errors; dead-place
+    /// errors win (they are recoverable and drive the executor's restore).
+    pub fn into_result(self, finish_result: ApgasResult<()>) -> GmlResult<()> {
+        let mut parked = std::mem::take(&mut *self.errors.lock());
+        if let Err(e) = finish_result {
+            return Err(e.into());
+        }
+        if let Some(pos) = parked.iter().position(|e| e.is_recoverable()) {
+            return Err(parked.swap_remove(pos));
+        }
+        match parked.pop() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Default for ErrorPot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgas::ApgasError;
+    use apgas::DeadPlaceException;
+
+    #[test]
+    fn builder_collects_and_builds() {
+        let b = SnapshotBuilder::new();
+        b.record(0, Place::new(0), Place::new(1), 100);
+        b.record(1, Place::new(1), Place::new(0), 50);
+        let s = b.build(9, 42, PlaceGroup::first(2), Bytes::new());
+        assert_eq!(s.snap_id, 9);
+        assert_eq!(s.object_id, 42);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.entry(1).unwrap().owner, Place::new(1));
+        assert!(s.entry(7).is_err());
+        assert!(format!("{s:?}").contains("2 entries"));
+    }
+
+    #[test]
+    fn builder_clone_shares_entries() {
+        let b = SnapshotBuilder::new();
+        let b2 = b.clone();
+        b2.record(3, Place::new(0), Place::new(1), 8);
+        let s = b.build(1, 1, PlaceGroup::first(2), Bytes::new());
+        assert_eq!(s.entries.len(), 1);
+    }
+
+    #[test]
+    fn error_pot_empty_is_ok() {
+        assert!(ErrorPot::new().into_result(Ok(())).is_ok());
+    }
+
+    #[test]
+    fn error_pot_prefers_recoverable() {
+        let pot = ErrorPot::new();
+        pot.push(GmlError::shape("bad"));
+        pot.push(ApgasError::DeadPlace(DeadPlaceException::new(Place::new(1), "x")).into());
+        let err = pot.into_result(Ok(())).unwrap_err();
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn error_pot_finish_error_wins() {
+        let pot = ErrorPot::new();
+        pot.push(GmlError::shape("parked"));
+        let err = pot
+            .into_result(Err(ApgasError::DeadPlace(DeadPlaceException::new(
+                Place::new(2),
+                "lost",
+            ))))
+            .unwrap_err();
+        assert_eq!(err.dead_places(), vec![Place::new(2)]);
+    }
+
+    #[test]
+    fn error_pot_run_parks_failures() {
+        let pot = ErrorPot::new();
+        pot.run(|| Err(GmlError::data_loss("oops")));
+        pot.run(|| Ok(()));
+        assert!(pot.into_result(Ok(())).is_err());
+    }
+}

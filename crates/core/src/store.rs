@@ -1,0 +1,383 @@
+//! The double in-memory resilient store (§IV-B of the paper).
+//!
+//! Every key/value pair saved into the store is kept **twice**: once at the
+//! place that produced it (the *owner*) and once at the **next place** of
+//! the object's place group (the *backup*). A single place failure can
+//! therefore never lose snapshot data: either the owner copy or the backup
+//! copy survives. As the paper notes, the cost of *saving* is uniform (one
+//! local insert plus one remote copy), while the cost of *loading* depends
+//! on whether the requested data happens to live at the loading place.
+//!
+//! The store spans **all** places, spares included, so that a spare place
+//! substituted by the replace-redundant mode can fetch data saved before it
+//! joined the group.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use apgas::prelude::*;
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::error::{GmlError, GmlResult};
+
+/// Per-place storage shard: `(snapshot id, key) → serialized payload`.
+pub(crate) struct PlaceStore {
+    map: Mutex<HashMap<(u64, u64), Bytes>>,
+}
+
+impl PlaceStore {
+    fn new() -> Self {
+        PlaceStore { map: Mutex::new(HashMap::new()) }
+    }
+
+    fn insert(&self, snap_id: u64, key: u64, value: Bytes) {
+        self.map.lock().insert((snap_id, key), value);
+    }
+
+    fn get(&self, snap_id: u64, key: u64) -> Option<Bytes> {
+        self.map.lock().get(&(snap_id, key)).cloned()
+    }
+
+    fn remove_snapshot(&self, snap_id: u64) {
+        self.map.lock().retain(|(sid, _), _| *sid != snap_id);
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+/// Handle to the distributed double in-memory store. Cheap to clone and
+/// `Send`, so collectives can carry it into remote tasks.
+#[derive(Clone)]
+pub struct ResilientStore {
+    plh: PlaceLocalHandle<PlaceStore>,
+    next_snap_id: Arc<AtomicU64>,
+    /// When false, backup copies are skipped — an **ablation** switch that
+    /// halves checkpoint cost but loses snapshot data with the owning
+    /// place. Production use keeps this on.
+    redundant: bool,
+}
+
+impl ResilientStore {
+    /// Create the store's shard at every place (including spares).
+    pub fn make(ctx: &Ctx) -> GmlResult<Self> {
+        Self::make_with_redundancy(ctx, true)
+    }
+
+    /// Create the store with the backup copies toggled (see `redundant`).
+    pub fn make_with_redundancy(ctx: &Ctx, redundant: bool) -> GmlResult<Self> {
+        let all = ctx.all_places();
+        let plh = PlaceLocalHandle::make(ctx, &all, |_| PlaceStore::new())?;
+        Ok(ResilientStore { plh, next_snap_id: Arc::new(AtomicU64::new(1)), redundant })
+    }
+
+    /// Whether backup copies are being written.
+    pub fn is_redundant(&self) -> bool {
+        self.redundant
+    }
+
+    /// Allocate a namespace for one object snapshot.
+    pub fn fresh_snap_id(&self) -> u64 {
+        self.next_snap_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// This place's shard, creating it on first use — elastically spawned
+    /// places join the store lazily.
+    fn shard(&self, ctx: &Ctx) -> GmlResult<std::sync::Arc<PlaceStore>> {
+        if let Ok(s) = self.plh.local(ctx) {
+            return Ok(s);
+        }
+        self.plh.set_local(ctx, PlaceStore::new());
+        Ok(self.plh.local(ctx)?)
+    }
+
+    /// Save one key/value pair from the current place: a local copy plus a
+    /// backup copy at `backup`. Must be called from a task running at the
+    /// owning place. Returns the payload size.
+    ///
+    /// Note: over a single-place group the backup collapses onto the owner
+    /// (`backup == here`), leaving one copy only — a one-place application
+    /// has no second place to survive on, matching the paper's model.
+    ///
+    /// Fails with a dead-place error if the backup place dies mid-save; the
+    /// enclosing checkpoint then aborts and is cancelled (atomic commit).
+    pub fn save_pair(
+        &self,
+        ctx: &Ctx,
+        snap_id: u64,
+        key: u64,
+        value: Bytes,
+        backup: Place,
+    ) -> GmlResult<usize> {
+        let len = value.len();
+        let shard = self.shard(ctx)?;
+        shard.insert(snap_id, key, value.clone());
+        if self.redundant && backup != ctx.here() {
+            let store = self.clone();
+            ctx.record_bytes(len);
+            ctx.at(backup, move |ctx| -> GmlResult<()> {
+                // Physically copy: the backup must not share the owner's
+                // allocation, or the simulated failure would not cost a
+                // transfer (and `kill` would not model memory loss).
+                let owned = Bytes::copy_from_slice(&value);
+                store.shard(ctx)?.insert(snap_id, key, owned);
+                Ok(())
+            })??;
+        }
+        Ok(len)
+    }
+
+    /// Fetch an entry from wherever it survives: this place's shard first,
+    /// then the owner's, then the backup's.
+    pub fn fetch(
+        &self,
+        ctx: &Ctx,
+        snap_id: u64,
+        key: u64,
+        owner: Place,
+        backup: Place,
+    ) -> GmlResult<Bytes> {
+        if let Ok(shard) = self.plh.local(ctx) {
+            if let Some(v) = shard.get(snap_id, key) {
+                return Ok(v);
+            }
+        }
+        for source in [owner, backup] {
+            if source == ctx.here() || !ctx.is_alive(source) {
+                continue;
+            }
+            let plh = self.plh;
+            let got: Option<Bytes> = ctx
+                .at(source, move |ctx| plh.local(ctx).ok().and_then(|s| s.get(snap_id, key)))
+                .unwrap_or(None);
+            if let Some(v) = got {
+                ctx.record_bytes(v.len());
+                // Copy into this place's "memory".
+                return Ok(Bytes::copy_from_slice(&v));
+            }
+        }
+        Err(GmlError::data_loss(format!(
+            "snapshot {snap_id} key {key}: owner {owner} and backup {backup} both unavailable"
+        )))
+    }
+
+    /// This place's shard copy of an entry, if present (no communication).
+    pub(crate) fn local_get(&self, ctx: &Ctx, snap_id: u64, key: u64) -> Option<Bytes> {
+        self.plh.local(ctx).ok().and_then(|s| s.get(snap_id, key))
+    }
+
+    /// True if the entry is still reachable (some replica's place is alive).
+    pub fn reachable(&self, ctx: &Ctx, owner: Place, backup: Place) -> bool {
+        ctx.is_alive(owner) || ctx.is_alive(backup)
+    }
+
+    /// Drop every entry of `snap_id` at all live places (old checkpoints are
+    /// deleted once a new one commits).
+    pub fn delete_snapshot(&self, ctx: &Ctx, snap_id: u64) -> GmlResult<()> {
+        let plh = self.plh;
+        ctx.finish(|fs| {
+            for p in ctx.all_places().iter() {
+                if ctx.is_alive(p) {
+                    fs.async_at(p, move |ctx| {
+                        if let Ok(shard) = plh.local(ctx) {
+                            shard.remove_snapshot(snap_id);
+                        }
+                    });
+                }
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Number of entries stored at `p` (diagnostics/tests).
+    pub fn entries_at(&self, ctx: &Ctx, p: Place) -> GmlResult<usize> {
+        let plh = self.plh;
+        Ok(ctx.at(p, move |ctx| plh.local(ctx).map(|s| s.len()).unwrap_or(0))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgas::runtime::{Runtime, RuntimeConfig};
+
+    fn with_store(places: usize, spares: usize, f: impl FnOnce(&Ctx, ResilientStore) + Send + 'static) {
+        Runtime::run(RuntimeConfig::new(places).spares(spares).resilient(true), move |ctx| {
+            let store = ResilientStore::make(ctx).expect("store");
+            f(ctx, store);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn save_and_fetch_locally() {
+        with_store(3, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let payload = Bytes::from_static(b"hello");
+            store.save_pair(ctx, sid, 7, payload.clone(), Place::new(1)).unwrap();
+            let got = store.fetch(ctx, sid, 7, Place::ZERO, Place::new(1)).unwrap();
+            assert_eq!(got, payload);
+        });
+    }
+
+    #[test]
+    fn save_from_remote_place_and_fetch_from_third() {
+        with_store(4, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let s2 = store.clone();
+            // Save at place 1, backup at place 2.
+            ctx.at(Place::new(1), move |ctx| {
+                s2.save_pair(ctx, sid, 3, Bytes::from_static(b"xyz"), Place::new(2)).unwrap();
+            })
+            .unwrap();
+            // Fetch from place 3 (neither owner nor backup): goes remote.
+            let s3 = store.clone();
+            let got = ctx
+                .at(Place::new(3), move |ctx| {
+                    s3.fetch(ctx, sid, 3, Place::new(1), Place::new(2)).unwrap()
+                })
+                .unwrap();
+            assert_eq!(got, Bytes::from_static(b"xyz"));
+        });
+    }
+
+    #[test]
+    fn backup_survives_owner_failure() {
+        with_store(4, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let s2 = store.clone();
+            ctx.at(Place::new(1), move |ctx| {
+                s2.save_pair(ctx, sid, 1, Bytes::from_static(b"vital"), Place::new(2)).unwrap();
+            })
+            .unwrap();
+            ctx.kill_place(Place::new(1)).unwrap();
+            let got = store.fetch(ctx, sid, 1, Place::new(1), Place::new(2)).unwrap();
+            assert_eq!(got, Bytes::from_static(b"vital"));
+        });
+    }
+
+    #[test]
+    fn owner_survives_backup_failure() {
+        with_store(4, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let s2 = store.clone();
+            ctx.at(Place::new(1), move |ctx| {
+                s2.save_pair(ctx, sid, 1, Bytes::from_static(b"vital"), Place::new(2)).unwrap();
+            })
+            .unwrap();
+            ctx.kill_place(Place::new(2)).unwrap();
+            let got = store.fetch(ctx, sid, 1, Place::new(1), Place::new(2)).unwrap();
+            assert_eq!(got, Bytes::from_static(b"vital"));
+        });
+    }
+
+    #[test]
+    fn double_failure_is_data_loss() {
+        with_store(4, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let s2 = store.clone();
+            ctx.at(Place::new(1), move |ctx| {
+                s2.save_pair(ctx, sid, 1, Bytes::from_static(b"gone"), Place::new(2)).unwrap();
+            })
+            .unwrap();
+            ctx.kill_place(Place::new(1)).unwrap();
+            ctx.kill_place(Place::new(2)).unwrap();
+            assert!(!store.reachable(ctx, Place::new(1), Place::new(2)));
+            let err = store.fetch(ctx, sid, 1, Place::new(1), Place::new(2)).unwrap_err();
+            assert!(matches!(err, GmlError::DataLoss(_)));
+        });
+    }
+
+    #[test]
+    fn backup_is_a_physical_copy() {
+        with_store(2, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let before = ctx.stats().bytes_shipped;
+            store
+                .save_pair(ctx, sid, 0, Bytes::from(vec![7u8; 1024]), Place::new(1))
+                .unwrap();
+            let after = ctx.stats().bytes_shipped;
+            assert_eq!(after - before, 1024, "backup transfer is accounted");
+        });
+    }
+
+    #[test]
+    fn delete_snapshot_removes_everywhere() {
+        with_store(3, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            store.save_pair(ctx, sid, 0, Bytes::from_static(b"a"), Place::new(1)).unwrap();
+            store.save_pair(ctx, sid, 1, Bytes::from_static(b"b"), Place::new(1)).unwrap();
+            assert_eq!(store.entries_at(ctx, Place::ZERO).unwrap(), 2);
+            assert_eq!(store.entries_at(ctx, Place::new(1)).unwrap(), 2);
+            store.delete_snapshot(ctx, sid).unwrap();
+            for p in ctx.world().iter() {
+                assert_eq!(store.entries_at(ctx, p).unwrap(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn delete_only_targets_one_snapshot() {
+        with_store(2, 0, |ctx, store| {
+            let a = store.fresh_snap_id();
+            let b = store.fresh_snap_id();
+            store.save_pair(ctx, a, 0, Bytes::from_static(b"a"), Place::new(1)).unwrap();
+            store.save_pair(ctx, b, 0, Bytes::from_static(b"b"), Place::new(1)).unwrap();
+            store.delete_snapshot(ctx, a).unwrap();
+            assert!(store.fetch(ctx, a, 0, Place::ZERO, Place::new(1)).is_err());
+            assert!(store.fetch(ctx, b, 0, Place::ZERO, Place::new(1)).is_ok());
+        });
+    }
+
+    #[test]
+    fn spare_places_carry_shards() {
+        with_store(2, 1, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            // Owner place 1, backup the *spare* place 2 (stores span spares).
+            let s2 = store.clone();
+            ctx.at(Place::new(1), move |ctx| {
+                s2.save_pair(ctx, sid, 9, Bytes::from_static(b"s"), Place::new(2)).unwrap();
+            })
+            .unwrap();
+            ctx.kill_place(Place::new(1)).unwrap();
+            let got = store.fetch(ctx, sid, 9, Place::new(1), Place::new(2)).unwrap();
+            assert_eq!(got, Bytes::from_static(b"s"));
+        });
+    }
+
+    #[test]
+    fn non_redundant_store_is_cheaper_but_fragile() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let store = ResilientStore::make_with_redundancy(ctx, false).unwrap();
+            assert!(!store.is_redundant());
+            let sid = store.fresh_snap_id();
+            let s2 = store.clone();
+            let before = ctx.stats().bytes_shipped;
+            ctx.at(Place::new(1), move |ctx| {
+                s2.save_pair(ctx, sid, 0, Bytes::from(vec![1u8; 512]), Place::new(2)).unwrap();
+            })
+            .unwrap();
+            // Ablation: no backup transfer happened...
+            assert_eq!(ctx.stats().bytes_shipped - before, 0);
+            // ...so the data dies with its owner.
+            ctx.kill_place(Place::new(1)).unwrap();
+            assert!(store.fetch(ctx, sid, 0, Place::new(1), Place::new(2)).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn save_fails_when_backup_dies() {
+        with_store(3, 0, |ctx, store| {
+            ctx.kill_place(Place::new(2)).unwrap();
+            let sid = store.fresh_snap_id();
+            let err = store
+                .save_pair(ctx, sid, 0, Bytes::from_static(b"x"), Place::new(2))
+                .unwrap_err();
+            assert!(err.is_recoverable(), "dead backup is a recoverable failure: {err}");
+        });
+    }
+}

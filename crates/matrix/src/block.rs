@@ -1,0 +1,372 @@
+//! Matrix blocks and per-place block sets
+//! (`x10.matrix.distblock.BlockSet`).
+//!
+//! A [`MatrixBlock`] is one tile of a distributed matrix: its grid position
+//! plus a dense or sparse payload. A [`BlockSet`] is the collection of
+//! blocks one place holds. Allowing a place to hold *several* blocks is the
+//! key enabler of the paper's shrink-mode restore: after a failure the same
+//! blocks are re-mapped onto fewer places without repartitioning (§III-A,
+//! Fig 1-b).
+
+use apgas::serial::Serial;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::dense::DenseMatrix;
+use crate::grid::Grid;
+use crate::sparse_csr::SparseCSR;
+
+/// The payload of one block: dense or sparse.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BlockData {
+    /// Dense payload.
+    Dense(DenseMatrix),
+    /// Sparse (CSR) payload.
+    Sparse(SparseCSR),
+}
+
+impl BlockData {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            BlockData::Dense(d) => d.rows(),
+            BlockData::Sparse(s) => s.rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            BlockData::Dense(d) => d.cols(),
+            BlockData::Sparse(s) => s.cols(),
+        }
+    }
+
+    /// An all-zero payload of the same kind and given dims.
+    pub fn zeros_like(&self, rows: usize, cols: usize) -> BlockData {
+        match self {
+            BlockData::Dense(_) => BlockData::Dense(DenseMatrix::zeros(rows, cols)),
+            BlockData::Sparse(_) => BlockData::Sparse(SparseCSR::zeros(rows, cols)),
+        }
+    }
+
+    /// Extract a sub-region in **local** block coordinates. For sparse
+    /// payloads this runs the nnz-counting pre-pass the paper describes.
+    pub fn sub_region(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> BlockData {
+        match self {
+            BlockData::Dense(d) => BlockData::Dense(d.sub_matrix(r0, r1, c0, c1)),
+            BlockData::Sparse(s) => BlockData::Sparse(s.sub_matrix(r0, r1, c0, c1)),
+        }
+    }
+
+    /// Paste `src` at local position `(r0, c0)`.
+    ///
+    /// # Panics
+    /// Panics if kinds differ or the region does not fit.
+    pub fn paste(&mut self, r0: usize, c0: usize, src: &BlockData) {
+        match (self, src) {
+            (BlockData::Dense(d), BlockData::Dense(s)) => d.paste(r0, c0, s),
+            (BlockData::Sparse(d), BlockData::Sparse(s)) => d.paste(r0, c0, s),
+            _ => panic!("cannot paste between dense and sparse payloads"),
+        }
+    }
+
+    /// `y = alpha * B * x + beta * y` for this block.
+    pub fn gemv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        match self {
+            BlockData::Dense(d) => d.gemv(alpha, x, beta, y),
+            BlockData::Sparse(s) => s.spmv(alpha, x, beta, y),
+        }
+    }
+
+    /// `y = alpha * Bᵀ * x + beta * y` for this block.
+    pub fn gemv_trans(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        match self {
+            BlockData::Dense(d) => d.gemv_trans(alpha, x, beta, y),
+            BlockData::Sparse(s) => s.spmv_trans(alpha, x, beta, y),
+        }
+    }
+
+    /// Densify (testing aid).
+    pub fn to_dense(&self) -> DenseMatrix {
+        match self {
+            BlockData::Dense(d) => d.clone(),
+            BlockData::Sparse(s) => s.to_dense(),
+        }
+    }
+
+    /// Bytes of payload if serialized (used for checkpoint sizing).
+    pub fn payload_bytes(&self) -> usize {
+        self.byte_len()
+    }
+}
+
+impl Serial for BlockData {
+    fn write(&self, buf: &mut BytesMut) {
+        match self {
+            BlockData::Dense(d) => {
+                buf.put_u8(0);
+                d.write(buf);
+            }
+            BlockData::Sparse(s) => {
+                buf.put_u8(1);
+                s.write(buf);
+            }
+        }
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        match buf.get_u8() {
+            0 => BlockData::Dense(DenseMatrix::read(buf)),
+            _ => BlockData::Sparse(SparseCSR::read(buf)),
+        }
+    }
+    fn byte_len(&self) -> usize {
+        1 + match self {
+            BlockData::Dense(d) => d.byte_len(),
+            BlockData::Sparse(s) => s.byte_len(),
+        }
+    }
+}
+
+/// One tile of a distributed matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixBlock {
+    /// Block-row index in the owning grid.
+    pub bi: usize,
+    /// Block-col index in the owning grid.
+    pub bj: usize,
+    /// Global row of this block's (0,0) element.
+    pub row_offset: usize,
+    /// Global column of this block's (0,0) element.
+    pub col_offset: usize,
+    /// The tile contents.
+    pub data: BlockData,
+}
+
+impl MatrixBlock {
+    /// An all-zero block at position `(bi, bj)` of `grid`; `sparse` selects
+    /// the payload kind.
+    pub fn zeros(grid: &Grid, bi: usize, bj: usize, sparse: bool) -> Self {
+        let (r0, _r1, c0, _c1) = grid.block_range(bi, bj);
+        let (m, n) = grid.block_dims(bi, bj);
+        let data = if sparse {
+            BlockData::Sparse(SparseCSR::zeros(m, n))
+        } else {
+            BlockData::Dense(DenseMatrix::zeros(m, n))
+        };
+        MatrixBlock { bi, bj, row_offset: r0, col_offset: c0, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.data.cols()
+    }
+
+    /// Global extents `(r0, r1, c0, c1)`.
+    pub fn global_range(&self) -> (usize, usize, usize, usize) {
+        (
+            self.row_offset,
+            self.row_offset + self.rows(),
+            self.col_offset,
+            self.col_offset + self.cols(),
+        )
+    }
+
+    /// Extract a **globally**-addressed sub-region of this block.
+    pub fn sub_region_global(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> BlockData {
+        self.data.sub_region(
+            r0 - self.row_offset,
+            r1 - self.row_offset,
+            c0 - self.col_offset,
+            c1 - self.col_offset,
+        )
+    }
+}
+
+impl Serial for MatrixBlock {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.bi as u64);
+        buf.put_u64_le(self.bj as u64);
+        buf.put_u64_le(self.row_offset as u64);
+        buf.put_u64_le(self.col_offset as u64);
+        self.data.write(buf);
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        let bi = buf.get_u64_le() as usize;
+        let bj = buf.get_u64_le() as usize;
+        let row_offset = buf.get_u64_le() as usize;
+        let col_offset = buf.get_u64_le() as usize;
+        MatrixBlock { bi, bj, row_offset, col_offset, data: BlockData::read(buf) }
+    }
+    fn byte_len(&self) -> usize {
+        32 + self.data.byte_len()
+    }
+}
+
+/// The blocks one place holds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlockSet {
+    blocks: Vec<MatrixBlock>,
+}
+
+impl BlockSet {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        BlockSet { blocks: Vec::new() }
+    }
+
+    /// Build from an explicit list of blocks.
+    pub fn from_blocks(blocks: Vec<MatrixBlock>) -> Self {
+        BlockSet { blocks }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Add a block to the set.
+    pub fn push(&mut self, b: MatrixBlock) {
+        self.blocks.push(b);
+    }
+
+    /// Iterate over the blocks.
+    pub fn iter(&self) -> impl Iterator<Item = &MatrixBlock> {
+        self.blocks.iter()
+    }
+
+    /// Iterate mutably over the blocks.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut MatrixBlock> {
+        self.blocks.iter_mut()
+    }
+
+    /// Find the block at grid position `(bi, bj)`.
+    pub fn find(&self, bi: usize, bj: usize) -> Option<&MatrixBlock> {
+        self.blocks.iter().find(|b| b.bi == bi && b.bj == bj)
+    }
+
+    /// Find the block at grid position `(bi, bj)`, mutably.
+    pub fn find_mut(&mut self, bi: usize, bj: usize) -> Option<&mut MatrixBlock> {
+        self.blocks.iter_mut().find(|b| b.bi == bi && b.bj == bj)
+    }
+
+    /// Total payload bytes across all blocks (checkpoint sizing).
+    pub fn payload_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.data.payload_bytes()).sum()
+    }
+
+    /// Total element count across all blocks (load-balance metric).
+    pub fn element_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.rows() * b.cols()).sum()
+    }
+
+    /// Remove all blocks.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_block(grid: &Grid, bi: usize, bj: usize) -> MatrixBlock {
+        let mut b = MatrixBlock::zeros(grid, bi, bj, false);
+        let (r0, r1, c0, c1) = b.global_range();
+        if let BlockData::Dense(d) = &mut b.data {
+            for (li, r) in (r0..r1).enumerate() {
+                for (lj, c) in (c0..c1).enumerate() {
+                    d.set(li, lj, (r * 100 + c) as f64);
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn zeros_matches_grid_geometry() {
+        let g = Grid::partition(10, 7, 3, 2);
+        let b = MatrixBlock::zeros(&g, 2, 1, false);
+        assert_eq!(b.global_range(), (7, 10, 4, 7));
+        assert_eq!((b.rows(), b.cols()), (3, 3));
+        let s = MatrixBlock::zeros(&g, 0, 0, true);
+        assert!(matches!(s.data, BlockData::Sparse(_)));
+    }
+
+    #[test]
+    fn global_sub_region_translates_coordinates() {
+        let g = Grid::partition(10, 10, 2, 2);
+        let b = dense_block(&g, 1, 1); // covers rows 5..10, cols 5..10
+        let r = b.sub_region_global(6, 8, 7, 9).to_dense();
+        assert_eq!(r.get(0, 0), 607.0);
+        assert_eq!(r.get(1, 1), 708.0);
+    }
+
+    #[test]
+    fn block_serialization_round_trip() {
+        let g = Grid::partition(6, 6, 2, 2);
+        let b = dense_block(&g, 0, 1);
+        let bytes = b.to_bytes();
+        assert_eq!(bytes.len(), b.byte_len());
+        assert_eq!(MatrixBlock::from_bytes(bytes), b);
+
+        let s = MatrixBlock::zeros(&g, 1, 0, true);
+        assert_eq!(MatrixBlock::from_bytes(s.to_bytes()), s);
+    }
+
+    #[test]
+    fn block_set_find_and_metrics() {
+        let g = Grid::partition(8, 8, 2, 2);
+        let mut set = BlockSet::new();
+        set.push(dense_block(&g, 0, 0));
+        set.push(dense_block(&g, 1, 1));
+        assert_eq!(set.len(), 2);
+        assert!(set.find(0, 0).is_some());
+        assert!(set.find(0, 1).is_none());
+        assert_eq!(set.element_count(), 32);
+        assert!(set.payload_bytes() > 32 * 8);
+        set.find_mut(1, 1).expect("present").data =
+            BlockData::Dense(DenseMatrix::zeros(4, 4));
+        assert_eq!(set.find(1, 1).expect("present").data.to_dense(), DenseMatrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn paste_kind_mismatch_panics() {
+        let mut d = BlockData::Dense(DenseMatrix::zeros(2, 2));
+        let s = BlockData::Sparse(SparseCSR::zeros(1, 1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.paste(0, 0, &s);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn gemv_dispatches_by_kind() {
+        let dense = BlockData::Dense(DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let sparse = BlockData::Sparse(SparseCSR::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)],
+        ));
+        let x = [1.0, 1.0];
+        let mut y1 = [0.0; 2];
+        let mut y2 = [0.0; 2];
+        dense.gemv(1.0, &x, 0.0, &mut y1);
+        sparse.gemv(1.0, &x, 0.0, &mut y2);
+        assert_eq!(y1, y2);
+        let mut t1 = [0.0; 2];
+        let mut t2 = [0.0; 2];
+        dense.gemv_trans(1.0, &x, 0.0, &mut t1);
+        sparse.gemv_trans(1.0, &x, 0.0, &mut t2);
+        assert_eq!(t1, t2);
+    }
+}

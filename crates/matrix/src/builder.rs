@@ -1,0 +1,274 @@
+//! Deterministic random builders for benchmark workloads.
+//!
+//! The paper's evaluation generates synthetic inputs: dense labeled training
+//! sets for Linear/Logistic Regression and a sparse link matrix for
+//! PageRank. All builders are seeded so every place can generate its own
+//! partition reproducibly and tests can compare distributed results against
+//! single-place references bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dense::DenseMatrix;
+use crate::sparse_csr::SparseCSR;
+use crate::vector::Vector;
+
+/// A dense `rows × cols` matrix with entries uniform in `[-1, 1)`.
+pub fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect();
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// The row slice `r0..r1` of a deterministic `rows × cols` dense matrix
+/// whose row `i` depends only on `(seed, i)` — each place of a distributed
+/// training set builds exactly its own examples.
+pub fn random_dense_rows(cols: usize, seed: u64, r0: usize, r1: usize) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(r1 - r0, cols);
+    for i in r0..r1 {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        for j in 0..cols {
+            out.set(i - r0, j, rng.random_range(-1.0..1.0));
+        }
+    }
+    out
+}
+
+/// A vector with entries uniform in `[-1, 1)`.
+pub fn random_vector(n: usize, seed: u64) -> Vector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Vector::from_vec((0..n).map(|_| rng.random_range(-1.0..1.0)).collect())
+}
+
+/// A sparse CSR matrix with ~`nnz_per_row` entries per row, values uniform
+/// in `[-1, 1)`. Column positions are sampled without replacement per row.
+pub fn random_csr(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> SparseCSR {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_row = nnz_per_row.min(cols);
+    let mut triplets = Vec::with_capacity(rows * per_row);
+    let mut cols_buf = Vec::with_capacity(per_row);
+    for r in 0..rows {
+        cols_buf.clear();
+        while cols_buf.len() < per_row {
+            let c = rng.random_range(0..cols);
+            if !cols_buf.contains(&c) {
+                cols_buf.push(c);
+            }
+        }
+        for &c in &cols_buf {
+            triplets.push((r, c, rng.random_range(-1.0..1.0)));
+        }
+    }
+    SparseCSR::from_triplets(rows, cols, &triplets)
+}
+
+/// The row slice `r0..r1` of a deterministic sparse matrix whose row `i`
+/// depends only on `(seed, i)` — the sparse analogue of
+/// [`random_dense_rows`]. Values uniform in `[-1, 1)`; column indices
+/// global.
+pub fn random_csr_rows(
+    cols: usize,
+    nnz_per_row: usize,
+    seed: u64,
+    r0: usize,
+    r1: usize,
+) -> SparseCSR {
+    let per_row = nnz_per_row.min(cols);
+    let mut triplets = Vec::with_capacity((r1 - r0) * per_row);
+    let mut cols_buf = Vec::with_capacity(per_row);
+    for i in r0..r1 {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        cols_buf.clear();
+        while cols_buf.len() < per_row {
+            let c = rng.random_range(0..cols);
+            if !cols_buf.contains(&c) {
+                cols_buf.push(c);
+            }
+        }
+        for &c in &cols_buf {
+            triplets.push((i - r0, c, rng.random_range(-1.0..1.0)));
+        }
+    }
+    SparseCSR::from_triplets(r1 - r0, cols, &triplets)
+}
+
+/// The link targets of node `j` (deterministic per `(seed, j)` so any place
+/// can regenerate any column independently).
+fn link_targets(n: usize, deg: usize, seed: u64, j: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut targets = Vec::with_capacity(deg);
+    if deg <= 32 {
+        // Small degree: linear-scan dedup is cheapest.
+        while targets.len() < deg {
+            let i = rng.random_range(0..n);
+            if !targets.contains(&i) {
+                targets.push(i);
+            }
+        }
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(deg * 2);
+        while targets.len() < deg {
+            let i = rng.random_range(0..n);
+            if seen.insert(i) {
+                targets.push(i);
+            }
+        }
+    }
+    targets
+}
+
+/// A column-stochastic link matrix `G` for PageRank over `n` nodes with
+/// `out_degree` links per node: `G[i][j] = 1/outdeg(j)` iff node `j` links
+/// to node `i`. Every column sums to 1.
+pub fn random_link_matrix(n: usize, out_degree: usize, seed: u64) -> SparseCSR {
+    link_matrix_rows(n, out_degree, seed, 0, n)
+}
+
+/// The row slice `r0..r1` of [`random_link_matrix`]`(n, out_degree, seed)`,
+/// generated without materialising the rest — each place of a distributed
+/// PageRank builds exactly its own block. Column indices are global
+/// (`cols == n`), row indices re-based to the slice.
+pub fn link_matrix_rows(
+    n: usize,
+    out_degree: usize,
+    seed: u64,
+    r0: usize,
+    r1: usize,
+) -> SparseCSR {
+    let deg = out_degree.clamp(1, n);
+    let w = 1.0 / deg as f64;
+    let mut triplets = Vec::new();
+    for j in 0..n {
+        for i in link_targets(n, deg, seed, j) {
+            if (r0..r1).contains(&i) {
+                triplets.push((i - r0, j, w));
+            }
+        }
+    }
+    SparseCSR::from_triplets(r1 - r0, n, &triplets)
+}
+
+/// A synthetic regression training set: `examples × features` matrix `x`
+/// and labels `y = x·w* + ε` for a hidden weight vector `w*`.
+pub fn regression_data(examples: usize, features: usize, seed: u64) -> (DenseMatrix, Vector) {
+    let x = random_dense(examples, features, seed);
+    let w_star = random_vector(features, seed.wrapping_add(1));
+    let mut y = x.mult_vec(&w_star);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    for v in y.as_mut_slice() {
+        *v += rng.random_range(-0.01..0.01);
+    }
+    (x, y)
+}
+
+/// A synthetic binary-classification training set: labels in `{0, 1}`
+/// generated from a hidden linear separator.
+pub fn classification_data(examples: usize, features: usize, seed: u64) -> (DenseMatrix, Vector) {
+    let x = random_dense(examples, features, seed);
+    let w_star = random_vector(features, seed.wrapping_add(1));
+    let scores = x.mult_vec(&w_star);
+    let y = Vector::from_vec(
+        scores.as_slice().iter().map(|&s| if s > 0.0 { 1.0 } else { 0.0 }).collect(),
+    );
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_are_deterministic() {
+        assert_eq!(random_dense(4, 3, 7), random_dense(4, 3, 7));
+        assert_ne!(random_dense(4, 3, 7), random_dense(4, 3, 8));
+        assert_eq!(random_vector(5, 1), random_vector(5, 1));
+        assert_eq!(random_csr(4, 6, 2, 3), random_csr(4, 6, 2, 3));
+        assert_eq!(random_link_matrix(6, 2, 9), random_link_matrix(6, 2, 9));
+    }
+
+    #[test]
+    fn random_dense_in_range() {
+        let a = random_dense(10, 10, 42);
+        assert!(a.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn random_csr_has_expected_density() {
+        let a = random_csr(20, 50, 5, 11);
+        assert_eq!(a.nnz(), 100);
+        // Per-row count is exact.
+        for i in 0..20 {
+            assert_eq!(a.row(i).0.len(), 5);
+        }
+    }
+
+    #[test]
+    fn nnz_per_row_clamped_to_cols() {
+        let a = random_csr(3, 2, 10, 1);
+        assert_eq!(a.nnz(), 6);
+    }
+
+    #[test]
+    fn link_matrix_is_column_stochastic() {
+        let g = random_link_matrix(25, 4, 5);
+        let csc = g.to_csc();
+        for j in 0..25 {
+            let (_, vals) = csc.col(j);
+            let sum: f64 = vals.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "column {j} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn dense_row_slices_tile_consistently() {
+        let full = random_dense_rows(5, 3, 0, 12);
+        let top = random_dense_rows(5, 3, 0, 4);
+        let bot = random_dense_rows(5, 3, 4, 12);
+        assert_eq!(full.sub_matrix(0, 4, 0, 5), top);
+        assert_eq!(full.sub_matrix(4, 12, 0, 5), bot);
+    }
+
+    #[test]
+    fn sparse_row_slices_tile_consistently() {
+        let full = random_csr_rows(8, 3, 9, 0, 10);
+        let top = random_csr_rows(8, 3, 9, 0, 4);
+        let bot = random_csr_rows(8, 3, 9, 4, 10);
+        let mut rebuilt = SparseCSR::zeros(10, 8);
+        rebuilt.paste(0, 0, &top);
+        rebuilt.paste(4, 0, &bot);
+        assert_eq!(rebuilt, full);
+    }
+
+    #[test]
+    fn link_matrix_row_slices_tile_the_global_matrix() {
+        let n = 20;
+        let global = random_link_matrix(n, 3, 99);
+        let top = link_matrix_rows(n, 3, 99, 0, 7);
+        let mid = link_matrix_rows(n, 3, 99, 7, 15);
+        let bot = link_matrix_rows(n, 3, 99, 15, 20);
+        let mut rebuilt = SparseCSR::zeros(n, n);
+        rebuilt.paste(0, 0, &top);
+        rebuilt.paste(7, 0, &mid);
+        rebuilt.paste(15, 0, &bot);
+        assert_eq!(rebuilt, global);
+    }
+
+    #[test]
+    fn regression_labels_follow_model() {
+        let (x, y) = regression_data(50, 8, 123);
+        assert_eq!(x.rows(), 50);
+        assert_eq!(y.len(), 50);
+        // Labels are near the noiseless model: reconstruct and compare.
+        let w_star = random_vector(8, 124);
+        let clean = x.mult_vec(&w_star);
+        assert!(y.max_abs_diff(&clean) <= 0.01 + 1e-12);
+    }
+
+    #[test]
+    fn classification_labels_are_binary() {
+        let (_, y) = classification_data(40, 5, 77);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+}

@@ -1,0 +1,441 @@
+//! Column-major dense matrix (`x10.matrix.DenseMatrix`).
+
+use apgas::serial::{read_f64_vec, write_f64_slice, Serial};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::vector::Vector;
+
+/// A dense matrix in column-major (Fortran/BLAS) storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An all-zero m×n matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Wrap a column-major buffer of length `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense buffer size mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Build from a row-major nested description (testing convenience).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let m = rows.len();
+        let n = if m == 0 { 0 } else { rows[0].len() };
+        let mut out = DenseMatrix::zeros(m, n);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), n, "ragged rows");
+            for (j, &v) in r.iter().enumerate() {
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    /// The n×n identity.
+    pub fn identity(n: usize) -> Self {
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a.set(i, i, 1.0);
+        }
+        a
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrow the underlying storage mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    #[inline]
+    /// Read one element.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    #[inline]
+    /// Write one element.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows] = v;
+    }
+
+    /// Borrow column `j`.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// `self *= alpha`.
+    pub fn scale(&mut self, alpha: f64) -> &mut Self {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+        self
+    }
+
+    /// Element-wise `self += other`.
+    pub fn cell_add(&mut self, other: &DenseMatrix) -> &mut Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+        self
+    }
+
+    /// `y = alpha * A * x + beta * y`. Column-sweep order for cache-friendly
+    /// access to the column-major payload.
+    pub fn gemv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "gemv: x length != cols");
+        assert_eq!(y.len(), self.rows, "gemv: y length != rows");
+        if beta != 1.0 {
+            for v in y.iter_mut() {
+                *v *= beta;
+            }
+        }
+        for j in 0..self.cols {
+            let axj = alpha * x[j];
+            if axj == 0.0 {
+                continue;
+            }
+            let col = self.col(j);
+            for (yi, aij) in y.iter_mut().zip(col) {
+                *yi += axj * *aij;
+            }
+        }
+    }
+
+    /// `y = alpha * Aᵀ * x + beta * y`. Each output element is a column dot
+    /// product, again sequential over the column-major payload.
+    pub fn gemv_trans(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "gemv_trans: x length != rows");
+        assert_eq!(y.len(), self.cols, "gemv_trans: y length != cols");
+        for (j, yj) in y.iter_mut().enumerate() {
+            let col = self.col(j);
+            let dot: f64 = col.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yj = alpha * dot + beta * *yj;
+        }
+    }
+
+    /// `C = alpha * A * B + beta * C` (naive triple loop in jik order).
+    pub fn gemm(&self, alpha: f64, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
+        assert_eq!(self.cols, b.rows, "gemm inner dimension");
+        assert_eq!(c.rows, self.rows, "gemm C rows");
+        assert_eq!(c.cols, b.cols, "gemm C cols");
+        for j in 0..c.cols {
+            let cj = &mut c.data[j * c.rows..(j + 1) * c.rows];
+            if beta != 1.0 {
+                for v in cj.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            for k in 0..self.cols {
+                let abkj = alpha * b.get(k, j);
+                if abkj == 0.0 {
+                    continue;
+                }
+                let ak = self.col(k);
+                for (cij, aik) in cj.iter_mut().zip(ak) {
+                    *cij += abkj * *aik;
+                }
+            }
+        }
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for j in 0..self.cols {
+            for (i, &v) in self.col(j).iter().enumerate() {
+                out.set(j, i, v);
+            }
+        }
+        out
+    }
+
+    /// `C += selfᵀ * B` where `self` is m×k, `B` is m×n and `C` is k×n —
+    /// the partial-Gram product at the heart of distributed `WᵀV`/`WᵀW`.
+    pub fn gemm_tn_acc(&self, b: &DenseMatrix, c: &mut DenseMatrix) {
+        assert_eq!(self.rows, b.rows, "gemm_tn inner dimension");
+        assert_eq!(c.rows, self.cols, "gemm_tn C rows");
+        assert_eq!(c.cols, b.cols, "gemm_tn C cols");
+        for j in 0..b.cols {
+            let bj = b.col(j);
+            for i in 0..self.cols {
+                let ai = self.col(i);
+                let dot: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+                let v = c.get(i, j) + dot;
+                c.set(i, j, v);
+            }
+        }
+    }
+
+    /// Element-wise multiply.
+    pub fn cell_mult(&mut self, other: &DenseMatrix) -> &mut Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= *b;
+        }
+        self
+    }
+
+    /// Element-wise divide with a small guard against division by zero
+    /// (the ε-guarded division used by multiplicative NMF updates).
+    pub fn cell_div_guarded(&mut self, other: &DenseMatrix, eps: f64) -> &mut Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a /= *b + eps;
+        }
+        self
+    }
+
+    /// Extract the sub-matrix with rows `r0..r1` and cols `c0..c1`.
+    pub fn sub_matrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> DenseMatrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");
+        assert!(c0 <= c1 && c1 <= self.cols, "col range out of bounds");
+        let (m, n) = (r1 - r0, c1 - c0);
+        let mut out = DenseMatrix::zeros(m, n);
+        for j in 0..n {
+            let src = &self.col(c0 + j)[r0..r1];
+            out.data[j * m..(j + 1) * m].copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Paste `src` so its (0,0) lands at `(r0, c0)` of `self`.
+    pub fn paste(&mut self, r0: usize, c0: usize, src: &DenseMatrix) {
+        assert!(r0 + src.rows <= self.rows && c0 + src.cols <= self.cols, "paste out of bounds");
+        for j in 0..src.cols {
+            let dst_col = c0 + j;
+            let dst =
+                &mut self.data[dst_col * self.rows + r0..dst_col * self.rows + r0 + src.rows];
+            dst.copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Multiply into a fresh output vector: `A * x`.
+    pub fn mult_vec(&self, x: &Vector) -> Vector {
+        let mut y = Vector::zeros(self.rows);
+        self.gemv(1.0, x.as_slice(), 0.0, y.as_mut_slice());
+        y
+    }
+
+    /// Multiply into a fresh output vector: `Aᵀ * x`.
+    pub fn mult_trans_vec(&self, x: &Vector) -> Vector {
+        let mut y = Vector::zeros(self.cols);
+        self.gemv_trans(1.0, x.as_slice(), 0.0, y.as_mut_slice());
+        y
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Max absolute difference (testing aid).
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Serial for DenseMatrix {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.rows as u64);
+        buf.put_u64_le(self.cols as u64);
+        write_f64_slice(&self.data, buf);
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        let rows = buf.get_u64_le() as usize;
+        let cols = buf.get_u64_le() as usize;
+        let data = read_f64_vec(buf);
+        DenseMatrix::from_vec(rows, cols, data)
+    }
+    fn byte_len(&self) -> usize {
+        16 + 8 + 8 * self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a23() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn layout_is_column_major() {
+        let a = a23();
+        assert_eq!(a.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(a.get(1, 2), 6.0);
+        assert_eq!(a.col(1), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let a = a23();
+        let x = [1.0, 0.0, -1.0];
+        let mut y = [10.0, 20.0];
+        a.gemv(2.0, &x, 0.5, &mut y);
+        // A*x = [1-3, 4-6] = [-2, -2]; y = 2*[-2,-2] + 0.5*[10,20] = [1, 6]
+        assert_eq!(y, [1.0, 6.0]);
+    }
+
+    #[test]
+    fn gemv_trans_matches_manual() {
+        let a = a23();
+        let x = [1.0, 1.0];
+        let mut y = [0.0; 3];
+        a.gemv_trans(1.0, &x, 0.0, &mut y);
+        assert_eq!(y, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let a = a23();
+        let i3 = DenseMatrix::identity(3);
+        let mut c = DenseMatrix::zeros(2, 3);
+        a.gemm(1.0, &i3, 0.0, &mut c);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn gemm_small_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut c = DenseMatrix::zeros(2, 2);
+        a.gemm(1.0, &b, 0.0, &mut c);
+        assert_eq!(c, DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = a23();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), a.get(1, 2));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]); // 3x2
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0], &[2.0, 2.0, 0.0]]); // 3x3
+        let mut c = DenseMatrix::zeros(2, 3);
+        a.gemm_tn_acc(&b, &mut c);
+        let mut expect = DenseMatrix::zeros(2, 3);
+        a.transpose().gemm(1.0, &b, 0.0, &mut expect);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+        // Accumulation: a second call doubles the result.
+        a.gemm_tn_acc(&b, &mut c);
+        expect.scale(2.0);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn cellwise_mult_and_guarded_div() {
+        let mut a = DenseMatrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 0.0]]);
+        a.cell_mult(&b);
+        assert_eq!(a, DenseMatrix::from_rows(&[&[2.0, 8.0], &[18.0, 0.0]]));
+        a.cell_div_guarded(&b, 1e-9);
+        assert!((a.get(0, 0) - 2.0).abs() < 1e-6);
+        assert!(a.get(1, 1).is_finite(), "division by zero is guarded");
+    }
+
+    #[test]
+    fn sub_matrix_and_paste_round_trip() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[5.0, 6.0, 7.0, 8.0],
+            &[9.0, 10.0, 11.0, 12.0],
+        ]);
+        let s = a.sub_matrix(1, 3, 1, 4);
+        assert_eq!(s, DenseMatrix::from_rows(&[&[6.0, 7.0, 8.0], &[10.0, 11.0, 12.0]]));
+        let mut b = DenseMatrix::zeros(3, 4);
+        b.paste(1, 1, &s);
+        assert_eq!(b.get(1, 1), 6.0);
+        assert_eq!(b.get(2, 3), 12.0);
+        assert_eq!(b.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_sub_matrix() {
+        let a = a23();
+        let s = a.sub_matrix(1, 1, 0, 3);
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.cols(), 3);
+    }
+
+    #[test]
+    fn mult_vec_helpers() {
+        let a = a23();
+        let y = a.mult_vec(&Vector::from_vec(vec![1.0, 1.0, 1.0]));
+        assert_eq!(y.as_slice(), &[6.0, 15.0]);
+        let z = a.mult_trans_vec(&Vector::from_vec(vec![1.0, 1.0]));
+        assert_eq!(z.as_slice(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_cell_add_norms() {
+        let mut a = a23();
+        a.scale(2.0);
+        assert_eq!(a.get(0, 0), 2.0);
+        let b = a23();
+        a.cell_add(&b);
+        assert_eq!(a.get(1, 2), 18.0);
+        let f = DenseMatrix::from_rows(&[&[3.0], &[4.0]]).frobenius_norm();
+        assert!((f - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let a = a23();
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), a.byte_len());
+        assert_eq!(DenseMatrix::from_bytes(bytes), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn bad_buffer_panics() {
+        DenseMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

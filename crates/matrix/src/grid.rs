@@ -1,0 +1,370 @@
+//! Block partitioning of a matrix (`x10.matrix.block.Grid`).
+//!
+//! A [`Grid`] cuts an m×n matrix into `row_blocks × col_blocks` rectangular
+//! blocks with near-even dimensions. The distributed matrix classes use it
+//! to create blocks and map them to places; the snapshot/restore machinery
+//! uses [`Grid::overlaps`] to compute, for each block of a *new* grid, which
+//! blocks of the *old* grid intersect it — the core computation behind the
+//! paper's repartitioned restore (Fig 1-c), where "a single block on the new
+//! distribution can overlap with many other blocks on the old distribution".
+
+use apgas::serial::Serial;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A rectangular block partitioning of an m×n index space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    /// Row boundaries: `row_splits[i]..row_splits[i+1]` is block-row i.
+    row_splits: Vec<usize>,
+    /// Column boundaries, same shape.
+    col_splits: Vec<usize>,
+}
+
+/// Near-even split of `total` into `parts` contiguous ranges: the first
+/// `total % parts` ranges get one extra element.
+fn even_splits(total: usize, parts: usize) -> Vec<usize> {
+    assert!(parts >= 1, "need at least one block");
+    let base = total / parts;
+    let rem = total % parts;
+    let mut splits = Vec::with_capacity(parts + 1);
+    let mut acc = 0;
+    splits.push(0);
+    for i in 0..parts {
+        acc += base + usize::from(i < rem);
+        splits.push(acc);
+    }
+    splits
+}
+
+/// One intersection between a region and an old block, in **global**
+/// matrix coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overlap {
+    /// Block-row index in the old grid.
+    pub old_bi: usize,
+    /// Block-col index in the old grid.
+    pub old_bj: usize,
+    /// Global row range of the intersection.
+    pub r0: usize,
+    /// Exclusive end of the global row range.
+    pub r1: usize,
+    /// Global column range of the intersection.
+    pub c0: usize,
+    /// Exclusive end of the global column range.
+    pub c1: usize,
+}
+
+impl Grid {
+    /// Partition an m×n matrix into `row_blocks × col_blocks` near-even
+    /// blocks.
+    ///
+    /// # Panics
+    /// Panics when a dimension has fewer rows/cols than blocks would need
+    /// to be non-degenerate is allowed (empty blocks are fine), but zero
+    /// block counts are not.
+    pub fn partition(rows: usize, cols: usize, row_blocks: usize, col_blocks: usize) -> Self {
+        Grid {
+            rows,
+            cols,
+            row_splits: even_splits(rows, row_blocks),
+            col_splits: even_splits(cols, col_blocks),
+        }
+    }
+
+    /// A grid with a single block covering the whole matrix.
+    pub fn single(rows: usize, cols: usize) -> Self {
+        Grid::partition(rows, cols, 1, 1)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of block rows.
+    pub fn row_blocks(&self) -> usize {
+        self.row_splits.len() - 1
+    }
+
+    /// Number of block columns.
+    pub fn col_blocks(&self) -> usize {
+        self.col_splits.len() - 1
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.row_blocks() * self.col_blocks()
+    }
+
+    /// Global row range `[r0, r1)` of block-row `bi`.
+    pub fn row_range(&self, bi: usize) -> (usize, usize) {
+        (self.row_splits[bi], self.row_splits[bi + 1])
+    }
+
+    /// Global column range `[c0, c1)` of block-col `bj`.
+    pub fn col_range(&self, bj: usize) -> (usize, usize) {
+        (self.col_splits[bj], self.col_splits[bj + 1])
+    }
+
+    /// Global extents `(r0, r1, c0, c1)` of block `(bi, bj)`.
+    pub fn block_range(&self, bi: usize, bj: usize) -> (usize, usize, usize, usize) {
+        let (r0, r1) = self.row_range(bi);
+        let (c0, c1) = self.col_range(bj);
+        (r0, r1, c0, c1)
+    }
+
+    /// Dimensions `(rows, cols)` of block `(bi, bj)`.
+    pub fn block_dims(&self, bi: usize, bj: usize) -> (usize, usize) {
+        let (r0, r1, c0, c1) = self.block_range(bi, bj);
+        (r1 - r0, c1 - c0)
+    }
+
+    /// Dense linear id of block `(bi, bj)` (row-major over blocks).
+    pub fn block_id(&self, bi: usize, bj: usize) -> usize {
+        debug_assert!(bi < self.row_blocks() && bj < self.col_blocks());
+        bi * self.col_blocks() + bj
+    }
+
+    /// Inverse of [`Grid::block_id`].
+    pub fn block_pos(&self, id: usize) -> (usize, usize) {
+        debug_assert!(id < self.num_blocks());
+        (id / self.col_blocks(), id % self.col_blocks())
+    }
+
+    /// Iterate all `(bi, bj)` positions in block-id order.
+    pub fn block_iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_blocks()).map(|id| self.block_pos(id))
+    }
+
+    /// The block-row containing global row `r`.
+    pub fn row_block_of(&self, r: usize) -> usize {
+        debug_assert!(r < self.rows);
+        // splits[i] <= r < splits[i+1]
+        self.row_splits.partition_point(|&s| s <= r) - 1
+    }
+
+    /// The block-col containing global column `c`.
+    pub fn col_block_of(&self, c: usize) -> usize {
+        debug_assert!(c < self.cols);
+        self.col_splits.partition_point(|&s| s <= c) - 1
+    }
+
+    /// All blocks of `old` that intersect the **global** region
+    /// rows `r0..r1` × cols `c0..c1`, with their intersection extents.
+    ///
+    /// Used during a repartitioned restore: the region is a block of the
+    /// new grid, and the result tells the restorer which old blocks to copy
+    /// sub-regions from.
+    pub fn region_overlaps(
+        old: &Grid,
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+    ) -> Vec<Overlap> {
+        assert!(r1 <= old.rows && c1 <= old.cols, "region outside grid");
+        let mut out = Vec::new();
+        if r0 >= r1 || c0 >= c1 {
+            return out;
+        }
+        let bi0 = old.row_block_of(r0);
+        let bi1 = old.row_block_of(r1 - 1);
+        let bj0 = old.col_block_of(c0);
+        let bj1 = old.col_block_of(c1 - 1);
+        for bi in bi0..=bi1 {
+            let (br0, br1) = old.row_range(bi);
+            for bj in bj0..=bj1 {
+                let (bc0, bc1) = old.col_range(bj);
+                let overlap = Overlap {
+                    old_bi: bi,
+                    old_bj: bj,
+                    r0: r0.max(br0),
+                    r1: r1.min(br1),
+                    c0: c0.max(bc0),
+                    c1: c1.min(bc1),
+                };
+                if overlap.r0 < overlap.r1 && overlap.c0 < overlap.c1 {
+                    out.push(overlap);
+                }
+            }
+        }
+        out
+    }
+
+    /// Which blocks of `old` intersect block `(bi, bj)` of `self`.
+    pub fn overlaps(&self, old: &Grid, bi: usize, bj: usize) -> Vec<Overlap> {
+        assert_eq!((self.rows, self.cols), (old.rows, old.cols), "grids cover same matrix");
+        let (r0, r1, c0, c1) = self.block_range(bi, bj);
+        Grid::region_overlaps(old, r0, r1, c0, c1)
+    }
+
+    /// The row boundaries (`row_blocks + 1` entries, `0..=rows`).
+    pub fn row_splits(&self) -> &[usize] {
+        &self.row_splits
+    }
+
+    /// The column boundaries.
+    pub fn col_splits(&self) -> &[usize] {
+        &self.col_splits
+    }
+}
+
+impl Serial for Grid {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.rows as u64);
+        buf.put_u64_le(self.cols as u64);
+        buf.put_u64_le(self.row_splits.len() as u64);
+        for &s in &self.row_splits {
+            buf.put_u64_le(s as u64);
+        }
+        buf.put_u64_le(self.col_splits.len() as u64);
+        for &s in &self.col_splits {
+            buf.put_u64_le(s as u64);
+        }
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        let rows = buf.get_u64_le() as usize;
+        let cols = buf.get_u64_le() as usize;
+        let nr = buf.get_u64_le() as usize;
+        let row_splits = (0..nr).map(|_| buf.get_u64_le() as usize).collect();
+        let nc = buf.get_u64_le() as usize;
+        let col_splits = (0..nc).map(|_| buf.get_u64_le() as usize).collect();
+        Grid { rows, cols, row_splits, col_splits }
+    }
+    fn byte_len(&self) -> usize {
+        16 + 8 + 8 * self.row_splits.len() + 8 + 8 * self.col_splits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_distributes_remainder_to_front() {
+        assert_eq!(even_splits(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(even_splits(9, 3), vec![0, 3, 6, 9]);
+        assert_eq!(even_splits(2, 4), vec![0, 1, 2, 2, 2]);
+        assert_eq!(even_splits(0, 2), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn block_geometry() {
+        let g = Grid::partition(10, 7, 3, 2);
+        assert_eq!(g.row_blocks(), 3);
+        assert_eq!(g.col_blocks(), 2);
+        assert_eq!(g.num_blocks(), 6);
+        assert_eq!(g.block_range(0, 0), (0, 4, 0, 4));
+        assert_eq!(g.block_range(2, 1), (7, 10, 4, 7));
+        assert_eq!(g.block_dims(1, 0), (3, 4));
+        // Blocks tile the matrix exactly.
+        let area: usize =
+            g.block_iter().map(|(bi, bj)| { let (r, c) = g.block_dims(bi, bj); r * c }).sum();
+        assert_eq!(area, 70);
+    }
+
+    #[test]
+    fn block_id_round_trip() {
+        let g = Grid::partition(8, 8, 2, 3);
+        for (bi, bj) in g.block_iter() {
+            assert_eq!(g.block_pos(g.block_id(bi, bj)), (bi, bj));
+        }
+    }
+
+    #[test]
+    fn containing_block_lookup() {
+        let g = Grid::partition(10, 10, 3, 3);
+        // row splits: 0,4,7,10
+        assert_eq!(g.row_block_of(0), 0);
+        assert_eq!(g.row_block_of(3), 0);
+        assert_eq!(g.row_block_of(4), 1);
+        assert_eq!(g.row_block_of(9), 2);
+        assert_eq!(g.col_block_of(6), 1);
+    }
+
+    #[test]
+    fn overlaps_same_grid_is_identity() {
+        let g = Grid::partition(10, 10, 2, 2);
+        for (bi, bj) in g.block_iter() {
+            let ovs = g.overlaps(&g, bi, bj);
+            assert_eq!(ovs.len(), 1);
+            let o = ovs[0];
+            assert_eq!((o.old_bi, o.old_bj), (bi, bj));
+            assert_eq!((o.r0, o.r1, o.c0, o.c1), g.block_range(bi, bj));
+        }
+    }
+
+    #[test]
+    fn overlaps_finer_to_coarser() {
+        // Old: 4 row blocks; new: 2 row blocks. Each new block overlaps 2 old.
+        let old = Grid::partition(8, 4, 4, 1);
+        let new = Grid::partition(8, 4, 2, 1);
+        let ovs = new.overlaps(&old, 0, 0);
+        assert_eq!(ovs.len(), 2);
+        assert_eq!((ovs[0].old_bi, ovs[0].r0, ovs[0].r1), (0, 0, 2));
+        assert_eq!((ovs[1].old_bi, ovs[1].r0, ovs[1].r1), (1, 2, 4));
+    }
+
+    #[test]
+    fn overlaps_misaligned_grids() {
+        // 10 rows: old splits 0,4,7,10; new splits 0,5,10.
+        let old = Grid::partition(10, 10, 3, 3);
+        let new = Grid::partition(10, 10, 2, 2);
+        let ovs = new.overlaps(&old, 0, 0);
+        // New block rows 0..5 × cols 0..5 overlaps old rows {0..4,4..7} ×
+        // old cols {0..4,4..7} → 4 intersections.
+        assert_eq!(ovs.len(), 4);
+        // Total intersected area must equal the new block's area.
+        let area: usize = ovs.iter().map(|o| (o.r1 - o.r0) * (o.c1 - o.c0)).sum();
+        assert_eq!(area, 25);
+    }
+
+    #[test]
+    fn overlaps_cover_whole_new_grid() {
+        let old = Grid::partition(23, 17, 5, 3);
+        let new = Grid::partition(23, 17, 4, 4);
+        let mut covered = vec![vec![0u8; 17]; 23];
+        for (bi, bj) in new.block_iter() {
+            for o in new.overlaps(&old, bi, bj) {
+                for r in o.r0..o.r1 {
+                    for c in o.c0..o.c1 {
+                        covered[r][c] += 1;
+                    }
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&n| n == 1), "exact single cover");
+    }
+
+    #[test]
+    fn empty_region_has_no_overlaps() {
+        let g = Grid::partition(4, 4, 2, 2);
+        assert!(Grid::region_overlaps(&g, 2, 2, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let g = Grid::partition(10, 7, 3, 2);
+        let bytes = g.to_bytes();
+        assert_eq!(bytes.len(), g.byte_len());
+        assert_eq!(Grid::from_bytes(bytes), g);
+    }
+
+    #[test]
+    fn degenerate_more_blocks_than_rows() {
+        let g = Grid::partition(2, 2, 4, 1);
+        assert_eq!(g.block_dims(0, 0), (1, 2));
+        assert_eq!(g.block_dims(2, 0), (0, 2));
+        // Empty blocks do not break overlap computations.
+        let new = Grid::partition(2, 2, 1, 1);
+        let ovs = new.overlaps(&g, 0, 0);
+        assert_eq!(ovs.len(), 2, "only non-empty old blocks appear");
+    }
+}

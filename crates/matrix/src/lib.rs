@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # gml-matrix — single-place matrix and vector kernels
+//!
+//! The local building blocks of the Global Matrix Library: the single-place
+//! column of Table I in the paper (`Vector`, `DenseMatrix`, `SparseCSR`,
+//! `SparseCSC`), plus the machinery the distributed layer is built from:
+//!
+//! * [`Grid`](grid::Grid) — an m×n block partitioning with near-even splits
+//!   (`x10.matrix.block.Grid`), including the *overlap computation* between
+//!   two different grids that powers the paper's repartitioned restore
+//!   (Fig 1-c);
+//! * [`MatrixBlock`](block::MatrixBlock) / [`BlockSet`](block::BlockSet) —
+//!   dense-or-sparse blocks tagged with their grid position
+//!   (`x10.matrix.distblock.BlockSet`);
+//! * deterministic random builders for benchmark workloads.
+//!
+//! Kernels are single-threaded: in the paper each place runs one worker
+//! thread (`X10_NTHREADS=1`, `OPENBLAS_NUM_THREADS=1`); parallelism comes
+//! from running many places.
+
+pub mod block;
+pub mod builder;
+pub mod dense;
+pub mod grid;
+pub mod sparse_csc;
+pub mod sparse_csr;
+pub mod vector;
+
+pub use block::{BlockData, BlockSet, MatrixBlock};
+pub use dense::DenseMatrix;
+pub use grid::{Grid, Overlap};
+pub use sparse_csc::SparseCSC;
+pub use sparse_csr::SparseCSR;
+pub use vector::Vector;

@@ -1,0 +1,317 @@
+//! Compressed sparse column matrix (`x10.matrix.sparse.SparseCSC`).
+//!
+//! GML's default sparse format. Column-compressed storage is the transpose
+//! view of [`SparseCSR`](crate::sparse_csr::SparseCSR); both exist because
+//! the paper's Table I lists both, and because `Aᵀx` on CSC has the access
+//! pattern of `Ax` on CSR.
+
+use apgas::serial::Serial;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::dense::DenseMatrix;
+use crate::vector::Vector;
+
+/// A sparse matrix in CSC format: for each column, a contiguous run of
+/// `(row, value)` pairs with strictly increasing row indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseCSC {
+    rows: usize,
+    cols: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` indexes column j's entries. Length cols+1.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseCSC {
+    /// An empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SparseCSC { rows, cols, col_ptr: vec![0; cols + 1], row_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Build from raw CSC arrays.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(col_ptr.len(), cols + 1, "col_ptr length");
+        assert_eq!(row_idx.len(), values.len(), "row/value length mismatch");
+        assert_eq!(*col_ptr.last().expect("non-empty col_ptr"), row_idx.len(), "col_ptr tail");
+        debug_assert!(col_ptr.windows(2).all(|w| w[0] <= w[1]), "col_ptr monotone");
+        debug_assert!(row_idx.iter().all(|&r| r < rows), "row index in range");
+        SparseCSC { rows, cols, col_ptr, row_idx, values }
+    }
+
+    /// Build from `(row, col, value)` triplets; duplicates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cols];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet out of range");
+            per_col[c].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        col_ptr.push(0);
+        for entries in &mut per_col {
+            entries.sort_unstable_by_key(|e| e.0);
+            let mut last_row = usize::MAX;
+            for &(r, v) in entries.iter() {
+                if r == last_row {
+                    *values.last_mut().expect("duplicate follows an entry") += v;
+                } else {
+                    row_idx.push(r);
+                    values.push(v);
+                    last_row = r;
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        SparseCSC { rows, cols, col_ptr, row_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column `j` as parallel `(rows, values)` slices.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (a, b) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[a..b], &self.values[a..b])
+    }
+
+    /// The value at `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `self *= alpha`.
+    pub fn scale(&mut self, alpha: f64) -> &mut Self {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+        self
+    }
+
+    /// `y = alpha * A * x + beta * y` (scatter along columns).
+    pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length != cols");
+        assert_eq!(y.len(), self.rows, "spmv: y length != rows");
+        if beta != 1.0 {
+            for v in y.iter_mut() {
+                *v *= beta;
+            }
+        }
+        for j in 0..self.cols {
+            let axj = alpha * x[j];
+            if axj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                y[r] += axj * v;
+            }
+        }
+    }
+
+    /// `y = alpha * Aᵀ * x + beta * y` (gather along columns).
+    pub fn spmv_trans(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "spmv_trans: x length != rows");
+        assert_eq!(y.len(), self.cols, "spmv_trans: y length != cols");
+        for (j, yj) in y.iter_mut().enumerate() {
+            let (rows, vals) = self.col(j);
+            let dot: f64 = rows.iter().zip(vals).map(|(&r, &v)| v * x[r]).sum();
+            *yj = alpha * dot + beta * *yj;
+        }
+    }
+
+    /// Multiply into a fresh output vector: `A * x`.
+    pub fn mult_vec(&self, x: &Vector) -> Vector {
+        let mut y = Vector::zeros(self.rows);
+        self.spmv(1.0, x.as_slice(), 0.0, y.as_mut_slice());
+        y
+    }
+
+    /// Count non-zeros inside the region rows `r0..r1` × cols `c0..c1`.
+    pub fn count_nnz_in(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> usize {
+        let mut count = 0;
+        for j in c0..c1 {
+            let (rows, _) = self.col(j);
+            let lo = rows.partition_point(|&r| r < r0);
+            let hi = rows.partition_point(|&r| r < r1);
+            count += hi - lo;
+        }
+        count
+    }
+
+    /// Extract the sub-matrix rows `r0..r1` × cols `c0..c1`, re-based.
+    pub fn sub_matrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> SparseCSC {
+        assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");
+        assert!(c0 <= c1 && c1 <= self.cols, "col range out of bounds");
+        let nnz = self.count_nnz_in(r0, r1, c0, c1);
+        let mut col_ptr = Vec::with_capacity(c1 - c0 + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        col_ptr.push(0);
+        for j in c0..c1 {
+            let (rows, vals) = self.col(j);
+            let lo = rows.partition_point(|&r| r < r0);
+            let hi = rows.partition_point(|&r| r < r1);
+            for k in lo..hi {
+                row_idx.push(rows[k] - r0);
+                values.push(vals[k]);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        SparseCSC { rows: r1 - r0, cols: c1 - c0, col_ptr, row_idx, values }
+    }
+
+    /// Densify (testing aid).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                out.set(r, j, v);
+            }
+        }
+        out
+    }
+
+    /// Iterate all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.cols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, j, v))
+        })
+    }
+}
+
+impl Serial for SparseCSC {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.rows as u64);
+        buf.put_u64_le(self.cols as u64);
+        buf.put_u64_le(self.nnz() as u64);
+        buf.reserve(8 * (self.col_ptr.len() + 2 * self.nnz()));
+        for &p in &self.col_ptr {
+            buf.put_u64_le(p as u64);
+        }
+        for &r in &self.row_idx {
+            buf.put_u64_le(r as u64);
+        }
+        for &v in &self.values {
+            buf.put_f64_le(v);
+        }
+    }
+    fn read(buf: &mut Bytes) -> Self {
+        let rows = buf.get_u64_le() as usize;
+        let cols = buf.get_u64_le() as usize;
+        let nnz = buf.get_u64_le() as usize;
+        let col_ptr = (0..cols + 1).map(|_| buf.get_u64_le() as usize).collect();
+        let row_idx = (0..nnz).map(|_| buf.get_u64_le() as usize).collect();
+        let values = (0..nnz).map(|_| buf.get_f64_le()).collect();
+        SparseCSC::from_raw(rows, cols, col_ptr, row_idx, values)
+    }
+    fn byte_len(&self) -> usize {
+        24 + 8 * (self.col_ptr.len() + 2 * self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Same 3×4 example as the CSR tests:
+    /// [1 0 2 0]
+    /// [0 0 0 3]
+    /// [4 5 0 0]
+    fn example() -> SparseCSC {
+        SparseCSC::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let a = example();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(2, 0), 4.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert_eq!(a.col(0), (&[0usize, 2][..], &[1.0, 4.0][..]));
+    }
+
+    #[test]
+    fn duplicates_summed() {
+        let a = SparseCSC::from_triplets(2, 2, &[(1, 1, 1.0), (1, 1, -3.0)]);
+        assert_eq!(a.get(1, 1), -2.0);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = example();
+        let d = a.to_dense();
+        let x = [1.0, -1.0, 2.0, 0.5];
+        let mut ys = [1.0, 1.0, 1.0];
+        let mut yd = [1.0, 1.0, 1.0];
+        a.spmv(2.0, &x, -1.0, &mut ys);
+        d.gemv(2.0, &x, -1.0, &mut yd);
+        assert_eq!(ys, yd);
+    }
+
+    #[test]
+    fn spmv_trans_matches_dense() {
+        let a = example();
+        let d = a.to_dense();
+        let x = [1.0, 2.0, 3.0];
+        let mut ys = [0.5; 4];
+        let mut yd = [0.5; 4];
+        a.spmv_trans(1.5, &x, 2.0, &mut ys);
+        d.gemv_trans(1.5, &x, 2.0, &mut yd);
+        assert_eq!(ys, yd);
+    }
+
+    #[test]
+    fn sub_matrix_matches_dense() {
+        let a = example();
+        let s = a.sub_matrix(0, 2, 1, 4);
+        assert_eq!(s.to_dense(), a.to_dense().sub_matrix(0, 2, 1, 4));
+        assert_eq!(a.count_nnz_in(0, 2, 1, 4), s.nnz());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let a = example();
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), a.byte_len());
+        assert_eq!(SparseCSC::from_bytes(bytes), a);
+    }
+
+    #[test]
+    fn iter_and_scale() {
+        let mut a = example();
+        a.scale(2.0);
+        assert_eq!(a.get(2, 1), 10.0);
+        assert_eq!(a.iter().count(), 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the single-place kernels: algebraic identities
+//! that must hold for arbitrary shapes and contents.
+
+use gml_matrix::{builder, DenseMatrix, SparseCSR, Vector};
+use proptest::prelude::*;
+
+fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// gemv is linear: A(αx + βy) = αAx + βAy.
+    #[test]
+    fn gemv_linearity(
+        m in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..1000,
+        alpha in -3.0f64..3.0,
+        beta in -3.0f64..3.0,
+    ) {
+        let a = builder::random_dense(m, n, seed);
+        let x = builder::random_vector(n, seed + 1);
+        let y = builder::random_vector(n, seed + 2);
+        // lhs = A(αx + βy)
+        let mut comb = x.clone();
+        comb.scale(alpha);
+        comb.axpy(beta, &y);
+        let lhs = a.mult_vec(&comb);
+        // rhs = αAx + βAy
+        let mut rhs = a.mult_vec(&x);
+        rhs.scale(alpha);
+        rhs.axpy(beta, &a.mult_vec(&y));
+        prop_assert!(approx_eq(lhs.as_slice(), rhs.as_slice(), 1e-9));
+    }
+
+    /// ⟨Ax, y⟩ = ⟨x, Aᵀy⟩ for all x, y (adjoint identity).
+    #[test]
+    fn gemv_trans_is_adjoint(
+        m in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let a = builder::random_dense(m, n, seed);
+        let x = builder::random_vector(n, seed + 1);
+        let y = builder::random_vector(m, seed + 2);
+        let ax_dot_y = a.mult_vec(&x).dot(&y);
+        let x_dot_aty = x.dot(&a.mult_trans_vec(&y));
+        prop_assert!((ax_dot_y - x_dot_aty).abs() < 1e-9);
+    }
+
+    /// Sparse spmv agrees with densified gemv.
+    #[test]
+    fn spmv_agrees_with_dense(
+        m in 1usize..30,
+        n in 1usize..30,
+        nnz_per_row in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let a = builder::random_csr(m, n, nnz_per_row, seed);
+        let x = builder::random_vector(n, seed + 1);
+        let sparse = a.mult_vec(&x);
+        let dense = a.to_dense().mult_vec(&x);
+        prop_assert!(approx_eq(sparse.as_slice(), dense.as_slice(), 1e-10));
+        // Transposed too.
+        let y = builder::random_vector(m, seed + 2);
+        let mut st = Vector::zeros(n);
+        let mut dt = Vector::zeros(n);
+        a.spmv_trans(1.0, y.as_slice(), 0.0, st.as_mut_slice());
+        a.to_dense().gemv_trans(1.0, y.as_slice(), 0.0, dt.as_mut_slice());
+        prop_assert!(approx_eq(st.as_slice(), dt.as_slice(), 1e-10));
+    }
+
+    /// Cutting a dense matrix along any interior point and pasting the four
+    /// quadrants back reconstructs it exactly.
+    #[test]
+    fn dense_quadrant_cut_paste(
+        m in 2usize..25,
+        n in 2usize..25,
+        seed in 0u64..1000,
+        ri in 1usize..24,
+        ci in 1usize..24,
+    ) {
+        let ri = ri.min(m - 1);
+        let ci = ci.min(n - 1);
+        let a = builder::random_dense(m, n, seed);
+        let mut out = DenseMatrix::zeros(m, n);
+        out.paste(0, 0, &a.sub_matrix(0, ri, 0, ci));
+        out.paste(0, ci, &a.sub_matrix(0, ri, ci, n));
+        out.paste(ri, 0, &a.sub_matrix(ri, m, 0, ci));
+        out.paste(ri, ci, &a.sub_matrix(ri, m, ci, n));
+        prop_assert_eq!(out, a);
+    }
+
+    /// Same for sparse CSR, including the nnz bookkeeping.
+    #[test]
+    fn sparse_quadrant_cut_paste(
+        m in 2usize..25,
+        n in 2usize..25,
+        nnz_per_row in 0usize..5,
+        seed in 0u64..1000,
+        ri in 1usize..24,
+        ci in 1usize..24,
+    ) {
+        let ri = ri.min(m - 1);
+        let ci = ci.min(n - 1);
+        let a = builder::random_csr(m, n, nnz_per_row, seed);
+        let q00 = a.sub_matrix(0, ri, 0, ci);
+        let q01 = a.sub_matrix(0, ri, ci, n);
+        let q10 = a.sub_matrix(ri, m, 0, ci);
+        let q11 = a.sub_matrix(ri, m, ci, n);
+        prop_assert_eq!(
+            q00.nnz() + q01.nnz() + q10.nnz() + q11.nnz(),
+            a.nnz(),
+            "quadrant nnz must partition the total"
+        );
+        let mut out = SparseCSR::zeros(m, n);
+        out.paste(0, 0, &q00);
+        out.paste(0, ci, &q01);
+        out.paste(ri, 0, &q10);
+        out.paste(ri, ci, &q11);
+        prop_assert_eq!(out, a);
+    }
+
+    /// count_nnz_in agrees with the actual extraction for arbitrary regions.
+    #[test]
+    fn nnz_count_matches_extraction(
+        m in 1usize..25,
+        n in 1usize..25,
+        nnz_per_row in 0usize..5,
+        seed in 0u64..1000,
+        r0 in 0usize..25,
+        c0 in 0usize..25,
+    ) {
+        let a = builder::random_csr(m, n, nnz_per_row, seed);
+        let r0 = r0.min(m);
+        let c0 = c0.min(n);
+        let r1 = ((r0 + 7).min(m)).max(r0);
+        let c1 = ((c0 + 7).min(n)).max(c0);
+        let counted = a.count_nnz_in(r0, r1, c0, c1);
+        let extracted = a.sub_matrix(r0, r1, c0, c1).nnz();
+        prop_assert_eq!(counted, extracted);
+    }
+
+    /// Vector dot is symmetric and axpy matches elementwise arithmetic.
+    #[test]
+    fn vector_identities(len in 0usize..40, seed in 0u64..1000, alpha in -2.0f64..2.0) {
+        let x = builder::random_vector(len, seed);
+        let y = builder::random_vector(len, seed + 1);
+        prop_assert!((x.dot(&y) - y.dot(&x)).abs() < 1e-12);
+        let mut z = y.clone();
+        z.axpy(alpha, &x);
+        for i in 0..len {
+            prop_assert!((z.get(i) - (y.get(i) + alpha * x.get(i))).abs() < 1e-12);
+        }
+        prop_assert!(x.norm2_sq() >= 0.0);
+    }
+
+    /// CSR ↔ CSC ↔ dense conversions are lossless.
+    #[test]
+    fn format_conversions_lossless(
+        m in 1usize..20,
+        n in 1usize..20,
+        nnz_per_row in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let a = builder::random_csr(m, n, nnz_per_row, seed);
+        let csc = a.to_csc();
+        prop_assert_eq!(csc.nnz(), a.nnz());
+        prop_assert_eq!(csc.to_dense(), a.to_dense());
+        // And every stored entry agrees pointwise.
+        for (r, c, v) in a.iter() {
+            prop_assert_eq!(csc.get(r, c), v);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Distributed non-negative matrix factorisation with failure recovery.
+//!
+//! Factorises a sparse 2000×200 matrix into rank-12 factors across 4
+//! places, killing a place mid-run; prints the objective trajectory to show
+//! the rollback is exact and convergence continues.
+//!
+//! ```sh
+//! cargo run --release --example gnmf_factorization
+//! ```
+
+use apgas::runtime::{Runtime, RuntimeConfig};
+use resilient_gml::apps::gnmf::{Gnmf, GnmfConfig, ResilientGnmf};
+use resilient_gml::prelude::*;
+
+struct Narrated {
+    inner: ResilientGnmf,
+    killed: bool,
+}
+
+impl ResilientIterativeApp for Narrated {
+    fn is_finished(&self, ctx: &Ctx, it: u64) -> bool {
+        self.inner.is_finished(ctx, it)
+    }
+    fn step(&mut self, ctx: &Ctx, it: u64) -> GmlResult<()> {
+        if it == 12 && !self.killed {
+            self.killed = true;
+            println!("  !! killing place 2 at iteration {it}");
+            ctx.kill_place(Place::new(2))?;
+        }
+        self.inner.step(ctx, it)?;
+        if it % 5 == 0 {
+            println!(
+                "  iter {it:>3}  ‖V − WH‖² = {:.6}",
+                self.inner.app.objective(ctx)?
+            );
+        }
+        Ok(())
+    }
+    fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+        self.inner.checkpoint(ctx, store)
+    }
+    fn restore(
+        &mut self,
+        ctx: &Ctx,
+        g: &PlaceGroup,
+        store: &mut AppResilientStore,
+        si: u64,
+        rb: bool,
+    ) -> GmlResult<()> {
+        println!("  -> rolling back to iteration {si} on {g:?}");
+        self.inner.restore(ctx, g, store, si, rb)
+    }
+}
+
+fn main() {
+    Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+        let world = ctx.world();
+        let cfg = GnmfConfig {
+            rows_per_place: 500,
+            cols: 200,
+            rank: 12,
+            nnz_per_row: 20,
+            iterations: 30,
+            eps: 1e-9,
+            seed: 4,
+        };
+        println!(
+            "factorising a sparse {}x{} matrix (rank {}) over {} places",
+            cfg.rows_per_place * world.len(),
+            cfg.cols,
+            cfg.rank,
+            world.len()
+        );
+        // Failure-free baseline for comparison.
+        let (obj_baseline, _) = Gnmf::run_simple(ctx, cfg, &world).expect("baseline");
+
+        let mut app =
+            Narrated { inner: ResilientGnmf::make(ctx, cfg, &world).expect("build"), killed: false };
+        let mut store = AppResilientStore::make(ctx).expect("store");
+        let exec = ResilientExecutor::new(ExecutorConfig::new(10, RestoreMode::ShrinkRebalance));
+        let (final_group, stats) =
+            exec.run(ctx, &mut app, &world, &mut store).expect("resilient run");
+        let obj = app.inner.app.objective(ctx).expect("objective");
+        println!("final objective {obj:.6} (failure-free baseline {obj_baseline:.6})");
+        println!(
+            "iterations {} | checkpoints {} | restores {} | final group {:?}",
+            stats.iterations_run, stats.checkpoints, stats.restores, final_group
+        );
+        assert!((obj - obj_baseline).abs() < 1e-6);
+        println!("recovered run matches the failure-free factorisation");
+    })
+    .expect("runtime");
+}

@@ -1,0 +1,58 @@
+//! Distributed linear-regression training (conjugate gradient) with a
+//! checkpoint/restart safety net, plus Young's checkpoint-interval formula.
+//!
+//! ```sh
+//! cargo run --release --example linreg_training
+//! ```
+
+use apgas::runtime::{Runtime, RuntimeConfig};
+use resilient_gml::prelude::*;
+
+fn main() {
+    let cfg = LinRegConfig {
+        examples_per_place: 500,
+        features: 40,
+        iterations: 25,
+        lambda: 1e-6,
+        seed: 3,
+    };
+
+    Runtime::run(RuntimeConfig::new(4).resilient(true), move |ctx| {
+        let world = ctx.world();
+        println!("training ridge regression on {} places", world.len());
+        println!(
+            "  {} examples x {} features (weak scaling: {}/place)",
+            cfg.examples_per_place * world.len(),
+            cfg.features,
+            cfg.examples_per_place
+        );
+
+        let mut app = ResilientLinReg::make(ctx, cfg, &world).expect("build training set");
+        let mut store = AppResilientStore::make(ctx).expect("store");
+
+        // Measure one checkpoint to size the interval with Young's formula.
+        let t = std::time::Instant::now();
+        store.set_current_iteration(0);
+        app.checkpoint(ctx, &mut store).expect("probe checkpoint");
+        let ckpt_secs = t.elapsed().as_secs_f64();
+        let mttf_secs = 3600.0; // suppose one failure per hour
+        let young = young_interval(ckpt_secs, mttf_secs);
+        println!(
+            "  checkpoint costs {:.1} ms; Young's interval at MTTF=1h is {:.0} s",
+            ckpt_secs * 1000.0,
+            young
+        );
+
+        let exec = ResilientExecutor::new(ExecutorConfig::new(10, RestoreMode::Shrink));
+        let (_, stats) = exec.run(ctx, &mut app, &world, &mut store).expect("training run");
+        let w = app.app.weights(ctx).expect("weights");
+        println!(
+            "  trained in {} iterations ({} checkpoints), |w| = {:.4}, residual = {:.3e}",
+            stats.iterations_run,
+            stats.checkpoints,
+            w.norm2(),
+            app.app.residual()
+        );
+    })
+    .expect("runtime");
+}

@@ -1,0 +1,148 @@
+//! Endurance under randomized failures: the full stack (runtime + store +
+//! executor + a real application) driven through many random failures with
+//! every restoration strategy, including Young's-formula adaptive
+//! checkpointing. Results must equal the failure-free run every time.
+
+use std::time::Duration;
+
+use apgas::runtime::{Runtime, RuntimeConfig};
+use resilient_gml::core::ChaosInjector;
+use resilient_gml::prelude::*;
+
+fn pr_cfg() -> PageRankConfig {
+    PageRankConfig { nodes_per_place: 20, out_degree: 3, iterations: 40, alpha: 0.85, seed: 13 }
+}
+
+#[test]
+fn chaos_with_shrink_mode() {
+    chaos_run(RestoreMode::Shrink, 0, 101);
+}
+
+#[test]
+fn chaos_with_elastic_mode() {
+    chaos_run(RestoreMode::ReplaceElastic, 0, 202);
+}
+
+#[test]
+fn chaos_with_redundant_then_fallback() {
+    // Two spares, up to three failures: the third must fall back to shrink.
+    chaos_run(RestoreMode::ReplaceRedundant, 2, 303);
+}
+
+fn chaos_run(mode: RestoreMode, spares: usize, seed: u64) {
+    Runtime::run(RuntimeConfig::new(6).spares(spares).resilient(true), move |ctx| {
+        let world = ctx.world();
+        let cfg = pr_cfg();
+        let (expect, _) = PageRank::run_simple(ctx, cfg, &world).unwrap();
+
+        let app = ResilientPageRank::make(ctx, cfg, &world).unwrap();
+        // Aggressive chaos: ~20% failure chance each iteration, max 3.
+        let mut chaos = ChaosInjector::new(app, 0.2, 3, seed);
+        let mut store = AppResilientStore::make(ctx).unwrap();
+        let mut exec_cfg = ExecutorConfig::new(8, mode);
+        exec_cfg.max_restores = 16;
+        let exec = ResilientExecutor::new(exec_cfg);
+        let (final_group, stats) = exec.run(ctx, &mut chaos, &world, &mut store).unwrap();
+
+        let ranks = chaos.app.app.ranks(ctx).unwrap();
+        assert!(
+            ranks.max_abs_diff(&expect) < 1e-12,
+            "{mode:?} seed {seed}: chaos changed the answer (diff {:.2e}, kills {})",
+            ranks.max_abs_diff(&expect),
+            chaos.kills()
+        );
+        assert!(chaos.kills() >= 1, "seed should produce failures");
+        // A kill may land on an idle spare (no restore needed), so restores
+        // can be below the kill count but never above it.
+        assert!(stats.restores <= chaos.kills() as u64);
+        match mode {
+            RestoreMode::ReplaceElastic => assert_eq!(final_group.len(), 6),
+            RestoreMode::ReplaceRedundant => {
+                // With spares available, group-member kills are replaced
+                // until the spares (possibly themselves killed) run out.
+                assert!(final_group.len() >= 6 - (chaos.kills() as usize).saturating_sub(spares));
+            }
+            _ => assert_eq!(final_group.len(), 6 - stats.restores as usize),
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn chaos_with_adaptive_checkpointing() {
+    Runtime::run(RuntimeConfig::new(5).resilient(true), |ctx| {
+        let world = ctx.world();
+        let cfg = pr_cfg();
+        let (expect, _) = PageRank::run_simple(ctx, cfg, &world).unwrap();
+
+        let app = ResilientPageRank::make(ctx, cfg, &world).unwrap();
+        let mut chaos = ChaosInjector::new(app, 0.1, 2, 777);
+        let mut store = AppResilientStore::make(ctx).unwrap();
+        let exec_cfg = ExecutorConfig::new(10, RestoreMode::Shrink)
+            .with_mttf(Duration::from_millis(200));
+        let exec = ResilientExecutor::new(exec_cfg);
+        let (_, stats) = exec.run(ctx, &mut chaos, &world, &mut store).unwrap();
+
+        let ranks = chaos.app.app.ranks(ctx).unwrap();
+        assert!(ranks.max_abs_diff(&expect) < 1e-12);
+        assert!(stats.checkpoints >= 2, "adaptive interval still checkpoints: {stats:?}");
+    })
+    .unwrap();
+}
+
+#[test]
+fn back_to_back_failures_between_checkpoints() {
+    // Two failures in the *same* inter-checkpoint window: the second restore
+    // must roll back to the same snapshot and still finish correctly.
+    Runtime::run(RuntimeConfig::new(5).resilient(true), |ctx| {
+        let world = ctx.world();
+        let cfg = pr_cfg();
+        let (expect, _) = PageRank::run_simple(ctx, cfg, &world).unwrap();
+
+        struct DoubleTap {
+            inner: ResilientPageRank,
+            kills: Vec<(u64, Place)>,
+        }
+        impl ResilientIterativeApp for DoubleTap {
+            fn is_finished(&self, ctx: &Ctx, it: u64) -> bool {
+                self.inner.is_finished(ctx, it)
+            }
+            fn step(&mut self, ctx: &Ctx, it: u64) -> GmlResult<()> {
+                if let Some(pos) =
+                    self.kills.iter().position(|(at, p)| *at == it && ctx.is_alive(*p))
+                {
+                    let (_, v) = self.kills.remove(pos);
+                    ctx.kill_place(v)?;
+                }
+                self.inner.step(ctx, it)
+            }
+            fn checkpoint(&mut self, ctx: &Ctx, s: &mut AppResilientStore) -> GmlResult<()> {
+                self.inner.checkpoint(ctx, s)
+            }
+            fn restore(
+                &mut self,
+                ctx: &Ctx,
+                g: &PlaceGroup,
+                s: &mut AppResilientStore,
+                si: u64,
+                rb: bool,
+            ) -> GmlResult<()> {
+                self.inner.restore(ctx, g, s, si, rb)
+            }
+        }
+
+        let mut app = DoubleTap {
+            inner: ResilientPageRank::make(ctx, cfg, &world).unwrap(),
+            // Both failures land in the window after the checkpoint at 16.
+            kills: vec![(18, Place::new(2)), (19, Place::new(4))],
+        };
+        let mut store = AppResilientStore::make(ctx).unwrap();
+        let exec = ResilientExecutor::new(ExecutorConfig::new(8, RestoreMode::Shrink));
+        let (final_group, stats) = exec.run(ctx, &mut app, &world, &mut store).unwrap();
+        assert_eq!(final_group.len(), 3);
+        assert_eq!(stats.restores, 2);
+        let ranks = app.inner.app.ranks(ctx).unwrap();
+        assert!(ranks.max_abs_diff(&expect) < 1e-12);
+    })
+    .unwrap();
+}

@@ -1,0 +1,171 @@
+//! Adversarial failure-timing tests: kills landing *inside* collective
+//! operations, during checkpoints, during restores, and in rapid succession.
+//! The contract under test: a failure either surfaces as a recoverable
+//! error (dead-place) or the operation completes — never a hang, never a
+//! wrong answer.
+
+use apgas::prelude::*;
+use apgas::runtime::{Runtime, RuntimeConfig};
+use resilient_gml::core::{
+    AppResilientStore, DistBlockMatrix, DupVector, ResilientStore, Snapshottable,
+};
+use resilient_gml::matrix::{builder, BlockData};
+
+fn fill(r0: usize, c0: usize, rows: usize, cols: usize) -> BlockData {
+    BlockData::Dense(builder::random_dense(rows, cols, (r0 * 31 + c0) as u64))
+}
+
+/// A failure injected concurrently with a collective mult either kills the
+/// operation (recoverably) or the operation completes; repeated attempts
+/// never wedge the runtime.
+#[test]
+fn kill_racing_a_collective_is_recoverable_or_harmless() {
+    Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+        let g = ctx.world();
+        let m = DistBlockMatrix::make(ctx, 400, 40, 4, 1, 4, 1, &g, false).unwrap();
+        m.init_with(ctx, |_, _, r0, c0, r, c| fill(r0, c0, r, c)).unwrap();
+        let x = DupVector::make(ctx, 40, &g).unwrap();
+        x.init(ctx, |i| i as f64 * 0.01).unwrap();
+        let y = m.make_aligned_vector(ctx).unwrap();
+
+        // Fire the kill from another place mid-operation.
+        let killer = std::thread::spawn({
+            let ctx2 = ctx.clone();
+            move || {
+                std::thread::sleep(std::time::Duration::from_micros(150));
+                let _ = ctx2.kill_place(Place::new(3));
+            }
+        });
+        let result = m.mult(ctx, &y, &x);
+        killer.join().unwrap();
+        match result {
+            Ok(()) => {} // raced ahead of the kill
+            Err(e) => assert!(e.is_recoverable(), "unexpected error kind: {e}"),
+        }
+        // The runtime is still fully functional on the survivors.
+        let survivors = ctx.live_subset(&g);
+        assert_eq!(survivors.len(), 3);
+        let n = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        ctx.finish(|fs| {
+            for p in survivors.iter() {
+                let n = std::sync::Arc::clone(&n);
+                fs.async_at(p, move |_| {
+                    n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(std::sync::atomic::Ordering::Relaxed), 3);
+    })
+    .unwrap();
+}
+
+/// Killing a place between snapshot and restore still restores every block
+/// (backups serve the dead owner's blocks).
+#[test]
+fn restore_after_kill_between_snapshot_and_restore() {
+    Runtime::run(RuntimeConfig::new(5).resilient(true), |ctx| {
+        let g = ctx.world();
+        let store = ResilientStore::make(ctx).unwrap();
+        let mut m = DistBlockMatrix::make(ctx, 100, 10, 10, 1, 5, 1, &g, false).unwrap();
+        m.init_with(ctx, |_, _, r0, c0, r, c| fill(r0, c0, r, c)).unwrap();
+        let reference = m.gather_dense(ctx).unwrap();
+        let snap = m.make_snapshot(ctx, &store).unwrap();
+        // Two non-adjacent victims: every key keeps one replica.
+        ctx.kill_place(Place::new(1)).unwrap();
+        ctx.kill_place(Place::new(3)).unwrap();
+        let survivors = g.without(&[Place::new(1), Place::new(3)]);
+        m.remake(ctx, &survivors, false).unwrap();
+        m.restore_snapshot(ctx, &store, &snap).unwrap();
+        assert_eq!(m.gather_dense(ctx).unwrap(), reference);
+    })
+    .unwrap();
+}
+
+/// Adjacent owner+backup failures lose data — and the library must say so,
+/// not hang or fabricate zeros.
+#[test]
+fn adjacent_double_failure_reports_data_loss() {
+    Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+        let g = ctx.world();
+        let store = ResilientStore::make(ctx).unwrap();
+        let mut m = DistBlockMatrix::make(ctx, 40, 8, 4, 1, 4, 1, &g, false).unwrap();
+        m.init_with(ctx, |_, _, r0, c0, r, c| fill(r0, c0, r, c)).unwrap();
+        let snap = m.make_snapshot(ctx, &store).unwrap();
+        // Place 1 owns block 1, backed up at place 2: kill both.
+        ctx.kill_place(Place::new(1)).unwrap();
+        ctx.kill_place(Place::new(2)).unwrap();
+        let survivors = g.without(&[Place::new(1), Place::new(2)]);
+        m.remake(ctx, &survivors, false).unwrap();
+        let err = m.restore_snapshot(ctx, &store, &snap).unwrap_err();
+        assert!(
+            matches!(err, resilient_gml::core::GmlError::DataLoss(_)),
+            "expected DataLoss, got {err}"
+        );
+    })
+    .unwrap();
+}
+
+/// A checkpoint that fails mid-save is cancelled cleanly; the store's
+/// previous committed snapshot remains usable and no partial entries leak.
+#[test]
+fn cancelled_checkpoint_leaks_nothing() {
+    Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+        let g = ctx.world();
+        let mut store = AppResilientStore::make(ctx).unwrap();
+        let v = DupVector::make(ctx, 8, &g).unwrap();
+        v.init(ctx, |i| i as f64).unwrap();
+
+        store.set_current_iteration(0);
+        store.start_new_snapshot();
+        store.save(ctx, &v).unwrap();
+        store.commit(ctx).unwrap();
+        let baseline_entries: usize = g
+            .iter()
+            .map(|p| store.store().entries_at(ctx, p).unwrap())
+            .sum();
+
+        // Second snapshot attempt: the backup target dies first, so save
+        // fails; cancel must remove whatever was written.
+        v.apply(ctx, |x| x.fill(99.0)).unwrap();
+        store.set_current_iteration(5);
+        store.start_new_snapshot();
+        ctx.kill_place(Place::new(1)).unwrap();
+        let res = store.save(ctx, &v);
+        assert!(res.is_err(), "backup place is dead; save must fail");
+        store.cancel_snapshot(ctx);
+
+        let after_entries: usize = ctx
+            .live_subset(&g)
+            .iter()
+            .map(|p| store.store().entries_at(ctx, p).unwrap())
+            .sum();
+        assert!(
+            after_entries <= baseline_entries,
+            "cancel leaked entries: {after_entries} > {baseline_entries}"
+        );
+        assert_eq!(store.snapshot_iteration(), Some(0), "old snapshot still the recovery point");
+    })
+    .unwrap();
+}
+
+/// GmlError classification drives executor decisions; double-check the
+/// surface most app code relies on.
+#[test]
+fn error_classification_matches_executor_contract() {
+    Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+        ctx.kill_place(Place::new(2)).unwrap();
+        let g = ctx.world();
+        // Collective over a group containing a dead place: recoverable.
+        let err = DupVector::make(ctx, 4, &g).map(|_| ()).unwrap_err();
+        assert!(err.is_recoverable());
+        assert_eq!(err.dead_places(), vec![Place::new(2)]);
+        // Shape errors: not recoverable.
+        let live = ctx.live_subset(&g);
+        let a = DupVector::make(ctx, 4, &live).unwrap();
+        let b = DupVector::make(ctx, 5, &live).unwrap();
+        let err = a.axpy_all(ctx, 1.0, &b).unwrap_err();
+        assert!(!err.is_recoverable());
+    })
+    .unwrap();
+}
