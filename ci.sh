@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, test, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

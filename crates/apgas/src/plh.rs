@@ -23,11 +23,13 @@ use crate::place::{Place, PlaceGroup};
 use crate::runtime::Ctx;
 
 type AnyArc = Arc<dyn Any + Send + Sync>;
+/// One place's handle-id → value map (the place's "local memory").
+type PlaceSlot = Arc<Mutex<HashMap<u64, AnyArc>>>;
 
 /// Per-place storage keyed by handle id. Growable: elastic place creation
 /// appends fresh slots at runtime.
 pub(crate) struct PlhRegistry {
-    slots: parking_lot::RwLock<Vec<Arc<Mutex<HashMap<u64, AnyArc>>>>>,
+    slots: parking_lot::RwLock<Vec<PlaceSlot>>,
 }
 
 impl PlhRegistry {

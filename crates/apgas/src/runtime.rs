@@ -308,6 +308,37 @@ impl Ctx {
         RuntimeStats::add(&self.rt.stats.bytes_shipped, n as u64);
     }
 
+    /// Serialize `value` for a place crossing, charging the wall time to
+    /// `encode_nanos`. Byte accounting stays separate ([`Self::record_bytes`])
+    /// because not every encode is billed at its own site — snapshot saves,
+    /// for example, bill the backup transfer inside the store.
+    pub fn encode<T: crate::serial::Serial>(&self, value: &T) -> bytes::Bytes {
+        let t0 = std::time::Instant::now();
+        let bytes = value.to_bytes();
+        RuntimeStats::add(&self.rt.stats.encode_nanos, t0.elapsed().as_nanos() as u64);
+        bytes
+    }
+
+    /// Deserialize a payload received from another place, charging the wall
+    /// time to `decode_nanos`.
+    pub fn decode<T: crate::serial::Serial>(&self, bytes: bytes::Bytes) -> T {
+        let t0 = std::time::Instant::now();
+        let v = T::from_bytes(bytes);
+        RuntimeStats::add(&self.rt.stats.decode_nanos, t0.elapsed().as_nanos() as u64);
+        v
+    }
+
+    /// Charge already-measured encode time (for codecs that serialize
+    /// through custom paths rather than [`Self::encode`]).
+    pub fn record_encode(&self, elapsed: std::time::Duration) {
+        RuntimeStats::add(&self.rt.stats.encode_nanos, elapsed.as_nanos() as u64);
+    }
+
+    /// Charge already-measured decode time.
+    pub fn record_decode(&self, elapsed: std::time::Duration) {
+        RuntimeStats::add(&self.rt.stats.decode_nanos, elapsed.as_nanos() as u64);
+    }
+
     /// A point-in-time copy of the runtime's activity counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.rt.stats.snapshot()

@@ -5,11 +5,29 @@
 //! The simulation keeps that cost honest: the GML layers move numeric data
 //! between places exclusively as [`bytes::Bytes`] buffers produced by this
 //! codec, never as shared references. Snapshot/restore costs in the paper's
-//! Table III and Figs 5–7 are dominated by exactly these copies.
+//! Table III and Figs 5–7 are dominated by exactly these copies — which is
+//! why the codec must be as close to memcpy speed as the hardware allows.
 //!
-//! The format is a private little-endian stream; it is not a stable
-//! interchange format and both ends are always the same binary, so decode
-//! errors are programming errors and panic.
+//! # The bulk fast path
+//!
+//! The wire format is a private **little-endian** stream. On little-endian
+//! targets (every machine this simulation realistically runs on) the wire
+//! image of a `&[f64]`/`&[u64]`/... payload is byte-identical to its
+//! in-memory representation, so [`SerialElem`] moves whole slices with a
+//! single `put_slice`/`copy_to_slice` — one `memcpy` per payload instead of
+//! one bounds-checked push per element. Big-endian targets transparently
+//! fall back to an element-wise `to_le_bytes` loop (also exposed as
+//! [`fallback`] so the byte-identity property is testable on any host).
+//! Encode buffers come from a thread-local pool inside the vendored `bytes`
+//! crate, so steady-state checkpoint loops reallocate nothing.
+//!
+//! The fast path changes how many *intermediate* copies the codec makes,
+//! never how many wire crossings the simulation charges for: each place
+//! crossing still materializes exactly one freshly-owned buffer (see
+//! `gml-core`'s store for the one-honest-copy invariant).
+//!
+//! The format is not a stable interchange format and both ends are always
+//! the same binary, so decode errors are programming errors and panic.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -102,30 +120,167 @@ impl Serial for String {
     fn read(buf: &mut Bytes) -> Self {
         let n = buf.get_u64_le() as usize;
         let raw = buf.split_to(n);
-        String::from_utf8(raw.to_vec()).expect("valid utf-8 in serial stream")
+        // Validate in place on the split slice; copy into the String once.
+        std::str::from_utf8(&raw).expect("valid utf-8 in serial stream").to_owned()
     }
     fn byte_len(&self) -> usize {
         8 + self.len()
     }
 }
 
-impl<T: Serial> Serial for Vec<T> {
-    fn write(&self, buf: &mut BytesMut) {
-        buf.put_u64_le(self.len() as u64);
-        for v in self {
+// ---------------------------------------------------------------------------
+// SerialElem: element types with (optionally bulk) slice codecs
+// ---------------------------------------------------------------------------
+
+/// Slice-level codec for element types of `Vec<T>`.
+///
+/// The default methods are the element-wise reference encoding; fixed-width
+/// primitives override them with single-`memcpy` bulk transfers whose byte
+/// output is identical (asserted by the property tests in
+/// `tests/serial_bulk_properties.rs`). Rust has no stable specialization, so
+/// this trait *is* the specialization point: `Vec<T>: Serial` routes through
+/// it, and composite element types (strings, options, tuples, nested
+/// vectors) just keep the defaults.
+pub trait SerialElem: Serial {
+    /// Append all elements of `data` (no length prefix) to `buf`.
+    fn write_slice(data: &[Self], buf: &mut BytesMut) {
+        for v in data {
             v.write(buf);
         }
     }
+
+    /// Read `n` elements from `buf`, appending to `out`.
+    fn read_slice_into(n: usize, buf: &mut Bytes, out: &mut Vec<Self>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(Self::read(buf));
+        }
+    }
+
+    /// Exact encoded size of `data` (no length prefix).
+    fn slice_byte_len(data: &[Self]) -> usize {
+        data.iter().map(Serial::byte_len).sum()
+    }
+}
+
+/// Marks a primitive as bit-identical between memory and the LE wire format,
+/// enabling the whole-slice `memcpy` fast path on little-endian targets.
+/// Big-endian targets keep the element-wise default (still correct: the wire
+/// stays LE via `to_le_bytes` in the per-element codecs).
+macro_rules! impl_serial_elem_bulk {
+    ($t:ty) => {
+        impl SerialElem for $t {
+            #[cfg(target_endian = "little")]
+            #[inline]
+            fn write_slice(data: &[Self], buf: &mut BytesMut) {
+                // Safety: $t is a plain fixed-width numeric type; viewing its
+                // slice memory as bytes is always valid, and on LE targets
+                // those bytes already are the wire encoding.
+                let raw = unsafe {
+                    std::slice::from_raw_parts(
+                        data.as_ptr() as *const u8,
+                        std::mem::size_of_val(data),
+                    )
+                };
+                buf.put_slice(raw);
+            }
+
+            #[cfg(target_endian = "little")]
+            #[inline]
+            fn read_slice_into(n: usize, buf: &mut Bytes, out: &mut Vec<Self>) {
+                let byte_len = n * std::mem::size_of::<$t>();
+                assert!(buf.remaining() >= byte_len, "buffer underflow in bulk read");
+                out.reserve(n);
+                let start = out.len();
+                // Safety: the spare capacity reserved above is at least n
+                // elements; we fill exactly n * size_of::<$t>() bytes of it
+                // with a valid LE image (any byte pattern is a valid $t) and
+                // only then extend the length over the initialized region.
+                unsafe {
+                    let dst = std::slice::from_raw_parts_mut(
+                        out.as_mut_ptr().add(start) as *mut u8,
+                        byte_len,
+                    );
+                    buf.copy_to_slice(dst);
+                    out.set_len(start + n);
+                }
+            }
+
+            #[inline]
+            fn slice_byte_len(data: &[Self]) -> usize {
+                std::mem::size_of::<$t>() * data.len()
+            }
+        }
+    };
+}
+
+impl_serial_elem_bulk!(u8);
+impl_serial_elem_bulk!(u16);
+impl_serial_elem_bulk!(u32);
+impl_serial_elem_bulk!(u64);
+impl_serial_elem_bulk!(i64);
+impl_serial_elem_bulk!(f64);
+
+// usize is wire-encoded as u64; its in-memory image matches only on 64-bit
+// little-endian targets, so the bulk override is gated on both.
+#[cfg(all(target_endian = "little", target_pointer_width = "64"))]
+impl SerialElem for usize {
+    #[inline]
+    fn write_slice(data: &[Self], buf: &mut BytesMut) {
+        // Safety: on a 64-bit LE target, &[usize] and &[u64] have identical
+        // layout and the bytes are the LE wire encoding.
+        let raw = unsafe {
+            std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+        };
+        buf.put_slice(raw);
+    }
+
+    #[inline]
+    fn read_slice_into(n: usize, buf: &mut Bytes, out: &mut Vec<Self>) {
+        let byte_len = n * 8;
+        assert!(buf.remaining() >= byte_len, "buffer underflow in bulk read");
+        out.reserve(n);
+        let start = out.len();
+        // Safety: same argument as the macro above, with usize == u64 layout.
+        unsafe {
+            let dst =
+                std::slice::from_raw_parts_mut(out.as_mut_ptr().add(start) as *mut u8, byte_len);
+            buf.copy_to_slice(dst);
+            out.set_len(start + n);
+        }
+    }
+
+    #[inline]
+    fn slice_byte_len(data: &[Self]) -> usize {
+        8 * data.len()
+    }
+}
+
+#[cfg(not(all(target_endian = "little", target_pointer_width = "64")))]
+impl SerialElem for usize {}
+
+// Composite element types keep the element-wise defaults.
+impl SerialElem for bool {}
+impl SerialElem for String {}
+impl<T: Serial> SerialElem for Option<T> {}
+impl<T: SerialElem> SerialElem for Vec<T> {}
+impl<A: Serial, B: Serial> SerialElem for (A, B) {}
+impl<A: Serial, B: Serial, C: Serial> SerialElem for (A, B, C) {}
+
+impl<T: SerialElem> Serial for Vec<T> {
+    fn write(&self, buf: &mut BytesMut) {
+        buf.reserve(self.byte_len());
+        buf.put_u64_le(self.len() as u64);
+        T::write_slice(self, buf);
+    }
     fn read(buf: &mut Bytes) -> Self {
         let n = buf.get_u64_le() as usize;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(T::read(buf));
-        }
+        let mut out = Vec::new();
+        T::read_slice_into(n, buf, &mut out);
         out
     }
     fn byte_len(&self) -> usize {
-        8 + self.iter().map(Serial::byte_len).sum::<usize>()
+        8 + T::slice_byte_len(self)
     }
 }
 
@@ -182,23 +337,71 @@ impl<A: Serial, B: Serial, C: Serial> Serial for (A, B, C) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Length-prefixed slice helpers (the data-plane codecs' building blocks)
+// ---------------------------------------------------------------------------
+
+/// Append a length-prefixed slice using the bulk fast path.
+pub fn write_slice<T: SerialElem>(data: &[T], buf: &mut BytesMut) {
+    buf.reserve(8 + T::slice_byte_len(data));
+    buf.put_u64_le(data.len() as u64);
+    T::write_slice(data, buf);
+}
+
+/// Read a length-prefixed slice using the bulk fast path.
+pub fn read_vec<T: SerialElem>(buf: &mut Bytes) -> Vec<T> {
+    let n = buf.get_u64_le() as usize;
+    let mut out = Vec::new();
+    T::read_slice_into(n, buf, &mut out);
+    out
+}
+
 /// Append a `&[f64]` (length-prefixed) without building a `Vec` first.
 pub fn write_f64_slice(data: &[f64], buf: &mut BytesMut) {
-    buf.reserve(8 + 8 * data.len());
-    buf.put_u64_le(data.len() as u64);
-    for v in data {
-        buf.put_f64_le(*v);
-    }
+    write_slice(data, buf);
 }
 
 /// Read a length-prefixed `f64` sequence into a `Vec`.
 pub fn read_f64_vec(buf: &mut Bytes) -> Vec<f64> {
-    let n = buf.get_u64_le() as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(buf.get_f64_le());
+    read_vec(buf)
+}
+
+/// Append a `&[usize]` (length-prefixed, encoded as LE u64 on the wire).
+pub fn write_usize_slice(data: &[usize], buf: &mut BytesMut) {
+    write_slice(data, buf);
+}
+
+/// Read a length-prefixed `usize` sequence (LE u64 on the wire).
+pub fn read_usize_vec(buf: &mut Bytes) -> Vec<usize> {
+    read_vec(buf)
+}
+
+/// The element-wise reference codec, kept callable on every target so the
+/// byte-identity of the bulk fast path is testable on LE hardware (where the
+/// `cfg`-selected big-endian fallback would otherwise never compile in).
+/// Not part of the public API surface.
+#[doc(hidden)]
+pub mod fallback {
+    use super::*;
+
+    /// Element-wise length-prefixed encode — the reference the bulk path
+    /// must match byte-for-byte.
+    pub fn write_slice<T: Serial>(data: &[T], buf: &mut BytesMut) {
+        buf.put_u64_le(data.len() as u64);
+        for v in data {
+            v.write(buf);
+        }
     }
-    out
+
+    /// Element-wise length-prefixed decode.
+    pub fn read_vec<T: Serial>(buf: &mut Bytes) -> Vec<T> {
+        let n = buf.get_u64_le() as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::read(buf));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +465,35 @@ mod tests {
         };
         assert_eq!(read_f64_vec(&mut buf), data);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn bulk_matches_fallback_encoding() {
+        let f = vec![1.0f64, -2.5, f64::NAN.copysign(-1.0), 1e300, 0.0];
+        let mut bulk = BytesMut::new();
+        write_slice(&f, &mut bulk);
+        let mut reference = BytesMut::new();
+        fallback::write_slice(&f, &mut reference);
+        assert_eq!(bulk.as_ref(), reference.as_ref(), "f64 bulk must match element-wise");
+
+        let u = vec![0usize, 1, usize::MAX, 42];
+        let mut bulk = BytesMut::new();
+        write_usize_slice(&u, &mut bulk);
+        let mut reference = BytesMut::new();
+        fallback::write_slice(&u, &mut reference);
+        assert_eq!(bulk.as_ref(), reference.as_ref(), "usize bulk must match element-wise");
+    }
+
+    #[test]
+    fn bulk_read_consumes_exactly() {
+        let data: Vec<u64> = (0..1000).collect();
+        let mut buf = BytesMut::new();
+        write_slice(&data, &mut buf);
+        17u32.write(&mut buf); // trailing value after the slice
+        let mut r = buf.freeze();
+        assert_eq!(read_vec::<u64>(&mut r), data);
+        assert_eq!(u32::read(&mut r), 17);
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub struct RuntimeStats {
     /// Bytes of payload serialized for cross-place movement (maintained by
     /// the data layers via [`crate::runtime::Ctx::record_bytes`]).
     pub bytes_shipped: AtomicU64,
+    /// Nanoseconds spent encoding cross-place payloads (maintained via
+    /// [`crate::runtime::Ctx::encode`]); with `bytes_shipped` this yields
+    /// checkpoint encode throughput.
+    pub encode_nanos: AtomicU64,
+    /// Nanoseconds spent decoding cross-place payloads (maintained via
+    /// [`crate::runtime::Ctx::decode`]).
+    pub decode_nanos: AtomicU64,
     /// Places killed so far.
     pub failures: AtomicU64,
     /// Places created elastically after startup.
@@ -46,6 +53,10 @@ pub struct StatsSnapshot {
     pub ctl_waits: u64,
     /// Payload bytes serialized across places.
     pub bytes_shipped: u64,
+    /// Nanoseconds spent encoding cross-place payloads.
+    pub encode_nanos: u64,
+    /// Nanoseconds spent decoding cross-place payloads.
+    pub decode_nanos: u64,
     /// Places killed so far.
     pub failures: u64,
     /// Places created elastically after startup.
@@ -67,6 +78,8 @@ impl StatsSnapshot {
             ctl_terms: self.ctl_terms.saturating_sub(earlier.ctl_terms),
             ctl_waits: self.ctl_waits.saturating_sub(earlier.ctl_waits),
             bytes_shipped: self.bytes_shipped.saturating_sub(earlier.bytes_shipped),
+            encode_nanos: self.encode_nanos.saturating_sub(earlier.encode_nanos),
+            decode_nanos: self.decode_nanos.saturating_sub(earlier.decode_nanos),
             failures: self.failures.saturating_sub(earlier.failures),
             places_spawned: self.places_spawned.saturating_sub(earlier.places_spawned),
         }
@@ -83,6 +96,8 @@ impl RuntimeStats {
             ctl_terms: self.ctl_terms.load(Ordering::Relaxed),
             ctl_waits: self.ctl_waits.load(Ordering::Relaxed),
             bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            encode_nanos: self.encode_nanos.load(Ordering::Relaxed),
+            decode_nanos: self.decode_nanos.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             places_spawned: self.places_spawned.load(Ordering::Relaxed),
         }

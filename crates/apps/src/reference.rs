@@ -58,6 +58,10 @@ pub fn linreg_cg(x: &DenseMatrix, y: &Vector, lambda: f64, iters: usize) -> Vect
         w.axpy(alpha, &p);
         r.axpy(-alpha, &q);
         let rho_new = r.norm2_sq();
+        if rho_new == 0.0 {
+            // Exact convergence; continuing would compute beta = 0/0.
+            break;
+        }
         let beta = rho_new / rho;
         p.scale(beta);
         p.cell_add(&r);

@@ -3,7 +3,8 @@
 //! extraction (the restore hot path) and serialization (the checkpoint hot
 //! path).
 
-use apgas::serial::Serial;
+use apgas::serial::{fallback, read_vec, write_slice, Serial};
+use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gml_matrix::{builder, DenseMatrix, SparseCSR, Vector};
 use std::hint::black_box;
@@ -83,5 +84,71 @@ fn bench_serialization(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(kernels, bench_gemv, bench_spmv, bench_extraction, bench_serialization);
+/// The bulk zero-copy fast path vs the element-wise reference codec, on the
+/// payload shapes the checkpoint plane actually ships: a large f64 vector
+/// (dense blocks / vector segments) and a sparse CSR block.
+fn bench_serial_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_throughput");
+    let n = 1_000_000usize;
+    let data = builder::random_vector(n, 11).into_vec();
+
+    g.bench_function("vec_f64_1m_encode_bulk", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(8 + 8 * data.len());
+            write_slice(black_box(&data), &mut buf);
+            black_box(buf.freeze())
+        })
+    });
+    g.bench_function("vec_f64_1m_encode_elementwise", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(8 + 8 * data.len());
+            fallback::write_slice(black_box(&data), &mut buf);
+            black_box(buf.freeze())
+        })
+    });
+
+    let encoded = {
+        let mut buf = BytesMut::with_capacity(8 + 8 * data.len());
+        write_slice(&data, &mut buf);
+        buf.freeze()
+    };
+    g.bench_function("vec_f64_1m_decode_bulk", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut by| black_box(read_vec::<f64>(&mut by)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("vec_f64_1m_decode_elementwise", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut by| black_box(fallback::read_vec::<f64>(&mut by)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    // A sparse block near 50k nnz: three bulk arrays per payload.
+    let sparse = builder::random_csr(6000, 6000, 8, 13);
+    g.bench_function(format!("csr_nnz{}_encode", sparse.nnz()), |b| {
+        b.iter(|| black_box(sparse.to_bytes()))
+    });
+    let sparse_bytes = sparse.to_bytes();
+    g.bench_function(format!("csr_nnz{}_decode", sparse.nnz()), |b| {
+        b.iter_batched(
+            || sparse_bytes.clone(),
+            |by| black_box(SparseCSR::from_bytes(by)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_gemv,
+    bench_spmv,
+    bench_extraction,
+    bench_serialization,
+    bench_serial_throughput
+);
 criterion_main!(kernels);

@@ -1,0 +1,111 @@
+//! Machine-readable perf trajectory: runs the serialization throughput
+//! benchmarks (the checkpoint plane's hot path) and writes the results as
+//! `BENCH_serial_throughput.json` in the current directory, so successive
+//! commits can be compared without scraping bench stdout.
+//!
+//! Usage: `cargo run --release -p gml-bench --bin bench_json`
+
+use apgas::serial::{fallback, read_vec, write_slice, Serial};
+use bytes::BytesMut;
+use criterion::{BatchSize, BenchResult, Criterion};
+use gml_matrix::{builder, SparseCSR};
+use std::hint::black_box;
+use std::io::Write as _;
+
+fn run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_throughput");
+    let n = 1_000_000usize;
+    let data = builder::random_vector(n, 11).into_vec();
+
+    g.bench_function("vec_f64_1m_encode_bulk", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(8 + 8 * data.len());
+            write_slice(black_box(&data), &mut buf);
+            black_box(buf.freeze())
+        })
+    });
+    g.bench_function("vec_f64_1m_encode_elementwise", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(8 + 8 * data.len());
+            fallback::write_slice(black_box(&data), &mut buf);
+            black_box(buf.freeze())
+        })
+    });
+    let encoded = {
+        let mut buf = BytesMut::with_capacity(8 + 8 * data.len());
+        write_slice(&data, &mut buf);
+        buf.freeze()
+    };
+    g.bench_function("vec_f64_1m_decode_bulk", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut by| black_box(read_vec::<f64>(&mut by)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("vec_f64_1m_decode_elementwise", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut by| black_box(fallback::read_vec::<f64>(&mut by)),
+            BatchSize::LargeInput,
+        )
+    });
+    let sparse = builder::random_csr(6000, 6000, 8, 13);
+    g.bench_function(format!("csr_nnz{}_encode", sparse.nnz()), |b| {
+        b.iter(|| black_box(sparse.to_bytes()))
+    });
+    let sparse_bytes = sparse.to_bytes();
+    g.bench_function(format!("csr_nnz{}_decode", sparse.nnz()), |b| {
+        b.iter_batched(
+            || sparse_bytes.clone(),
+            |by| black_box(SparseCSR::from_bytes(by)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn mean_of<'a>(results: &'a [BenchResult], suffix: &str) -> Option<&'a BenchResult> {
+    results.iter().find(|r| r.name.ends_with(suffix))
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    run(&mut c);
+    let results = c.results();
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{sep}\n",
+            r.name, r.mean_ns, r.min_ns, r.max_ns, r.samples
+        ));
+    }
+    json.push_str("  ]");
+    // Derived speedups of the bulk fast path over the element-wise codec.
+    if let (Some(bulk), Some(elem)) = (
+        mean_of(results, "vec_f64_1m_encode_bulk"),
+        mean_of(results, "vec_f64_1m_encode_elementwise"),
+    ) {
+        json.push_str(&format!(
+            ",\n  \"encode_speedup_f64_1m\": {:.2}",
+            elem.mean_ns / bulk.mean_ns
+        ));
+    }
+    if let (Some(bulk), Some(elem)) = (
+        mean_of(results, "vec_f64_1m_decode_bulk"),
+        mean_of(results, "vec_f64_1m_decode_elementwise"),
+    ) {
+        json.push_str(&format!(
+            ",\n  \"decode_speedup_f64_1m\": {:.2}",
+            elem.mean_ns / bulk.mean_ns
+        ));
+    }
+    json.push_str("\n}\n");
+
+    let path = "BENCH_serial_throughput.json";
+    let mut f = std::fs::File::create(path).expect("create json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {path}");
+}

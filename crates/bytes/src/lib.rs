@@ -1,0 +1,513 @@
+//! Vendored, offline subset of the `bytes` crate: just the pieces this
+//! workspace uses (`Bytes`, `BytesMut`, `Buf`, `BufMut` with little-endian
+//! accessors), plus one deliberate extension — a **thread-local buffer pool**
+//! so per-message encode buffers are recycled instead of reallocated on every
+//! cross-place send (see `apgas::serial`).
+//!
+//! Semantics preserved from the real crate:
+//! * `Bytes` is a cheaply clonable, shareable, immutable byte buffer;
+//!   `clone()` never copies payload.
+//! * `Bytes::split_to` carves a prefix off without copying.
+//! * `BytesMut::freeze()` converts the filled buffer into `Bytes` without
+//!   copying.
+//!
+//! The pool: `BytesMut::with_capacity` first tries to reuse a retired buffer
+//! from the current thread's free list; when the *sole owner* of a pooled
+//! `Bytes` drops it, the backing allocation returns to the free list of the
+//! dropping thread. The pool is bounded (count and per-buffer capacity) so it
+//! can never hoard more than a few megabytes per thread.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Thread-local buffer pool
+// ---------------------------------------------------------------------------
+
+/// Buffers smaller than this are not worth pooling.
+const POOL_MIN_CAPACITY: usize = 1024;
+/// Buffers larger than this are returned to the allocator, not the pool.
+const POOL_MAX_CAPACITY: usize = 16 << 20;
+/// At most this many retired buffers are kept per thread.
+const POOL_MAX_BUFFERS: usize = 8;
+
+thread_local! {
+    static FREE_LIST: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn pool_take(min_capacity: usize) -> Option<Vec<u8>> {
+    if min_capacity < POOL_MIN_CAPACITY {
+        return None;
+    }
+    FREE_LIST.with(|fl| {
+        let mut fl = fl.borrow_mut();
+        let idx = fl.iter().position(|b| b.capacity() >= min_capacity)?;
+        Some(fl.swap_remove(idx))
+    })
+}
+
+fn pool_put(mut buf: Vec<u8>) {
+    let cap = buf.capacity();
+    if !(POOL_MIN_CAPACITY..=POOL_MAX_CAPACITY).contains(&cap) {
+        return;
+    }
+    buf.clear();
+    FREE_LIST.with(|fl| {
+        let mut fl = fl.borrow_mut();
+        if fl.len() < POOL_MAX_BUFFERS {
+            fl.push(buf);
+        }
+    });
+}
+
+/// Number of buffers currently parked in this thread's free list (for tests).
+#[doc(hidden)]
+pub fn pooled_buffer_count() -> usize {
+    FREE_LIST.with(|fl| fl.borrow().len())
+}
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+/// An immutable, cheaply clonable byte buffer. Cloning and `split_to` share
+/// the underlying allocation; no payload copy happens until someone asks for
+/// one explicitly (`copy_from_slice`, `to_vec`).
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    pub const fn new() -> Self {
+        Bytes { repr: Repr::Static(&[]), off: 0, len: 0 }
+    }
+
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes { repr: Repr::Static(s), off: 0, len: s.len() }
+    }
+
+    /// Copy `data` into a freshly owned buffer (pool-aware).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let mut b = BytesMut::with_capacity(data.len());
+        b.put_slice(data);
+        b.freeze()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => &s[self.off..self.off + self.len],
+            Repr::Shared(a) => &a[self.off..self.off + self.len],
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    /// Shares the allocation — no copy.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len, "split_to out of range ({at} > {})", self.len);
+        let head = Bytes {
+            repr: match &self.repr {
+                Repr::Static(s) => Repr::Static(s),
+                Repr::Shared(a) => Repr::Shared(Arc::clone(a)),
+            },
+            off: self.off,
+            len: at,
+        };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len);
+        Bytes {
+            repr: match &self.repr {
+                Repr::Static(s) => Repr::Static(s),
+                Repr::Shared(a) => Repr::Shared(Arc::clone(a)),
+            },
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Last owner of a shared allocation: recycle it into the pool.
+        let repr = std::mem::replace(&mut self.repr, Repr::Static(&[]));
+        if let Repr::Shared(arc) = repr {
+            if let Ok(vec) = Arc::try_unwrap(arc) {
+                pool_put(vec);
+            }
+        }
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Self {
+        Bytes {
+            repr: match &self.repr {
+                Repr::Static(s) => Repr::Static(s),
+                Repr::Shared(a) => Repr::Shared(Arc::clone(a)),
+            },
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes { repr: Repr::Shared(Arc::new(v)), off: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len > 64 {
+            write!(f, "... {} bytes", self.len)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+// Safety: the payload is immutable and reference-counted.
+// (Arc<Vec<u8>> is Send + Sync; &'static [u8] likewise.)
+
+// ---------------------------------------------------------------------------
+// BytesMut
+// ---------------------------------------------------------------------------
+
+/// A growable byte buffer for building wire messages; `freeze()` turns it
+/// into an immutable `Bytes` without copying.
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// Pool-aware allocation: reuses a retired encode buffer from this
+    /// thread's free list when one is large enough.
+    pub fn with_capacity(cap: usize) -> Self {
+        match pool_take(cap) {
+            Some(vec) => BytesMut { vec },
+            None => BytesMut { vec: Vec::with_capacity(cap) },
+        }
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable `Bytes`, transferring the allocation.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.vec.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Buf / BufMut traits
+// ---------------------------------------------------------------------------
+
+macro_rules! buf_get_impl {
+    ($name:ident, $t:ty) => {
+        fn $name(&mut self) -> $t {
+            let mut raw = [0u8; std::mem::size_of::<$t>()];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_le_bytes(raw)
+        }
+    };
+}
+
+/// Read side of a byte cursor (little-endian accessors only: the wire format
+/// of this workspace is exclusively LE).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    buf_get_impl!(get_u16_le, u16);
+    buf_get_impl!(get_u32_le, u32);
+    buf_get_impl!(get_u64_le, u64);
+    buf_get_impl!(get_i16_le, i16);
+    buf_get_impl!(get_i32_le, i32);
+    buf_get_impl!(get_i64_le, i64);
+    buf_get_impl!(get_f32_le, f32);
+    buf_get_impl!(get_f64_le, f64);
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance out of range ({cnt} > {})", self.len);
+        self.off += cnt;
+        self.len -= cnt;
+    }
+}
+
+macro_rules! buf_put_impl {
+    ($name:ident, $t:ty) => {
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// Write side of a byte sink (little-endian accessors only).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put_impl!(put_u16_le, u16);
+    buf_put_impl!(put_u32_le, u32);
+    buf_put_impl!(put_u64_le, u64);
+    buf_put_impl!(put_i16_le, i16);
+    buf_put_impl!(put_i32_le, i32);
+    buf_put_impl!(put_i64_le, i64);
+    buf_put_impl!(put_f32_le, f32);
+    buf_put_impl!(put_f64_le, f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(0xBEEF);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
+        b.put_i64_le(-42);
+        b.put_f64_le(std::f64::consts::PI);
+        let mut by = b.freeze();
+        assert_eq!(by.get_u8(), 7);
+        assert_eq!(by.get_u16_le(), 0xBEEF);
+        assert_eq!(by.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(by.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(by.get_i64_le(), -42);
+        assert_eq!(by.get_f64_le(), std::f64::consts::PI);
+        assert_eq!(by.remaining(), 0);
+    }
+
+    #[test]
+    fn clone_shares_and_split_shares() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let mut c = b.clone();
+        let head = c.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&c[..], &[3, 4, 5]);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn static_bytes() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn pool_recycles_sole_owner_buffers() {
+        // Drain whatever is in the pool first.
+        while pool_take(POOL_MIN_CAPACITY).is_some() {}
+        let b = BytesMut::with_capacity(4096);
+        let frozen = b.freeze();
+        drop(frozen);
+        assert_eq!(pooled_buffer_count(), 1, "sole-owner drop must recycle");
+        let reused = BytesMut::with_capacity(2048);
+        assert!(reused.capacity() >= 4096, "must reuse the pooled allocation");
+        assert_eq!(pooled_buffer_count(), 0);
+    }
+
+    #[test]
+    fn pool_does_not_recycle_shared_buffers() {
+        while pool_take(POOL_MIN_CAPACITY).is_some() {}
+        let mut b = BytesMut::with_capacity(4096);
+        b.put_slice(&[0u8; 100]);
+        let frozen = b.freeze();
+        let keep = frozen.clone();
+        drop(frozen); // not sole owner: no recycle
+        assert_eq!(pooled_buffer_count(), 0);
+        drop(keep); // last owner: recycle
+        assert_eq!(pooled_buffer_count(), 1);
+    }
+
+    #[test]
+    fn copy_to_slice_bulk() {
+        let mut src = BytesMut::with_capacity(64);
+        src.put_slice(&[9u8; 64]);
+        let mut by = src.freeze();
+        let mut out = [0u8; 64];
+        by.copy_to_slice(&mut out);
+        assert_eq!(out, [9u8; 64]);
+        assert_eq!(by.remaining(), 0);
+    }
+}

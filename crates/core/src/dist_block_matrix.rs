@@ -311,7 +311,7 @@ impl DistBlockMatrix {
                                 [b.col_offset..b.col_offset + b.cols()];
                             b.data.gemv_trans(1.0, seg.as_slice(), 1.0, yslice);
                         }
-                        let bytes = partial.to_bytes();
+                        let bytes = ctx.encode(&partial);
                         ctx.record_bytes(bytes.len());
                         partials.lock().push((idx, bytes));
                         Ok(())
@@ -327,7 +327,7 @@ impl DistBlockMatrix {
         partials.sort_unstable_by_key(|(i, _)| *i);
         let mut sum = Vector::zeros(cols);
         for (_, bytes) in partials {
-            sum.cell_add(&Vector::from_bytes(bytes));
+            sum.cell_add(&ctx.decode::<Vector>(bytes));
         }
         // Install at root, broadcast to the rest of the group.
         *out.local(ctx)?.lock() = sum;
@@ -404,7 +404,7 @@ impl DistBlockMatrix {
                                 gram_block_acc(&ba.data, &bb.data, &mut acc)?;
                             }
                         }
-                        let bytes = acc.to_bytes();
+                        let bytes = ctx.encode(&acc);
                         ctx.record_bytes(bytes.len());
                         partials.lock().push((idx, bytes));
                         Ok(())
@@ -419,7 +419,7 @@ impl DistBlockMatrix {
         partials.sort_unstable_by_key(|(i, _)| *i);
         let mut sum = DenseMatrix::zeros(k1, k2);
         for (_, bytes) in partials {
-            sum.cell_add(&DenseMatrix::from_bytes(bytes));
+            sum.cell_add(&ctx.decode::<DenseMatrix>(bytes));
         }
         *out.local(ctx)?.lock() = sum;
         out.sync(ctx)
@@ -641,7 +641,7 @@ impl DistBlockMatrix {
                         let set = set.lock();
                         let mut local = Vec::with_capacity(set.len());
                         for b in set.iter() {
-                            let bytes = b.to_bytes();
+                            let bytes = ctx.encode(b);
                             ctx.record_bytes(bytes.len());
                             local.push(bytes);
                         }
@@ -657,7 +657,7 @@ impl DistBlockMatrix {
             .map(Mutex::into_inner)
             .unwrap_or_else(|arc| arc.lock().clone());
         for bytes in pieces {
-            let b = MatrixBlock::from_bytes(bytes);
+            let b: MatrixBlock = ctx.decode(bytes);
             out.paste(b.row_offset, b.col_offset, &b.data.to_dense());
         }
         Ok(out)
@@ -771,6 +771,7 @@ fn gram_block_acc(a: &BlockData, b: &BlockData, acc: &mut DenseMatrix) -> GmlRes
 /// Fetch a (sub-)region of an old snapshot block, extracting **at the data
 /// holder** so only the needed region crosses places; for sparse blocks the
 /// holder runs the nnz-counting pre-pass (§IV-B2).
+#[allow(clippy::too_many_arguments)] // snapshot coords + region bounds
 fn fetch_sub_block(
     ctx: &Ctx,
     store: &ResilientStore,
@@ -783,7 +784,7 @@ fn fetch_sub_block(
 ) -> GmlResult<BlockData> {
     // Local shard hit: extract in place.
     if let Some(bytes) = store.local_get(ctx, snap.snap_id, key) {
-        let mb = MatrixBlock::from_bytes(bytes);
+        let mb: MatrixBlock = ctx.decode(bytes);
         return Ok(mb.sub_region_global(r0, r1, c0, c1));
     }
     let loc = snap.entry(key)?;
@@ -795,14 +796,14 @@ fn fetch_sub_block(
         let sid = snap.snap_id;
         let got: ApgasResult<Option<Bytes>> = ctx.at(src, move |ctx| {
             store2.local_get(ctx, sid, key).map(|bytes| {
-                let mb = MatrixBlock::from_bytes(bytes);
-                mb.sub_region_global(r0, r1, c0, c1).to_bytes()
+                let mb: MatrixBlock = ctx.decode(bytes);
+                ctx.encode(&mb.sub_region_global(r0, r1, c0, c1))
             })
         });
         match got {
             Ok(Some(bytes)) => {
                 ctx.record_bytes(bytes.len());
-                return Ok(BlockData::from_bytes(bytes));
+                return Ok(ctx.decode(bytes));
             }
             Ok(None) => continue,
             Err(_) => continue, // source died mid-fetch; try the other replica
@@ -839,7 +840,7 @@ impl Snapshottable for DistBlockMatrix {
                             let set = plh.local(ctx)?;
                             let set = set.lock();
                             set.iter()
-                                .map(|b| (grid.block_id(b.bi, b.bj) as u64, b.to_bytes()))
+                                .map(|b| (grid.block_id(b.bi, b.bj) as u64, ctx.encode(b)))
                                 .collect()
                         };
                         for (key, bytes) in serialized {
@@ -901,7 +902,7 @@ impl Snapshottable for DistBlockMatrix {
                                 // back exactly as saved.
                                 let key = old_grid.block_id(bi, bj) as u64;
                                 let bytes = snap.fetch(ctx, &store2, key)?;
-                                MatrixBlock::from_bytes(bytes)
+                                ctx.decode(bytes)
                             } else {
                                 // Overlap-copy restore: assemble this new
                                 // block from sub-regions of old blocks.

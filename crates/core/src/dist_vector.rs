@@ -11,7 +11,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use apgas::prelude::*;
-use apgas::serial::Serial;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gml_matrix::Vector;
 use parking_lot::Mutex;
@@ -411,7 +410,7 @@ impl DistVector {
                                 .segs
                                 .get(&s)
                                 .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
-                            let bytes = seg.to_bytes();
+                            let bytes = ctx.encode(seg);
                             ctx.record_bytes(bytes.len());
                             local.push((s, bytes));
                         }
@@ -427,7 +426,7 @@ impl DistVector {
             .map(Mutex::into_inner)
             .unwrap_or_else(|arc| arc.lock().clone());
         for (s, bytes) in pieces {
-            let seg = Vector::from_bytes(bytes);
+            let seg: Vector = ctx.decode(bytes);
             out.copy_from_at(self.splits[s], seg.as_slice());
         }
         Ok(out)
@@ -540,7 +539,7 @@ impl Snapshottable for DistVector {
                                 let seg = st.segs.get(&s).ok_or_else(|| {
                                     GmlError::data_loss(format!("segment {s} missing"))
                                 })?;
-                                seg.to_bytes()
+                                ctx.encode(seg)
                             };
                             let len =
                                 store2.save_pair(ctx, snap_id, s as u64, bytes, backup)?;
@@ -602,7 +601,7 @@ impl Snapshottable for DistVector {
                         for s in mine {
                             let (lo, hi) = (splits[s], splits[s + 1]);
                             let seg = if same_layout {
-                                Vector::from_bytes(snap.fetch(ctx, &store2, s as u64)?)
+                                ctx.decode::<Vector>(snap.fetch(ctx, &store2, s as u64)?)
                             } else {
                                 // Segment-by-overlap restore: pull every old
                                 // segment this new segment intersects and
@@ -619,7 +618,7 @@ impl Snapshottable for DistVector {
                                         continue;
                                     }
                                     let old =
-                                        Vector::from_bytes(snap.fetch(ctx, &store2, os as u64)?);
+                                        ctx.decode::<Vector>(snap.fetch(ctx, &store2, os as u64)?);
                                     let a = lo.max(olo);
                                     let b = hi.min(ohi);
                                     seg.copy_from_at(a - lo, old.segment(a - olo, b - a));

@@ -6,7 +6,6 @@
 //! restore re-loads a full copy per place.
 
 use apgas::prelude::*;
-use apgas::serial::Serial;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gml_matrix::DenseMatrix;
 use parking_lot::Mutex;
@@ -101,7 +100,7 @@ impl DupDenseMatrix {
         let root = self.group.place(0);
         let plh = self.plh;
         let payload: Bytes = ctx.at(root, move |ctx| -> ApgasResult<Bytes> {
-            Ok(plh.local(ctx)?.lock().to_bytes())
+            Ok(ctx.encode(&*plh.local(ctx)?.lock()))
         })??;
         let pot = ErrorPot::new();
         let res = ctx.finish(|fs| {
@@ -114,7 +113,7 @@ impl DupDenseMatrix {
                 let pot = pot.clone();
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
-                        *plh.local(ctx)?.lock() = DenseMatrix::from_bytes(payload);
+                        *plh.local(ctx)?.lock() = ctx.decode::<DenseMatrix>(payload);
                         Ok(())
                     });
                 });
@@ -169,7 +168,7 @@ impl Snapshottable for DupDenseMatrix {
         let plh = self.plh;
         let store2 = store.clone();
         let len = ctx.at(owner, move |ctx| -> GmlResult<usize> {
-            let bytes = plh.local(ctx)?.lock().to_bytes();
+            let bytes = ctx.encode(&*plh.local(ctx)?.lock());
             store2.save_pair(ctx, snap_id, 0, bytes, backup)
         })??;
         let builder = SnapshotBuilder::new();
@@ -204,7 +203,7 @@ impl Snapshottable for DupDenseMatrix {
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
                         let bytes = snap.fetch(ctx, &store2, 0)?;
-                        *plh.local(ctx)?.lock() = DenseMatrix::from_bytes(bytes);
+                        *plh.local(ctx)?.lock() = ctx.decode::<DenseMatrix>(bytes);
                         Ok(())
                     });
                 });

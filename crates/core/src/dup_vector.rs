@@ -6,7 +6,6 @@
 //! [`DupVector::sync`] — the `P.sync()` of the paper's PageRank listing.
 
 use apgas::prelude::*;
-use apgas::serial::Serial;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gml_matrix::Vector;
 use parking_lot::Mutex;
@@ -158,7 +157,7 @@ impl DupVector {
         let plh = self.plh;
         // Serialize once at the root.
         let payload: Bytes = ctx.at(root, move |ctx| -> ApgasResult<Bytes> {
-            Ok(plh.local(ctx)?.lock().to_bytes())
+            Ok(ctx.encode(&*plh.local(ctx)?.lock()))
         })??;
         let pot = ErrorPot::new();
         let res = ctx.finish(|fs| {
@@ -171,7 +170,7 @@ impl DupVector {
                 let pot = pot.clone();
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
-                        let v = Vector::from_bytes(payload);
+                        let v: Vector = ctx.decode(payload);
                         *plh.local(ctx)?.lock() = v;
                         Ok(())
                     });
@@ -229,7 +228,7 @@ impl Snapshottable for DupVector {
         let plh = self.plh;
         let store2 = store.clone();
         let len = ctx.at(owner, move |ctx| -> GmlResult<usize> {
-            let bytes = plh.local(ctx)?.lock().to_bytes();
+            let bytes = ctx.encode(&*plh.local(ctx)?.lock());
             store2.save_pair(ctx, snap_id, 0, bytes, backup)
         })??;
         let builder = SnapshotBuilder::new();
@@ -267,7 +266,7 @@ impl Snapshottable for DupVector {
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
                         let bytes = snap.fetch(ctx, &store2, 0)?;
-                        *plh.local(ctx)?.lock() = Vector::from_bytes(bytes);
+                        *plh.local(ctx)?.lock() = ctx.decode::<Vector>(bytes);
                         Ok(())
                     });
                 });

@@ -99,7 +99,7 @@ fn young_iterations(stats: &RunStats, mttf: Duration, current: u64) -> u64 {
         return current;
     }
     let opt_secs = young_interval(mean_ckpt, mttf.as_secs_f64());
-    (opt_secs / mean_step).round().max(1.0).min(1e12) as u64
+    (opt_secs / mean_step).round().clamp(1.0, 1e12) as u64
 }
 
 /// What the application must implement (§V-A2): the four-method programming

@@ -114,14 +114,19 @@ impl ResilientStore {
     ) -> GmlResult<usize> {
         let len = value.len();
         let shard = self.shard(ctx)?;
+        // Owner copy: a refcount bump only — the serialized buffer produced
+        // at this place IS the stored replica; no place boundary is crossed.
         shard.insert(snap_id, key, value.clone());
         if self.redundant && backup != ctx.here() {
             let store = self.clone();
             ctx.record_bytes(len);
             ctx.at(backup, move |ctx| -> GmlResult<()> {
-                // Physically copy: the backup must not share the owner's
-                // allocation, or the simulated failure would not cost a
-                // transfer (and `kill` would not model memory loss).
+                // One-honest-copy invariant: crossing a place boundary costs
+                // exactly one physical copy, made here at the receiving
+                // place. The backup must not share the owner's allocation,
+                // or the simulated failure would not cost a transfer (and
+                // `kill` would not model memory loss). This is the only
+                // wire copy on the save path.
                 let owned = Bytes::copy_from_slice(&value);
                 store.shard(ctx)?.insert(snap_id, key, owned);
                 Ok(())
@@ -140,6 +145,8 @@ impl ResilientStore {
         owner: Place,
         backup: Place,
     ) -> GmlResult<Bytes> {
+        // Local shard hit: no place boundary crossed, so a refcount handoff
+        // of the stored buffer is honest (and free).
         if let Ok(shard) = self.plh.local(ctx) {
             if let Some(v) = shard.get(snap_id, key) {
                 return Ok(v);
@@ -150,12 +157,16 @@ impl ResilientStore {
                 continue;
             }
             let plh = self.plh;
+            // The remote lookup hands back the shard's buffer by refcount
+            // (free in the simulation); the single honest wire copy for this
+            // place crossing is made below, at the fetching place.
             let got: Option<Bytes> = ctx
                 .at(source, move |ctx| plh.local(ctx).ok().and_then(|s| s.get(snap_id, key)))
                 .unwrap_or(None);
             if let Some(v) = got {
                 ctx.record_bytes(v.len());
-                // Copy into this place's "memory".
+                // One-honest-copy invariant: the only wire copy on the fetch
+                // path — the payload lands in this place's "memory".
                 return Ok(Bytes::copy_from_slice(&v));
             }
         }

@@ -8,7 +8,7 @@ use apgas::runtime::{Runtime, RuntimeConfig};
 use gml_core::{
     AppResilientStore, DistBlockMatrix, DistSparseMatrix, DistVector, DupDenseMatrix,
     DupVector, ExecutorConfig, FailureInjector, GmlResult, ResilientExecutor,
-    ResilientIterativeApp, RestoreMode, Snapshottable,
+    ResilientIterativeApp, RestoreMode,
 };
 use gml_matrix::{builder, BlockData, DenseMatrix};
 

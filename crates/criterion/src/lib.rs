@@ -1,0 +1,249 @@
+//! Vendored, offline subset of the `criterion` benchmarking API used by this
+//! workspace: `Criterion`, `benchmark_group`/`bench_function`, `Bencher::
+//! {iter, iter_batched}`, `BatchSize`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement model: a short calibration pass sizes the per-sample
+//! iteration count so one sample costs roughly [`TARGET_SAMPLE`]; then
+//! `sample_size` wall-clock samples are taken and min/mean/max per-iteration
+//! times are reported on stdout as `group/name  mean ...`. Good enough to
+//! compare codec fast paths and track perf trajectory; not a statistics
+//! suite.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+const CALIBRATION_BUDGET: Duration = Duration::from_millis(50);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// One recorded benchmark result (per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+}
+
+/// Top-level benchmark driver; collects results from every group.
+pub struct Criterion {
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free arg.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench" && a != "--test");
+        Criterion { filter, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(id.clone(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// All results recorded so far (used by JSON-emitting harness bins).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_one<F>(&mut self, name: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { sample_size, samples_ns: Vec::new(), iters_per_sample: 0 };
+        f(&mut b);
+        if b.samples_ns.is_empty() {
+            return;
+        }
+        let n = b.samples_ns.len();
+        let mean = b.samples_ns.iter().sum::<f64>() / n as f64;
+        let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{name:<52} mean {:>12}  min {:>12}  max {:>12}  ({n} samples x {} iters)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            b.iters_per_sample,
+        );
+        self.results.push(BenchResult { name, mean_ns: mean, min_ns: min, max_ns: max, samples: n });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size;
+        self.criterion.run_one(full, n, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Controls how `iter_batched` amortizes setup cost; the distinction is
+/// irrelevant to this harness (setup is always untimed, batch = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine` back-to-back: calibrate, then take samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: how many iterations fit in the target sample time?
+        let cal_start = Instant::now();
+        let mut cal_iters: u64 = 0;
+        while cal_start.elapsed() < CALIBRATION_BUDGET && cal_iters < 1_000_000 {
+            hint::black_box(routine());
+            cal_iters += 1;
+        }
+        let per_iter = cal_start.elapsed().as_nanos() as f64 / cal_iters.max(1) as f64;
+        let iters = ((TARGET_SAMPLE.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(routine());
+            }
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` with a fresh untimed `setup` product per invocation.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibration with untimed setup.
+        let mut cal_iters: u64 = 0;
+        let mut cal_spent = Duration::ZERO;
+        while cal_spent < CALIBRATION_BUDGET && cal_iters < 1_000_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            hint::black_box(routine(input));
+            cal_spent += t0.elapsed();
+            cal_iters += 1;
+        }
+        let per_iter = cal_spent.as_nanos() as f64 / cal_iters.max(1) as f64;
+        let iters = ((TARGET_SAMPLE.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                hint::black_box(routine(input));
+                spent += t0.elapsed();
+            }
+            self.samples_ns.push(spent.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// `criterion_group!(name, bench_fn, ...)` — a function running each bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_records_results() {
+        let mut c = Criterion { filter: None, results: Vec::new() };
+        tiny_bench(&mut c);
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].mean_ns > 0.0);
+        assert!(c.results()[0].name.starts_with("shim/"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Vendored, offline subset of `crossbeam::channel`: MPMC channels with
+//! cloneable senders/receivers, disconnect detection, bounded/unbounded
+//! capacity (including zero-capacity rendezvous), and `recv_timeout`.
+//!
+//! Built on `std::sync` primitives; semantics match what this workspace
+//! relies on:
+//! * `recv` returns `Err(RecvError)` once the queue is empty **and** every
+//!   sender is gone.
+//! * `send` returns `Err(SendError(msg))` — message recovered via
+//!   [`SendError::into_inner`] — once every receiver is gone.
+//! * capacity 0 is a rendezvous: `send` completes only when a receiver has
+//!   actually taken the message, so nothing is ever stranded in a buffer.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when a message arrives or the last sender leaves.
+        can_recv: Condvar,
+        /// Signalled when space frees up, a message is taken, or the last
+        /// receiver leaves.
+        can_send: Condvar,
+        cap: Option<usize>,
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    /// Create a bounded MPMC channel; capacity 0 is a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap))
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            can_recv: Condvar::new(),
+            can_send: Condvar::new(),
+            cap,
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Send failed because all receivers disconnected; recovers the message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> SendError<T> {
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("receive timed out"),
+                RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    impl<T> Sender<T> {
+        /// Send `msg`, blocking while a bounded channel is full (or, for a
+        /// zero-capacity channel, until a receiver takes the message).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.chan.state);
+            // Wait for room. Zero capacity admits one in-flight message but
+            // additionally waits below until it has been taken.
+            let room = self.chan.cap.map(|c| c.max(1));
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match room {
+                    Some(c) if st.queue.len() >= c => {
+                        st = self.chan.can_send.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            self.chan.can_recv.notify_one();
+            if self.chan.cap == Some(0) {
+                // Rendezvous: hold until the message is actually taken so it
+                // can never be stranded when the receiver goes away. If the
+                // receiver disconnects first, recover our message and fail.
+                loop {
+                    if st.queue.is_empty() {
+                        return Ok(());
+                    }
+                    if st.receivers == 0 {
+                        return match st.queue.pop_front() {
+                            Some(m) => Err(SendError(m)),
+                            None => Ok(()),
+                        };
+                    }
+                    st = self.chan.can_send.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            Ok(())
+        }
+
+        /// Whether `other` belongs to the same channel.
+        pub fn same_channel(&self, other: &Sender<T>) -> bool {
+            Arc::ptr_eq(&self.chan, &other.chan)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.chan.state);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.chan.can_send.notify_all();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.can_recv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.chan.state);
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.chan.can_send.notify_all();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _timed_out) = self
+                    .chan
+                    .can_recv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = g;
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+            let mut st = lock(&self.chan.state);
+            if let Some(msg) = st.queue.pop_front() {
+                self.chan.can_send.notify_all();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            Err(RecvTimeoutError::Timeout)
+        }
+
+        pub fn same_channel(&self, other: &Receiver<T>) -> bool {
+            Arc::ptr_eq(&self.chan, &other.chan)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.chan.state).senders += 1;
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.chan.state).receivers += 1;
+            Receiver { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.chan.state);
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.chan.can_recv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.chan.state);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.chan.can_send.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_fifo() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..100 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn disconnect_on_all_senders_dropped() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(1).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_recovers_message() {
+            let (tx, rx) = unbounded::<String>();
+            drop(rx);
+            let err = tx.send("payload".into()).unwrap_err();
+            assert_eq!(err.into_inner(), "payload");
+        }
+
+        #[test]
+        fn rendezvous_handoff() {
+            let (tx, rx) = bounded::<u32>(0);
+            let t = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)).unwrap());
+            tx.send(42).unwrap();
+            assert_eq!(t.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn rendezvous_send_fails_when_receiver_leaves() {
+            let (tx, rx) = bounded::<u32>(0);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                drop(rx);
+            });
+            let err = tx.send(7).unwrap_err();
+            assert_eq!(err.into_inner(), 7);
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn bounded_backpressure() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let t = std::thread::spawn(move || {
+                // This blocks until the receiver drains one slot.
+                tx.send(3).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            t.join().unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn mpmc_many_producers() {
+            let (tx, rx) = unbounded::<usize>();
+            let mut handles = Vec::new();
+            for t in 0..8 {
+                let tx = tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            let mut seen = 0;
+            while rx.recv().is_ok() {
+                seen += 1;
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(seen, 800);
+        }
+    }
+}

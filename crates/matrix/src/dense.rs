@@ -124,8 +124,8 @@ impl DenseMatrix {
                 *v *= beta;
             }
         }
-        for j in 0..self.cols {
-            let axj = alpha * x[j];
+        for (j, &xj) in x.iter().enumerate() {
+            let axj = alpha * xj;
             if axj == 0.0 {
                 continue;
             }

@@ -8,7 +8,7 @@
 //! paper's repartitioned restore (Fig 1-c), where "a single block on the new
 //! distribution can overlap with many other blocks on the old distribution".
 
-use apgas::serial::Serial;
+use apgas::serial::{read_usize_vec, write_usize_slice, Serial};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A rectangular block partitioning of an m×n index space.
@@ -220,22 +220,14 @@ impl Serial for Grid {
     fn write(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.rows as u64);
         buf.put_u64_le(self.cols as u64);
-        buf.put_u64_le(self.row_splits.len() as u64);
-        for &s in &self.row_splits {
-            buf.put_u64_le(s as u64);
-        }
-        buf.put_u64_le(self.col_splits.len() as u64);
-        for &s in &self.col_splits {
-            buf.put_u64_le(s as u64);
-        }
+        write_usize_slice(&self.row_splits, buf);
+        write_usize_slice(&self.col_splits, buf);
     }
     fn read(buf: &mut Bytes) -> Self {
         let rows = buf.get_u64_le() as usize;
         let cols = buf.get_u64_le() as usize;
-        let nr = buf.get_u64_le() as usize;
-        let row_splits = (0..nr).map(|_| buf.get_u64_le() as usize).collect();
-        let nc = buf.get_u64_le() as usize;
-        let col_splits = (0..nc).map(|_| buf.get_u64_le() as usize).collect();
+        let row_splits = read_usize_vec(buf);
+        let col_splits = read_usize_vec(buf);
         Grid { rows, cols, row_splits, col_splits }
     }
     fn byte_len(&self) -> usize {
@@ -333,9 +325,9 @@ mod tests {
         let mut covered = vec![vec![0u8; 17]; 23];
         for (bi, bj) in new.block_iter() {
             for o in new.overlaps(&old, bi, bj) {
-                for r in o.r0..o.r1 {
-                    for c in o.c0..o.c1 {
-                        covered[r][c] += 1;
+                for row in covered.iter_mut().take(o.r1).skip(o.r0) {
+                    for cell in row.iter_mut().take(o.c1).skip(o.c0) {
+                        *cell += 1;
                     }
                 }
             }

@@ -5,7 +5,7 @@
 //! the paper's Table I lists both, and because `Aᵀx` on CSC has the access
 //! pattern of `Ax` on CSR.
 
-use apgas::serial::Serial;
+use apgas::serial::{Serial, SerialElem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::dense::DenseMatrix;
@@ -120,8 +120,8 @@ impl SparseCSC {
                 *v *= beta;
             }
         }
-        for j in 0..self.cols {
-            let axj = alpha * x[j];
+        for (j, &xj) in x.iter().enumerate() {
+            let axj = alpha * xj;
             if axj == 0.0 {
                 continue;
             }
@@ -207,27 +207,25 @@ impl SparseCSC {
 
 impl Serial for SparseCSC {
     fn write(&self, buf: &mut BytesMut) {
+        buf.reserve(self.byte_len());
         buf.put_u64_le(self.rows as u64);
         buf.put_u64_le(self.cols as u64);
         buf.put_u64_le(self.nnz() as u64);
-        buf.reserve(8 * (self.col_ptr.len() + 2 * self.nnz()));
-        for &p in &self.col_ptr {
-            buf.put_u64_le(p as u64);
-        }
-        for &r in &self.row_idx {
-            buf.put_u64_le(r as u64);
-        }
-        for &v in &self.values {
-            buf.put_f64_le(v);
-        }
+        // Bulk slice fast path; lengths come from the header.
+        usize::write_slice(&self.col_ptr, buf);
+        usize::write_slice(&self.row_idx, buf);
+        f64::write_slice(&self.values, buf);
     }
     fn read(buf: &mut Bytes) -> Self {
         let rows = buf.get_u64_le() as usize;
         let cols = buf.get_u64_le() as usize;
         let nnz = buf.get_u64_le() as usize;
-        let col_ptr = (0..cols + 1).map(|_| buf.get_u64_le() as usize).collect();
-        let row_idx = (0..nnz).map(|_| buf.get_u64_le() as usize).collect();
-        let values = (0..nnz).map(|_| buf.get_f64_le()).collect();
+        let mut col_ptr = Vec::new();
+        usize::read_slice_into(cols + 1, buf, &mut col_ptr);
+        let mut row_idx = Vec::new();
+        usize::read_slice_into(nnz, buf, &mut row_idx);
+        let mut values = Vec::new();
+        f64::read_slice_into(nnz, buf, &mut values);
         SparseCSC::from_raw(rows, cols, col_ptr, row_idx, values)
     }
     fn byte_len(&self) -> usize {

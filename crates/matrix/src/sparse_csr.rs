@@ -1,6 +1,6 @@
 //! Compressed sparse row matrix (`x10.matrix.sparse.SparseCSR`).
 
-use apgas::serial::Serial;
+use apgas::serial::{Serial, SerialElem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::dense::DenseMatrix;
@@ -124,10 +124,10 @@ impl SparseCSR {
     pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x length != cols");
         assert_eq!(y.len(), self.rows, "spmv: y length != rows");
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let dot: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
-            y[i] = alpha * dot + beta * y[i];
+            *yi = alpha * dot + beta * *yi;
         }
     }
 
@@ -140,8 +140,8 @@ impl SparseCSR {
                 *v *= beta;
             }
         }
-        for i in 0..self.rows {
-            let axi = alpha * x[i];
+        for (i, &xi) in x.iter().enumerate() {
+            let axi = alpha * xi;
             if axi == 0.0 {
                 continue;
             }
@@ -287,27 +287,26 @@ impl SparseCSR {
 
 impl Serial for SparseCSR {
     fn write(&self, buf: &mut BytesMut) {
+        buf.reserve(self.byte_len());
         buf.put_u64_le(self.rows as u64);
         buf.put_u64_le(self.cols as u64);
         buf.put_u64_le(self.nnz() as u64);
-        buf.reserve(8 * (self.row_ptr.len() + 2 * self.nnz()));
-        for &p in &self.row_ptr {
-            buf.put_u64_le(p as u64);
-        }
-        for &c in &self.col_idx {
-            buf.put_u64_le(c as u64);
-        }
-        for &v in &self.values {
-            buf.put_f64_le(v);
-        }
+        // The three arrays move via the bulk slice fast path; their lengths
+        // are derivable from the header, so no per-array prefix.
+        usize::write_slice(&self.row_ptr, buf);
+        usize::write_slice(&self.col_idx, buf);
+        f64::write_slice(&self.values, buf);
     }
     fn read(buf: &mut Bytes) -> Self {
         let rows = buf.get_u64_le() as usize;
         let cols = buf.get_u64_le() as usize;
         let nnz = buf.get_u64_le() as usize;
-        let row_ptr = (0..rows + 1).map(|_| buf.get_u64_le() as usize).collect();
-        let col_idx = (0..nnz).map(|_| buf.get_u64_le() as usize).collect();
-        let values = (0..nnz).map(|_| buf.get_f64_le()).collect();
+        let mut row_ptr = Vec::new();
+        usize::read_slice_into(rows + 1, buf, &mut row_ptr);
+        let mut col_idx = Vec::new();
+        usize::read_slice_into(nnz, buf, &mut col_idx);
+        let mut values = Vec::new();
+        f64::read_slice_into(nnz, buf, &mut values);
         SparseCSR::from_raw(rows, cols, row_ptr, col_idx, values)
     }
     fn byte_len(&self) -> usize {

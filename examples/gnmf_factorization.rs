@@ -28,7 +28,7 @@ impl ResilientIterativeApp for Narrated {
             ctx.kill_place(Place::new(2))?;
         }
         self.inner.step(ctx, it)?;
-        if it % 5 == 0 {
+        if it.is_multiple_of(5) {
             println!(
                 "  iter {it:>3}  ‖V − WH‖² = {:.6}",
                 self.inner.app.objective(ctx)?
