@@ -12,4 +12,15 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== trace smoke =="
+# A traced example run must leave behind a valid, non-empty Chrome trace;
+# trace_smoke re-validates that file, runs its own traced resilient
+# workload, and bounds the cost of the disabled tracing fast path.
+TRACE_JSON="$(mktemp -t gml_trace_XXXXXX.json)"
+trap 'rm -f "$TRACE_JSON"' EXIT
+GML_TRACE=1 GML_TRACE_OUT="$TRACE_JSON" \
+    cargo run --release --example failure_drill > /dev/null
+test -s "$TRACE_JSON" || { echo "trace smoke: $TRACE_JSON is empty"; exit 1; }
+cargo run --release -p gml-bench --bin trace_smoke -- "$TRACE_JSON"
+
 echo "CI OK"

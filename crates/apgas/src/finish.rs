@@ -25,6 +25,7 @@ use crate::error::{ApgasError, DeadPlaceException};
 use crate::place::Place;
 use crate::runtime::{Ctx, Envelope};
 use crate::stats::RuntimeStats;
+use crate::trace::SpanKind;
 
 /// Outcome of one finished task, reported to whichever finish owns it.
 #[derive(Debug, Clone)]
@@ -278,6 +279,7 @@ impl FinishHandle {
     {
         let rt = ctx.rt();
         RuntimeStats::bump(&rt.stats.tasks_spawned);
+        rt.tracer.instant(ctx.here().id(), SpanKind::AsyncAt, p.id() as u64);
         match self {
             FinishHandle::Local(state) => {
                 if !rt.is_alive(p) {
@@ -307,13 +309,17 @@ impl FinishHandle {
                 // Synchronous spawn record at place zero — the expensive
                 // round trip that makes resilient finish costly.
                 RuntimeStats::bump(&rt.stats.ctl_spawns);
-                let (ack_tx, ack_rx) = bounded(1);
-                rt.send_ctl(CtlMsg::Spawn { fid, dst: p, ack: ack_tx });
-                match ack_rx.recv() {
-                    Ok(SpawnAck::Ok) => {}
-                    // Dead target: exception already recorded at the registry.
-                    Ok(SpawnAck::Dead) => return,
-                    Err(_) => return, // runtime shutting down
+                {
+                    let _span =
+                        rt.tracer.span(ctx.here().id(), SpanKind::CtlSpawn, p.id() as u64);
+                    let (ack_tx, ack_rx) = bounded(1);
+                    rt.send_ctl(CtlMsg::Spawn { fid, dst: p, ack: ack_tx });
+                    match ack_rx.recv() {
+                        Ok(SpawnAck::Ok) => {}
+                        // Dead target: exception already recorded at the registry.
+                        Ok(SpawnAck::Dead) => return,
+                        Err(_) => return, // runtime shutting down
+                    }
                 }
                 let sent = rt.send(
                     p,
@@ -323,6 +329,7 @@ impl FinishHandle {
                             let rt = ctx.rt();
                             if rt.is_alive(ctx.here()) {
                                 RuntimeStats::bump(&rt.stats.ctl_terms);
+                                rt.tracer.instant(ctx.here().id(), SpanKind::CtlTerm, fid);
                                 rt.send_ctl(CtlMsg::Term { fid, place: ctx.here(), outcome });
                             }
                             // If our place died mid-run, PlaceDied already
@@ -392,6 +399,8 @@ impl<'a> FinishScope<'a> {
             FinishHandle::Local(state) => state.wait(),
             FinishHandle::Resilient { fid } => {
                 RuntimeStats::bump(&rt.stats.ctl_waits);
+                let _span =
+                    rt.tracer.span(self.ctx.here().id(), SpanKind::CtlWait, fid);
                 let waiter = Waiter::new();
                 rt.send_ctl(CtlMsg::Wait { fid, waiter: Arc::clone(&waiter) });
                 waiter.block()

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod error;
+pub mod metrics;
 pub mod place;
 pub mod serial;
 mod thread_cache;
@@ -51,21 +52,26 @@ pub mod finish;
 pub mod plh;
 pub mod runtime;
 pub mod stats;
+pub mod trace;
 
 pub use error::{ApgasError, DeadPlaceException, Result};
 pub use finish::FinishScope;
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
 pub use place::{Place, PlaceGroup};
 pub use plh::PlaceLocalHandle;
 pub use runtime::{Ctx, Runtime, RuntimeConfig};
 pub use serial::Serial;
 pub use stats::RuntimeStats;
+pub use trace::{SpanGuard, SpanKind, TraceEvent, Tracer};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::error::{ApgasError, DeadPlaceException, Result as ApgasResult};
     pub use crate::finish::FinishScope;
+    pub use crate::metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
     pub use crate::place::{Place, PlaceGroup};
     pub use crate::plh::PlaceLocalHandle;
     pub use crate::runtime::{Ctx, Runtime, RuntimeConfig};
     pub use crate::serial::Serial;
+    pub use crate::trace::{SpanGuard, SpanKind, TraceEvent, Tracer};
 }

@@ -22,6 +22,7 @@ use crate::place::{Place, PlaceGroup};
 use crate::plh::PlhRegistry;
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use crate::thread_cache::ThreadCache;
+use crate::trace::{SpanGuard, SpanKind, Tracer};
 
 /// Configuration for a [`Runtime`].
 #[derive(Clone, Copy, Debug)]
@@ -35,12 +36,15 @@ pub struct RuntimeConfig {
     /// tolerance of place failure. When false, `kill_place` is refused —
     /// original X10's "a crash kills the whole application".
     pub resilient: bool,
+    /// Structured tracing ([`crate::trace`]): `Some(on)` forces it, `None`
+    /// (the default) defers to the `GML_TRACE` environment variable.
+    pub trace: Option<bool>,
 }
 
 impl RuntimeConfig {
     /// A non-resilient runtime with `places` active places and no spares.
     pub fn new(places: usize) -> Self {
-        RuntimeConfig { places, spares: 0, resilient: false }
+        RuntimeConfig { places, spares: 0, resilient: false, trace: None }
     }
 
     /// Set the number of spare places.
@@ -52,6 +56,12 @@ impl RuntimeConfig {
     /// Enable or disable resilient semantics.
     pub fn resilient(mut self, on: bool) -> Self {
         self.resilient = on;
+        self
+    }
+
+    /// Force structured tracing on or off, overriding `GML_TRACE`.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = Some(on);
         self
     }
 
@@ -88,6 +98,7 @@ pub(crate) struct RtInner {
     pub(crate) plh: PlhRegistry,
     cache: ThreadCache,
     pub(crate) stats: RuntimeStats,
+    pub(crate) tracer: Tracer,
     next_finish_id: AtomicU64,
     pub(crate) next_plh_id: AtomicU64,
     dispatchers: Mutex<Vec<JoinHandle<()>>>,
@@ -128,6 +139,7 @@ impl RtInner {
         places.push(Arc::new(PlaceState { alive: AtomicBool::new(true), tx }));
         drop(places);
         self.plh.ensure_place(id as usize + 1);
+        self.tracer.ensure_place(id as usize + 1);
         let rt = Arc::clone(self);
         let place = Place::new(id);
         let h = std::thread::Builder::new()
@@ -203,6 +215,7 @@ impl Ctx {
         }
         let p = self.rt.start_place();
         RuntimeStats::bump(&self.rt.stats.places_spawned);
+        self.rt.tracer.instant(p.id(), SpanKind::SpawnPlace, p.id() as u64);
         Ok(p)
     }
 
@@ -250,6 +263,7 @@ impl Ctx {
     {
         RuntimeStats::bump(&self.rt.stats.at_calls);
         RuntimeStats::bump(&self.rt.stats.tasks_spawned);
+        let _span = self.rt.tracer.span(self.here.id(), SpanKind::At, p.id() as u64);
         let (tx, rx) = bounded::<std::result::Result<R, String>>(1);
         self.rt.send(
             p,
@@ -308,6 +322,15 @@ impl Ctx {
         RuntimeStats::add(&self.rt.stats.bytes_shipped, n as u64);
     }
 
+    /// Record `n` bytes of payload that landed at a receiving place. Called
+    /// at every receive site (where the one honest copy materializes), so
+    /// `bytes_received` mirrors `bytes_shipped` — equal in failure-free
+    /// runs, short by exactly the in-flight payloads lost to dead places
+    /// under failure.
+    pub fn record_bytes_received(&self, n: usize) {
+        RuntimeStats::add(&self.rt.stats.bytes_received, n as u64);
+    }
+
     /// Serialize `value` for a place crossing, charging the wall time to
     /// `encode_nanos`. Byte accounting stays separate ([`Self::record_bytes`])
     /// because not every encode is billed at its own site — snapshot saves,
@@ -315,16 +338,21 @@ impl Ctx {
     pub fn encode<T: crate::serial::Serial>(&self, value: &T) -> bytes::Bytes {
         let t0 = std::time::Instant::now();
         let bytes = value.to_bytes();
-        RuntimeStats::add(&self.rt.stats.encode_nanos, t0.elapsed().as_nanos() as u64);
+        let elapsed = t0.elapsed();
+        RuntimeStats::add(&self.rt.stats.encode_nanos, elapsed.as_nanos() as u64);
+        self.rt.tracer.complete(self.here.id(), SpanKind::Encode, bytes.len() as u64, elapsed);
         bytes
     }
 
     /// Deserialize a payload received from another place, charging the wall
     /// time to `decode_nanos`.
     pub fn decode<T: crate::serial::Serial>(&self, bytes: bytes::Bytes) -> T {
+        let n = bytes.len() as u64;
         let t0 = std::time::Instant::now();
         let v = T::from_bytes(bytes);
-        RuntimeStats::add(&self.rt.stats.decode_nanos, t0.elapsed().as_nanos() as u64);
+        let elapsed = t0.elapsed();
+        RuntimeStats::add(&self.rt.stats.decode_nanos, elapsed.as_nanos() as u64);
+        self.rt.tracer.complete(self.here.id(), SpanKind::Decode, n, elapsed);
         v
     }
 
@@ -332,16 +360,48 @@ impl Ctx {
     /// through custom paths rather than [`Self::encode`]).
     pub fn record_encode(&self, elapsed: std::time::Duration) {
         RuntimeStats::add(&self.rt.stats.encode_nanos, elapsed.as_nanos() as u64);
+        self.rt.tracer.complete(self.here.id(), SpanKind::Encode, 0, elapsed);
     }
 
     /// Charge already-measured decode time.
     pub fn record_decode(&self, elapsed: std::time::Duration) {
         RuntimeStats::add(&self.rt.stats.decode_nanos, elapsed.as_nanos() as u64);
+        self.rt.tracer.complete(self.here.id(), SpanKind::Decode, 0, elapsed);
     }
 
     /// A point-in-time copy of the runtime's activity counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.rt.stats.snapshot()
+    }
+
+    /// The runtime's trace collector (disabled unless `GML_TRACE` /
+    /// [`RuntimeConfig::trace`] switched it on).
+    pub fn tracer(&self) -> &Tracer {
+        &self.rt.tracer
+    }
+
+    /// Begin a span at this place; ends (and feeds its latency histogram)
+    /// when the returned guard drops. One branch when tracing is off.
+    #[inline]
+    pub fn trace_span(&self, kind: SpanKind, arg: u64) -> SpanGuard<'_> {
+        self.rt.tracer.span(self.here.id(), kind, arg)
+    }
+
+    /// Begin a labeled span (e.g. the restore mode) at this place.
+    #[inline]
+    pub fn trace_span_labeled(
+        &self,
+        kind: SpanKind,
+        label: &'static str,
+        arg: u64,
+    ) -> SpanGuard<'_> {
+        self.rt.tracer.span_labeled(self.here.id(), kind, label, arg)
+    }
+
+    /// Record an instant trace event at this place.
+    #[inline]
+    pub fn trace_instant(&self, kind: SpanKind, arg: u64) {
+        self.rt.tracer.instant(self.here.id(), kind, arg)
     }
 }
 
@@ -361,6 +421,8 @@ fn kill_place_inner(rt: &Arc<RtInner>, p: Place) -> Result<()> {
         .ok_or_else(|| ApgasError::Unsupported(format!("no such place {p}")))?;
     if st.alive.swap(false, Ordering::AcqRel) {
         RuntimeStats::bump(&rt.stats.failures);
+        // Shown on the victim's track: the fail-stop instant.
+        rt.tracer.instant(p.id(), SpanKind::KillPlace, p.id() as u64);
         // The place's memory is gone.
         rt.plh.clear_place(p);
         // Tell the place-zero registry so open finishes settle their counts.
@@ -381,6 +443,11 @@ impl Runtime {
     /// Start dispatcher threads for every configured place.
     pub fn new(cfg: RuntimeConfig) -> Self {
         assert!(cfg.places >= 1, "need at least one place");
+        let tracer = match cfg.trace {
+            Some(true) => Tracer::enabled(crate::trace::DEFAULT_RING_CAPACITY),
+            Some(false) => Tracer::disabled(),
+            None => Tracer::from_env(),
+        };
         let inner = Arc::new(RtInner {
             cfg,
             places: RwLock::new(Vec::new()),
@@ -389,6 +456,7 @@ impl Runtime {
             plh: PlhRegistry::new(0),
             cache: ThreadCache::new(),
             stats: RuntimeStats::default(),
+            tracer,
             next_finish_id: AtomicU64::new(1),
             next_plh_id: AtomicU64::new(1),
             dispatchers: Mutex::new(Vec::new()),
@@ -420,8 +488,28 @@ impl Runtime {
         self.inner.stats.snapshot()
     }
 
+    /// The runtime's trace collector.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Export the retained trace as Chrome `trace_event` JSON at `path`.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.inner.tracer.chrome_json())
+    }
+
     /// Stop all dispatchers and join them. Idempotent.
     pub fn shutdown(&self) {
+        // First transition only: flush the trace where GML_TRACE_OUT points.
+        if !self.inner.stopping.swap(true, Ordering::AcqRel) && self.inner.tracer.is_on() {
+            if let Ok(path) = std::env::var("GML_TRACE_OUT") {
+                if !path.is_empty() {
+                    if let Err(e) = self.write_chrome_trace(std::path::Path::new(&path)) {
+                        eprintln!("GML_TRACE_OUT: failed to write {path}: {e}");
+                    }
+                }
+            }
+        }
         self.inner.stopping.store(true, Ordering::Release);
         for st in self.inner.places.read().iter() {
             let _ = st.tx.send(Envelope::Stop);
@@ -466,6 +554,11 @@ fn dispatch_loop(rt: Arc<RtInner>, place: Place, rx: Receiver<Envelope>) {
             }
             Envelope::FinishCtl(msg) => {
                 debug_assert_eq!(place, Place::ZERO, "finish bookkeeping only at place zero");
+                if let CtlMsg::PlaceDied { place: dead } = &msg {
+                    // Failure *detection*: the registry learns of the death
+                    // here, on place zero's track.
+                    rt.tracer.instant(Place::ZERO.id(), SpanKind::PlaceDied, dead.id() as u64);
+                }
                 let rt2 = Arc::clone(&rt);
                 rt.finish_svc.handle(move |p| rt2.is_alive(p), msg);
             }

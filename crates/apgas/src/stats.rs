@@ -25,6 +25,13 @@ pub struct RuntimeStats {
     /// Bytes of payload serialized for cross-place movement (maintained by
     /// the data layers via [`crate::runtime::Ctx::record_bytes`]).
     pub bytes_shipped: AtomicU64,
+    /// Bytes of payload that actually landed at a receiving place (maintained
+    /// via [`crate::runtime::Ctx::record_bytes_received`] at every receive
+    /// site). Mirrors `bytes_shipped` so ship volume can be cross-checked
+    /// end-to-end: in a failure-free run the two are equal; under failure,
+    /// payloads shipped to a place that died in flight are counted as shipped
+    /// but never as received.
+    pub bytes_received: AtomicU64,
     /// Nanoseconds spent encoding cross-place payloads (maintained via
     /// [`crate::runtime::Ctx::encode`]); with `bytes_shipped` this yields
     /// checkpoint encode throughput.
@@ -53,6 +60,8 @@ pub struct StatsSnapshot {
     pub ctl_waits: u64,
     /// Payload bytes serialized across places.
     pub bytes_shipped: u64,
+    /// Payload bytes that landed at receiving places.
+    pub bytes_received: u64,
     /// Nanoseconds spent encoding cross-place payloads.
     pub encode_nanos: u64,
     /// Nanoseconds spent decoding cross-place payloads.
@@ -78,6 +87,7 @@ impl StatsSnapshot {
             ctl_terms: self.ctl_terms.saturating_sub(earlier.ctl_terms),
             ctl_waits: self.ctl_waits.saturating_sub(earlier.ctl_waits),
             bytes_shipped: self.bytes_shipped.saturating_sub(earlier.bytes_shipped),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
             encode_nanos: self.encode_nanos.saturating_sub(earlier.encode_nanos),
             decode_nanos: self.decode_nanos.saturating_sub(earlier.decode_nanos),
             failures: self.failures.saturating_sub(earlier.failures),
@@ -96,6 +106,7 @@ impl RuntimeStats {
             ctl_terms: self.ctl_terms.load(Ordering::Relaxed),
             ctl_waits: self.ctl_waits.load(Ordering::Relaxed),
             bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
             encode_nanos: self.encode_nanos.load(Ordering::Relaxed),
             decode_nanos: self.decode_nanos.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),

@@ -327,6 +327,7 @@ impl DistBlockMatrix {
         partials.sort_unstable_by_key(|(i, _)| *i);
         let mut sum = Vector::zeros(cols);
         for (_, bytes) in partials {
+            ctx.record_bytes_received(bytes.len());
             sum.cell_add(&ctx.decode::<Vector>(bytes));
         }
         // Install at root, broadcast to the rest of the group.
@@ -419,6 +420,7 @@ impl DistBlockMatrix {
         partials.sort_unstable_by_key(|(i, _)| *i);
         let mut sum = DenseMatrix::zeros(k1, k2);
         for (_, bytes) in partials {
+            ctx.record_bytes_received(bytes.len());
             sum.cell_add(&ctx.decode::<DenseMatrix>(bytes));
         }
         *out.local(ctx)?.lock() = sum;
@@ -611,6 +613,7 @@ impl DistBlockMatrix {
                             local.push((grid.block_id(b.bi, b.bj), sq));
                         }
                         ctx.record_bytes(16 * local.len());
+                        ctx.record_bytes_received(16 * local.len());
                         partials.lock().extend(local);
                         Ok(())
                     });
@@ -657,6 +660,7 @@ impl DistBlockMatrix {
             .map(Mutex::into_inner)
             .unwrap_or_else(|arc| arc.lock().clone());
         for bytes in pieces {
+            ctx.record_bytes_received(bytes.len());
             let b: MatrixBlock = ctx.decode(bytes);
             out.paste(b.row_offset, b.col_offset, &b.data.to_dense());
         }
@@ -803,6 +807,7 @@ fn fetch_sub_block(
         match got {
             Ok(Some(bytes)) => {
                 ctx.record_bytes(bytes.len());
+                ctx.record_bytes_received(bytes.len());
                 return Ok(ctx.decode(bytes));
             }
             Ok(None) => continue,
@@ -818,6 +823,7 @@ impl Snapshottable for DistBlockMatrix {
     }
 
     fn make_snapshot(&self, ctx: &Ctx, store: &ResilientStore) -> GmlResult<Snapshot> {
+        let _span = ctx.trace_span(SpanKind::SnapshotObj, self.object_id);
         let snap_id = store.fresh_snap_id();
         let builder = SnapshotBuilder::new();
         let plh = self.plh;
@@ -865,6 +871,7 @@ impl Snapshottable for DistBlockMatrix {
         store: &ResilientStore,
         snapshot: &Snapshot,
     ) -> GmlResult<()> {
+        let _span = ctx.trace_span(SpanKind::RestoreObj, self.object_id);
         let mut desc = snapshot.descriptor.clone();
         let old_grid = Grid::read(&mut desc);
         let was_sparse = desc.get_u8() != 0;

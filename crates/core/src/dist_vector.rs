@@ -286,8 +286,10 @@ impl DistVector {
                                 .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
                             local.push((s, f(s, splits[s], seg, ctx)?));
                         }
-                        // One "message" back to the driver per place.
+                        // One "message" back to the driver per place; the
+                        // driver consumes it, so it counts as received too.
                         ctx.record_bytes(16 * local.len());
+                        ctx.record_bytes_received(16 * local.len());
                         partials.lock().extend(local);
                         Ok(())
                     });
@@ -426,6 +428,7 @@ impl DistVector {
             .map(Mutex::into_inner)
             .unwrap_or_else(|arc| arc.lock().clone());
         for (s, bytes) in pieces {
+            ctx.record_bytes_received(bytes.len());
             let seg: Vector = ctx.decode(bytes);
             out.copy_from_at(self.splits[s], seg.as_slice());
         }
@@ -508,6 +511,7 @@ impl Snapshottable for DistVector {
     }
 
     fn make_snapshot(&self, ctx: &Ctx, store: &ResilientStore) -> GmlResult<Snapshot> {
+        let _span = ctx.trace_span(SpanKind::SnapshotObj, self.object_id);
         let snap_id = store.fresh_snap_id();
         let builder = SnapshotBuilder::new();
         let plh = self.plh;
@@ -566,6 +570,7 @@ impl Snapshottable for DistVector {
         store: &ResilientStore,
         snapshot: &Snapshot,
     ) -> GmlResult<()> {
+        let _span = ctx.trace_span(SpanKind::RestoreObj, self.object_id);
         let mut desc = snapshot.descriptor.clone();
         let ns = desc.get_u64_le() as usize;
         let old_splits: Vec<usize> = (0..ns).map(|_| desc.get_u64_le() as usize).collect();

@@ -113,6 +113,7 @@ impl DupDenseMatrix {
                 let pot = pot.clone();
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
+                        ctx.record_bytes_received(payload.len());
                         *plh.local(ctx)?.lock() = ctx.decode::<DenseMatrix>(payload);
                         Ok(())
                     });
@@ -162,6 +163,7 @@ impl Snapshottable for DupDenseMatrix {
     }
 
     fn make_snapshot(&self, ctx: &Ctx, store: &ResilientStore) -> GmlResult<Snapshot> {
+        let _span = ctx.trace_span(SpanKind::SnapshotObj, self.object_id);
         let snap_id = store.fresh_snap_id();
         let owner = self.group.place(0);
         let backup = self.group.place(self.group.next_index(0));
@@ -185,6 +187,7 @@ impl Snapshottable for DupDenseMatrix {
         store: &ResilientStore,
         snapshot: &Snapshot,
     ) -> GmlResult<()> {
+        let _span = ctx.trace_span(SpanKind::RestoreObj, self.object_id);
         let mut desc = snapshot.descriptor.clone();
         let rows = desc.get_u64_le() as usize;
         let cols = desc.get_u64_le() as usize;

@@ -170,6 +170,7 @@ impl DupVector {
                 let pot = pot.clone();
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
+                        ctx.record_bytes_received(payload.len());
                         let v: Vector = ctx.decode(payload);
                         *plh.local(ctx)?.lock() = v;
                         Ok(())
@@ -222,6 +223,7 @@ impl Snapshottable for DupVector {
     }
 
     fn make_snapshot(&self, ctx: &Ctx, store: &ResilientStore) -> GmlResult<Snapshot> {
+        let _span = ctx.trace_span(SpanKind::SnapshotObj, self.object_id);
         let snap_id = store.fresh_snap_id();
         let owner = self.group.place(0);
         let backup = self.group.place(self.group.next_index(0));
@@ -244,6 +246,7 @@ impl Snapshottable for DupVector {
         store: &ResilientStore,
         snapshot: &Snapshot,
     ) -> GmlResult<()> {
+        let _span = ctx.trace_span(SpanKind::RestoreObj, self.object_id);
         let mut desc = snapshot.descriptor.clone();
         let n = desc.get_u64_le() as usize;
         if n != self.n {

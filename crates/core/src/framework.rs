@@ -16,6 +16,7 @@ use apgas::prelude::*;
 
 use crate::app_store::AppResilientStore;
 use crate::error::{GmlError, GmlResult};
+use crate::report::{CostReport, IterRow, RestoreCost};
 
 /// How the application adapts to the loss of places (§V-B).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +36,18 @@ pub enum RestoreMode {
     /// creation). Keeps group size and load distribution like
     /// replace-redundant, but without idling spare resources up-front.
     ReplaceElastic,
+}
+
+impl RestoreMode {
+    /// Stable snake_case label, used for trace span labels and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RestoreMode::Shrink => "shrink",
+            RestoreMode::ShrinkRebalance => "shrink_rebalance",
+            RestoreMode::ReplaceRedundant => "replace_redundant",
+            RestoreMode::ReplaceElastic => "replace_elastic",
+        }
+    }
 }
 
 /// Executor configuration.
@@ -183,6 +196,23 @@ impl ResilientExecutor {
         initial_places: &PlaceGroup,
         store: &mut AppResilientStore,
     ) -> GmlResult<(PlaceGroup, RunStats)> {
+        let (group, stats, _) = self.run_reported(ctx, app, initial_places, store)?;
+        Ok((group, stats))
+    }
+
+    /// Like [`run`](Self::run), but also returns the per-iteration
+    /// [`CostReport`]: one row per executor loop pass with wall time spent
+    /// in step / checkpoint / restore and the runtime counter deltas (ctl
+    /// messages, codec time, bytes shipped and received) that pass consumed.
+    /// Row boundary snapshots are shared, so the rows sum to exactly the
+    /// report's totals.
+    pub fn run_reported<A: ResilientIterativeApp>(
+        &self,
+        ctx: &Ctx,
+        app: &mut A,
+        initial_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+    ) -> GmlResult<(PlaceGroup, RunStats, CostReport)> {
         let mut stats = RunStats::default();
         let start = Instant::now();
         let mut group = initial_places.clone();
@@ -190,14 +220,29 @@ impl ResilientExecutor {
         let mut restores_left = self.cfg.max_restores;
         let mut interval = self.cfg.checkpoint_interval;
         let mut next_checkpoint: u64 = 0;
+        let first_snap = ctx.stats();
+        let mut prev_snap = first_snap;
+        let mut rows: Vec<IterRow> = Vec::new();
 
         while !app.is_finished(ctx, iteration) {
+            let mut row = IterRow {
+                iteration,
+                step: Duration::ZERO,
+                checkpoint: None,
+                restore: None,
+                delta: Default::default(),
+            };
             // Periodic coordinated checkpoint (also re-taken right after a
             // restore, re-establishing full snapshot redundancy).
             if interval > 0 && iteration >= next_checkpoint {
                 store.set_current_iteration(iteration);
                 let t = Instant::now();
-                match app.checkpoint(ctx, store) {
+                let result = {
+                    let _span = ctx.trace_span(SpanKind::Checkpoint, iteration);
+                    app.checkpoint(ctx, store)
+                };
+                row.checkpoint = Some(t.elapsed());
+                match result {
                     Ok(()) => {
                         stats.checkpoint_time += t.elapsed();
                         stats.checkpoints += 1;
@@ -209,11 +254,13 @@ impl ResilientExecutor {
                     Err(e) if e.is_recoverable() => {
                         stats.checkpoint_time += t.elapsed();
                         store.cancel_snapshot(ctx);
-                        self.recover(
+                        let cost = self.recover(
                             ctx, app, store, &mut group, &mut iteration, &mut restores_left,
                             &mut stats,
                         )?;
+                        row.restore = Some(cost);
                         next_checkpoint = iteration;
+                        Self::close_row(ctx, &mut rows, row, &mut prev_snap);
                         continue;
                     }
                     Err(e) => return Err(e),
@@ -222,7 +269,12 @@ impl ResilientExecutor {
 
             // One iteration of the algorithm.
             let t = Instant::now();
-            match app.step(ctx, iteration) {
+            let result = {
+                let _span = ctx.trace_span(SpanKind::Step, iteration);
+                app.step(ctx, iteration)
+            };
+            row.step = t.elapsed();
+            match result {
                 Ok(()) => {
                     stats.step_time += t.elapsed();
                     stats.iterations_run += 1;
@@ -230,20 +282,34 @@ impl ResilientExecutor {
                 }
                 Err(e) if e.is_recoverable() => {
                     stats.step_time += t.elapsed();
-                    self.recover(
+                    let cost = self.recover(
                         ctx, app, store, &mut group, &mut iteration, &mut restores_left,
                         &mut stats,
                     )?;
+                    row.restore = Some(cost);
                     next_checkpoint = iteration;
                 }
                 Err(e) => return Err(e),
             }
+            Self::close_row(ctx, &mut rows, row, &mut prev_snap);
         }
         stats.total_time = start.elapsed();
-        Ok((group, stats))
+        let report = CostReport { rows, totals: prev_snap.since(&first_snap) };
+        Ok((group, stats, report))
+    }
+
+    /// Finish a report row: charge it the counter delta since the previous
+    /// row boundary. The boundary snapshot is shared with the next row, so
+    /// no counter tick is ever double-counted or lost.
+    fn close_row(ctx: &Ctx, rows: &mut Vec<IterRow>, mut row: IterRow, prev_snap: &mut apgas::stats::StatsSnapshot) {
+        let now = ctx.stats();
+        row.delta = now.since(prev_snap);
+        *prev_snap = now;
+        rows.push(row);
     }
 
     /// Pick a new group per the restore mode and roll the application back.
+    /// Returns the wall time and effective shape of the recovery.
     #[allow(clippy::too_many_arguments)]
     fn recover<A: ResilientIterativeApp>(
         &self,
@@ -254,12 +320,15 @@ impl ResilientExecutor {
         iteration: &mut u64,
         restores_left: &mut u32,
         stats: &mut RunStats,
-    ) -> GmlResult<()> {
+    ) -> GmlResult<RestoreCost> {
+        let recover_t0 = Instant::now();
+        let mut attempts: u32 = 0;
         loop {
             if *restores_left == 0 {
                 return Err(GmlError::Unrecoverable("restore budget exhausted".into()));
             }
             *restores_left -= 1;
+            attempts += 1;
             let snapshot_iter = store.snapshot_iteration().ok_or_else(|| {
                 GmlError::Unrecoverable("place failure before any committed checkpoint".into())
             })?;
@@ -269,15 +338,22 @@ impl ResilientExecutor {
                     "recoverable error but no dead place observed".into(),
                 ));
             }
-            let (new_group, rebalance) = match self.cfg.mode {
-                RestoreMode::Shrink => (group.without(&dead), false),
-                RestoreMode::ShrinkRebalance => (group.without(&dead), true),
+            let (new_group, rebalance, label) = match self.cfg.mode {
+                RestoreMode::Shrink => (group.without(&dead), false, RestoreMode::Shrink.label()),
+                RestoreMode::ShrinkRebalance => {
+                    (group.without(&dead), true, RestoreMode::ShrinkRebalance.label())
+                }
                 RestoreMode::ReplaceRedundant => {
                     match group.replace(&dead, &ctx.live_spares()) {
-                        Some(g) => (g, false),
+                        Some(g) => (g, false, RestoreMode::ReplaceRedundant.label()),
                         // Spares exhausted: fall back to the user-chosen
-                        // shrink variant.
-                        None => (group.without(&dead), self.cfg.fallback_rebalance),
+                        // shrink variant (the label reports what actually
+                        // happened, not what was configured).
+                        None => (
+                            group.without(&dead),
+                            self.cfg.fallback_rebalance,
+                            Self::fallback_label(self.cfg.fallback_rebalance),
+                        ),
                     }
                 }
                 RestoreMode::ReplaceElastic => {
@@ -287,8 +363,12 @@ impl ResilientExecutor {
                         fresh.push(ctx.spawn_place()?);
                     }
                     match group.replace(&dead, &fresh) {
-                        Some(g) => (g, false),
-                        None => (group.without(&dead), self.cfg.fallback_rebalance),
+                        Some(g) => (g, false, RestoreMode::ReplaceElastic.label()),
+                        None => (
+                            group.without(&dead),
+                            self.cfg.fallback_rebalance,
+                            Self::fallback_label(self.cfg.fallback_rebalance),
+                        ),
                     }
                 }
             };
@@ -296,14 +376,23 @@ impl ResilientExecutor {
                 return Err(GmlError::Unrecoverable("no live places remain".into()));
             }
             let t = Instant::now();
-            let result = app.restore(ctx, &new_group, store, snapshot_iter, rebalance);
+            let result = {
+                let _span = ctx.trace_span_labeled(SpanKind::Restore, label, snapshot_iter);
+                app.restore(ctx, &new_group, store, snapshot_iter, rebalance)
+            };
             stats.restore_time += t.elapsed();
             match result {
                 Ok(()) => {
                     stats.restores += 1;
                     *group = new_group;
                     *iteration = snapshot_iter;
-                    return Ok(());
+                    return Ok(RestoreCost {
+                        label,
+                        rebalance,
+                        time: recover_t0.elapsed(),
+                        rolled_back_to: snapshot_iter,
+                        attempts,
+                    });
                 }
                 Err(e) if e.is_recoverable() => {
                     // Another place died during the restore: go around again
@@ -312,6 +401,14 @@ impl ResilientExecutor {
                 }
                 Err(e) => return Err(e),
             }
+        }
+    }
+
+    fn fallback_label(rebalance: bool) -> &'static str {
+        if rebalance {
+            RestoreMode::ShrinkRebalance.label()
+        } else {
+            RestoreMode::Shrink.label()
         }
     }
 }

@@ -27,6 +27,7 @@ pub mod dup_dense;
 pub mod dup_vector;
 pub mod error;
 pub mod framework;
+pub mod report;
 pub mod snapshot;
 pub mod store;
 
@@ -42,6 +43,7 @@ pub use framework::{
     young_interval, ChaosInjector, ExecutorConfig, FailureInjector, ResilientExecutor,
     ResilientIterativeApp, RestoreMode, RunStats,
 };
+pub use report::{fmt_bytes, CostReport, IterRow, RestoreCost};
 pub use snapshot::{Snapshot, Snapshottable};
 pub use store::ResilientStore;
 

@@ -1,0 +1,226 @@
+//! The per-iteration resilience cost report (the paper's Table III/IV
+//! columns, per executor pass instead of per run).
+//!
+//! [`ResilientExecutor::run_reported`](crate::framework::ResilientExecutor::run_reported)
+//! snapshots the runtime counters at every loop-pass boundary and emits one
+//! [`IterRow`] per pass: wall time in `step` / `checkpoint` / `restore`,
+//! plus the counter *deltas* consumed by that pass (ctl messages, codec
+//! time, bytes shipped and received). Boundary snapshots are shared between
+//! adjacent rows, so the rows telescope: their sums equal the run totals
+//! exactly ([`CostReport::consistent_with_totals`]), which is what lets the
+//! report cross-check ship volume end-to-end.
+
+use std::time::Duration;
+
+use apgas::metrics::fmt_nanos;
+use apgas::stats::StatsSnapshot;
+
+/// Wall time and shape of one restore performed by the executor.
+#[derive(Clone, Copy, Debug)]
+pub struct RestoreCost {
+    /// The *effective* restore mode label: what actually happened, fallback
+    /// included (`"shrink"`, `"shrink_rebalance"`, `"replace_redundant"`,
+    /// `"replace_elastic"`).
+    pub label: &'static str,
+    /// Whether the data grid was repartitioned.
+    pub rebalance: bool,
+    /// Total wall time across all attempts of this recovery.
+    pub time: Duration,
+    /// The iteration rolled back to (the snapshot's iteration).
+    pub rolled_back_to: u64,
+    /// Restore attempts made (> 1 when another place died mid-restore).
+    pub attempts: u32,
+}
+
+/// One executor loop pass: at most one checkpoint, at most one step, at
+/// most one recovery — plus the runtime counter deltas it consumed.
+#[derive(Clone, Copy, Debug)]
+pub struct IterRow {
+    /// The iteration number at the start of the pass (pre-rollback).
+    pub iteration: u64,
+    /// Wall time in `app.step` (zero when the pass never reached the step,
+    /// e.g. a failed checkpoint).
+    pub step: Duration,
+    /// Wall time of the checkpoint taken this pass, if any (failed,
+    /// cancelled checkpoints included — their cost is real).
+    pub checkpoint: Option<Duration>,
+    /// The recovery performed this pass, if any.
+    pub restore: Option<RestoreCost>,
+    /// Runtime counter deltas consumed by this pass.
+    pub delta: StatsSnapshot,
+}
+
+/// The full per-iteration cost breakdown of one executor run.
+#[derive(Clone, Debug, Default)]
+pub struct CostReport {
+    /// One row per executor loop pass, in execution order.
+    pub rows: Vec<IterRow>,
+    /// Counter deltas for the whole run (same boundary snapshots as the
+    /// rows, so the rows sum to exactly this).
+    pub totals: StatsSnapshot,
+}
+
+impl CostReport {
+    /// Counter-wise sum of every row's delta.
+    pub fn summed(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for r in &self.rows {
+            s.tasks_spawned += r.delta.tasks_spawned;
+            s.at_calls += r.delta.at_calls;
+            s.ctl_spawns += r.delta.ctl_spawns;
+            s.ctl_terms += r.delta.ctl_terms;
+            s.ctl_waits += r.delta.ctl_waits;
+            s.bytes_shipped += r.delta.bytes_shipped;
+            s.bytes_received += r.delta.bytes_received;
+            s.encode_nanos += r.delta.encode_nanos;
+            s.decode_nanos += r.delta.decode_nanos;
+            s.failures += r.delta.failures;
+            s.places_spawned += r.delta.places_spawned;
+        }
+        s
+    }
+
+    /// Do the rows account for every counter tick of the run? True by
+    /// construction (shared boundary snapshots); exposed so tests and the
+    /// CI smoke run can assert it.
+    pub fn consistent_with_totals(&self) -> bool {
+        self.summed() == self.totals
+    }
+
+    /// Total restores across all rows.
+    pub fn restores(&self) -> u64 {
+        self.rows.iter().filter(|r| r.restore.is_some()).count() as u64
+    }
+
+    /// Render the Table-III-style per-iteration cost table plus a totals
+    /// line. `step / ckpt / restore` are wall times; `ctl` counts place-zero
+    /// bookkeeping messages; `enc+dec` is codec wall time; `ship / recv`
+    /// are payload bytes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10}\n",
+            "iter", "step", "ckpt", "restore", "ctl", "enc+dec", "ship", "recv"
+        ));
+        for r in &self.rows {
+            let ckpt = r
+                .checkpoint
+                .map(|d| fmt_nanos(d.as_nanos() as u64))
+                .unwrap_or_else(|| "-".into());
+            let restore = r
+                .restore
+                .map(|rc| {
+                    format!(
+                        "{} ({}→it{})",
+                        fmt_nanos(rc.time.as_nanos() as u64),
+                        rc.label,
+                        rc.rolled_back_to
+                    )
+                })
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:>5} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10}\n",
+                r.iteration,
+                fmt_nanos(r.step.as_nanos() as u64),
+                ckpt,
+                restore,
+                r.delta.ctl_total(),
+                fmt_nanos(r.delta.encode_nanos + r.delta.decode_nanos),
+                fmt_bytes(r.delta.bytes_shipped),
+                fmt_bytes(r.delta.bytes_received),
+            ));
+        }
+        let t = &self.totals;
+        out.push_str(&format!(
+            "total: {} rows, {} restores, ctl {} (spawn {} term {} wait {}), \
+             encode {} decode {}, shipped {} received {}\n",
+            self.rows.len(),
+            self.restores(),
+            t.ctl_total(),
+            t.ctl_spawns,
+            t.ctl_terms,
+            t.ctl_waits,
+            fmt_nanos(t.encode_nanos),
+            fmt_nanos(t.decode_nanos),
+            fmt_bytes(t.bytes_shipped),
+            fmt_bytes(t.bytes_received),
+        ));
+        out
+    }
+}
+
+/// Format a byte count compactly (`1.5MB`, `12.0KB`, `17B`).
+pub fn fmt_bytes(n: u64) -> String {
+    if n >= 1 << 30 {
+        format!("{:.1}GB", n as f64 / (1u64 << 30) as f64)
+    } else if n >= 1 << 20 {
+        format!("{:.1}MB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1}KB", n as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{n}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(iter: u64, shipped: u64, received: u64, ctl: u64) -> IterRow {
+        IterRow {
+            iteration: iter,
+            step: Duration::from_millis(1),
+            checkpoint: None,
+            restore: None,
+            delta: StatsSnapshot {
+                bytes_shipped: shipped,
+                bytes_received: received,
+                ctl_spawns: ctl,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_totals() {
+        let rows = vec![row(0, 100, 100, 3), row(1, 50, 40, 2)];
+        let totals = StatsSnapshot {
+            bytes_shipped: 150,
+            bytes_received: 140,
+            ctl_spawns: 5,
+            ..Default::default()
+        };
+        let report = CostReport { rows, totals };
+        assert!(report.consistent_with_totals());
+        let mut wrong = report.clone();
+        wrong.totals.bytes_shipped = 151;
+        assert!(!wrong.consistent_with_totals());
+    }
+
+    #[test]
+    fn render_mentions_restores_and_bytes() {
+        let mut r = row(7, 2048, 2048, 1);
+        r.checkpoint = Some(Duration::from_millis(3));
+        r.restore = Some(RestoreCost {
+            label: "shrink_rebalance",
+            rebalance: true,
+            time: Duration::from_millis(9),
+            rolled_back_to: 5,
+            attempts: 1,
+        });
+        let report = CostReport { totals: r.delta, rows: vec![r] };
+        let text = report.render();
+        assert!(text.contains("shrink_rebalance"));
+        assert!(text.contains("→it5"));
+        assert!(text.contains("2.0KB"));
+        assert_eq!(report.restores(), 1);
+    }
+
+    #[test]
+    fn fmt_bytes_scales() {
+        assert_eq!(fmt_bytes(17), "17B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MB");
+        assert_eq!(fmt_bytes(5 << 30), "5.0GB");
+    }
+}

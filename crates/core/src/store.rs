@@ -113,6 +113,7 @@ impl ResilientStore {
         backup: Place,
     ) -> GmlResult<usize> {
         let len = value.len();
+        let _span = ctx.trace_span(SpanKind::StoreSave, len as u64);
         let shard = self.shard(ctx)?;
         // Owner copy: a refcount bump only — the serialized buffer produced
         // at this place IS the stored replica; no place boundary is crossed.
@@ -128,6 +129,7 @@ impl ResilientStore {
                 // `kill` would not model memory loss). This is the only
                 // wire copy on the save path.
                 let owned = Bytes::copy_from_slice(&value);
+                ctx.record_bytes_received(owned.len());
                 store.shard(ctx)?.insert(snap_id, key, owned);
                 Ok(())
             })??;
@@ -145,10 +147,12 @@ impl ResilientStore {
         owner: Place,
         backup: Place,
     ) -> GmlResult<Bytes> {
+        let mut span = ctx.trace_span(SpanKind::StoreFetch, 0);
         // Local shard hit: no place boundary crossed, so a refcount handoff
         // of the stored buffer is honest (and free).
         if let Ok(shard) = self.plh.local(ctx) {
             if let Some(v) = shard.get(snap_id, key) {
+                span.set_arg(v.len() as u64);
                 return Ok(v);
             }
         }
@@ -164,7 +168,9 @@ impl ResilientStore {
                 .at(source, move |ctx| plh.local(ctx).ok().and_then(|s| s.get(snap_id, key)))
                 .unwrap_or(None);
             if let Some(v) = got {
+                span.set_arg(v.len() as u64);
                 ctx.record_bytes(v.len());
+                ctx.record_bytes_received(v.len());
                 // One-honest-copy invariant: the only wire copy on the fetch
                 // path — the payload lands in this place's "memory".
                 return Ok(Bytes::copy_from_slice(&v));
@@ -188,6 +194,7 @@ impl ResilientStore {
     /// Drop every entry of `snap_id` at all live places (old checkpoints are
     /// deleted once a new one commits).
     pub fn delete_snapshot(&self, ctx: &Ctx, snap_id: u64) -> GmlResult<()> {
+        let _span = ctx.trace_span(SpanKind::StoreDelete, snap_id);
         let plh = self.plh;
         ctx.finish(|fs| {
             for p in ctx.all_places().iter() {

@@ -5,8 +5,16 @@
 //! (a) keeping the data grid — shrink, uneven load — and (b) repartitioning
 //! — shrink-rebalance, even load. Data integrity is verified both ways.
 //!
+//! A second phase then drives a tiny iterative app (scale + Frobenius norm)
+//! through the `ResilientExecutor`, kills another place mid-run, and prints
+//! the per-iteration resilience cost report plus the span latency table.
+//!
 //! ```sh
 //! cargo run --release --example failure_drill
+//! # with structured tracing exported as Chrome trace JSON:
+//! cargo run --release --example failure_drill -- --trace-out /tmp/drill.json
+//! # or via the environment (equivalent; works for any binary):
+//! GML_TRACE=1 GML_TRACE_OUT=/tmp/drill.json cargo run --release --example failure_drill
 //! ```
 
 use apgas::runtime::{Runtime, RuntimeConfig};
@@ -27,10 +35,77 @@ fn layout_report(label: &str, m: &DistBlockMatrix) {
     }
 }
 
+/// A minimal executor-driven app: each step halves the matrix and reduces
+/// its Frobenius norm (a collective, so a dead place surfaces here).
+struct NormDrill {
+    m: DistBlockMatrix,
+    iters: u64,
+    kill_at: u64,
+    victim: Place,
+    fired: bool,
+}
+
+impl ResilientIterativeApp for NormDrill {
+    fn is_finished(&self, _ctx: &Ctx, iteration: u64) -> bool {
+        iteration >= self.iters
+    }
+
+    fn step(&mut self, ctx: &Ctx, iteration: u64) -> GmlResult<()> {
+        if iteration == self.kill_at && !self.fired {
+            self.fired = true;
+            println!("  !! killing place {} at iteration {iteration}", self.victim);
+            ctx.kill_place(self.victim)?;
+        }
+        self.m.scale(ctx, 0.5)?;
+        let norm = self.m.frobenius_norm_sq(ctx)?;
+        println!("  iter {iteration}: |M|_F^2 = {norm:.3e}");
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+        store.start_new_snapshot();
+        store.save(ctx, &self.m)?;
+        store.commit(ctx)
+    }
+
+    fn restore(
+        &mut self,
+        ctx: &Ctx,
+        new_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+        _snapshot_iteration: u64,
+        rebalance: bool,
+    ) -> GmlResult<()> {
+        self.m.remake(ctx, new_places, rebalance)?;
+        store.restore(ctx, &mut [&mut self.m])
+    }
+}
+
+/// Parse `--trace-out <path>` from the command line, if present.
+fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
 fn main() {
-    Runtime::run(RuntimeConfig::new(6).resilient(true), |ctx| {
+    let trace_out = trace_out_arg();
+    // `--trace-out` forces tracing on; otherwise GML_TRACE decides.
+    let mut cfg = RuntimeConfig::new(6).resilient(true);
+    if trace_out.is_some() {
+        cfg = cfg.trace(true);
+    }
+    let rt = Runtime::new(cfg);
+    rt.exec(|ctx| {
         let world = ctx.world();
         let store = ResilientStore::make(ctx).expect("store");
+        // Created up-front: the store spans every place, so it must exist
+        // before any failure is injected.
+        let mut app_store = AppResilientStore::make(ctx).expect("app store");
 
         // 12x8 blocks over a 6x1 place grid: two block-rows per place.
         let mut m =
@@ -66,6 +141,44 @@ fn main() {
         layout_report("after SHRINK-REBALANCE restore (grid recut, even load)", &m);
         assert_eq!(m.gather_dense(ctx).expect("gather"), reference);
         println!("    data verified identical");
+
+        // Phase 2: the same failure, but handled by the executor — and
+        // accounted for, pass by pass, in the cost report.
+        println!("\n=== executor drill (shrink-rebalance, checkpoint every 2) ===");
+        let group = ctx.live_subset(&world);
+        let dm = DistBlockMatrix::make(ctx, 600, 400, 10, 1, group.len(), 1, &group, false)
+            .expect("make");
+        dm.init_with(ctx, |_, _, r0, c0, rows, cols| {
+            BlockData::Dense(builder::random_dense(rows, cols, (r0 * 31 + c0 + 1) as u64))
+        })
+        .expect("init");
+        let mut app = NormDrill {
+            m: dm,
+            iters: 8,
+            kill_at: 5,
+            victim: Place::new(4),
+            fired: false,
+        };
+        let exec = ResilientExecutor::new(ExecutorConfig::new(2, RestoreMode::ShrinkRebalance));
+        let (final_group, stats, report) =
+            exec.run_reported(ctx, &mut app, &group, &mut app_store).expect("executor run");
+        println!(
+            "  final group: {final_group:?} | iterations: {} | checkpoints: {} | restores: {}",
+            stats.iterations_run, stats.checkpoints, stats.restores
+        );
+        println!("--- per-iteration cost report ---");
+        print!("{}", report.render());
+        assert!(report.consistent_with_totals(), "rows must sum to totals");
     })
     .expect("runtime");
+
+    if rt.tracer().is_on() {
+        println!("--- span latencies ---");
+        print!("{}", rt.tracer().metrics().report());
+    }
+    if let Some(path) = &trace_out {
+        rt.write_chrome_trace(path).expect("write trace");
+        println!("trace written to {}", path.display());
+    }
+    rt.shutdown();
 }

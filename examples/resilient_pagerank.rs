@@ -3,10 +3,15 @@
 //! Runs 30 PageRank iterations with a checkpoint every 10, kills a place at
 //! iteration 15, and lets the resilient executor restore from the last
 //! checkpoint — in each of the paper's three restoration modes — then
-//! verifies all three produce the same ranks as a failure-free run.
+//! verifies all three produce the same ranks as a failure-free run. Each
+//! mode also prints the per-iteration resilience cost report (the paper's
+//! Table III columns, per executor pass).
 //!
 //! ```sh
 //! cargo run --release --example resilient_pagerank
+//! # with structured tracing; writes the Shrink run as Chrome trace JSON
+//! # (load it at chrome://tracing or https://ui.perfetto.dev):
+//! cargo run --release --example resilient_pagerank -- --trace-out /tmp/pr.json
 //! ```
 
 use apgas::runtime::{Runtime, RuntimeConfig};
@@ -51,7 +56,19 @@ impl ResilientIterativeApp for FailureInjector {
     }
 }
 
+/// Parse `--trace-out <path>` from the command line, if present.
+fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace_out = trace_out_arg();
     let pr_cfg = PageRankConfig {
         nodes_per_place: 200,
         out_degree: 6,
@@ -76,39 +93,52 @@ fn main() {
         println!("=== mode {mode:?} ===");
         let spares = if mode == RestoreMode::ReplaceRedundant { 1 } else { 0 };
         let baseline = baseline.clone();
-        Runtime::run(
-            RuntimeConfig::new(4).spares(spares).resilient(true),
-            move |ctx| {
-                let world = ctx.world();
-                let mut app = FailureInjector {
-                    inner: ResilientPageRank::make(ctx, pr_cfg, &world).unwrap(),
-                    kill_at: 15,
-                    victim: Place::new(2),
-                    fired: false,
-                };
-                let mut store = AppResilientStore::make(ctx).unwrap();
-                let exec = ResilientExecutor::new(ExecutorConfig::new(10, mode));
-                let (final_group, stats) =
-                    exec.run(ctx, &mut app, &world, &mut store).expect("resilient run");
-                let ranks = app.inner.app.ranks(ctx).unwrap();
-                let diff = ranks.max_abs_diff(&baseline);
-                println!(
-                    "  final group: {:?} | iterations run: {} | checkpoints: {} | restores: {}",
-                    final_group, stats.iterations_run, stats.checkpoints, stats.restores
-                );
-                println!(
-                    "  time: step {:.1?}, checkpoint {:.1?} ({:.0}%), restore {:.1?} ({:.0}%)",
-                    stats.step_time,
-                    stats.checkpoint_time,
-                    stats.checkpoint_pct(),
-                    stats.restore_time,
-                    stats.restore_pct()
-                );
-                println!("  max |ranks - baseline| = {diff:.2e} (exact recovery)");
-                assert!(diff < 1e-12);
-            },
-        )
+        let mut cfg = RuntimeConfig::new(4).spares(spares).resilient(true);
+        if trace_out.is_some() {
+            cfg = cfg.trace(true);
+        }
+        let rt = Runtime::new(cfg);
+        rt.exec(move |ctx| {
+            let world = ctx.world();
+            let mut app = FailureInjector {
+                inner: ResilientPageRank::make(ctx, pr_cfg, &world).unwrap(),
+                kill_at: 15,
+                victim: Place::new(2),
+                fired: false,
+            };
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let exec = ResilientExecutor::new(ExecutorConfig::new(10, mode));
+            let (final_group, stats, report) =
+                exec.run_reported(ctx, &mut app, &world, &mut store).expect("resilient run");
+            let ranks = app.inner.app.ranks(ctx).unwrap();
+            let diff = ranks.max_abs_diff(&baseline);
+            println!(
+                "  final group: {:?} | iterations run: {} | checkpoints: {} | restores: {}",
+                final_group, stats.iterations_run, stats.checkpoints, stats.restores
+            );
+            println!(
+                "  time: step {:.1?}, checkpoint {:.1?} ({:.0}%), restore {:.1?} ({:.0}%)",
+                stats.step_time,
+                stats.checkpoint_time,
+                stats.checkpoint_pct(),
+                stats.restore_time,
+                stats.restore_pct()
+            );
+            println!("--- per-iteration cost report ---");
+            print!("{}", report.render());
+            assert!(report.consistent_with_totals(), "rows must sum to totals");
+            println!("  max |ranks - baseline| = {diff:.2e} (exact recovery)");
+            assert!(diff < 1e-12);
+        })
         .expect("resilient run");
+        // The first (Shrink) run's trace goes to exactly the requested path.
+        if mode == RestoreMode::Shrink {
+            if let Some(path) = &trace_out {
+                rt.write_chrome_trace(path).expect("write trace");
+                println!("  trace written to {}", path.display());
+            }
+        }
+        rt.shutdown();
     }
     println!("all four restoration modes recovered the failure-free result");
 }

@@ -58,10 +58,10 @@ pub mod prelude {
         ResilientLogReg, ResilientPageRank,
     };
     pub use gml_core::{
-        young_interval, AppResilientStore, DistBlockMatrix, DistDenseMatrix, DistSparseMatrix,
-        DistVector, DupDenseMatrix, DupVector, ExecutorConfig, GmlError, GmlResult,
-        ResilientExecutor, ResilientIterativeApp, ResilientStore, RestoreMode, RunStats,
-        Snapshot, Snapshottable,
+        fmt_bytes, young_interval, AppResilientStore, CostReport, DistBlockMatrix,
+        DistDenseMatrix, DistSparseMatrix, DistVector, DupDenseMatrix, DupVector, ExecutorConfig,
+        GmlError, GmlResult, IterRow, ResilientExecutor, ResilientIterativeApp, ResilientStore,
+        RestoreCost, RestoreMode, RunStats, Snapshot, Snapshottable,
     };
     pub use gml_matrix::{
         builder, BlockData, BlockSet, DenseMatrix, Grid, MatrixBlock, SparseCSC, SparseCSR,
