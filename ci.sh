@@ -23,4 +23,10 @@ GML_TRACE=1 GML_TRACE_OUT="$TRACE_JSON" \
 test -s "$TRACE_JSON" || { echo "trace smoke: $TRACE_JSON is empty"; exit 1; }
 cargo run --release -p gml-bench --bin trace_smoke -- "$TRACE_JSON"
 
+echo "== forensics smoke =="
+# Kills a place mid-run, scrapes the Prometheus endpoint over localhost
+# (gml_place_up must flip), and validates every post-mortem bundle with the
+# built-in JSON parser — one bundle per restore, in memory and on disk.
+cargo run --release -p gml-bench --bin forensics_smoke
+
 echo "CI OK"

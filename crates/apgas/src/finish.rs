@@ -195,6 +195,47 @@ impl FinishService {
     pub(crate) fn open_finishes(&self) -> usize {
         self.recs.lock().len()
     }
+
+    /// Freeze every open finish record into a diagnostic
+    /// [`LedgerEntry`] list, sorted by finish id. Used by the
+    /// failure-forensics flight recorder to capture what place zero's
+    /// bookkeeping knew at the moment of a restore.
+    pub(crate) fn ledger(&self) -> Vec<LedgerEntry> {
+        let recs = self.recs.lock();
+        let mut out: Vec<LedgerEntry> = recs
+            .iter()
+            .map(|(fid, rec)| {
+                let mut pending: Vec<(u32, u32)> =
+                    rec.pending.iter().map(|(p, c)| (*p, *c)).collect();
+                pending.sort_unstable();
+                LedgerEntry {
+                    fid: *fid,
+                    pending,
+                    dead_exceptions: rec.report.dead.len(),
+                    panics: rec.report.panics.len(),
+                    has_waiter: rec.waiter.is_some(),
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|e| e.fid);
+        out
+    }
+}
+
+/// A point-in-time view of one open resilient finish in the place-zero
+/// registry — the unit of the flight recorder's "ledger state".
+#[derive(Clone, Debug)]
+pub struct LedgerEntry {
+    /// The finish id.
+    pub fid: u64,
+    /// Live task count per place id, sorted by place.
+    pub pending: Vec<(u32, u32)>,
+    /// [`DeadPlaceException`]s already recorded against this finish.
+    pub dead_exceptions: usize,
+    /// Task panics already recorded against this finish.
+    pub panics: usize,
+    /// Whether a `finish` is already blocked waiting on this record.
+    pub has_waiter: bool,
 }
 
 /// Local (non-resilient) finish state: a shared countdown latch.

@@ -45,6 +45,7 @@
 
 pub mod error;
 pub mod metrics;
+pub mod monitor;
 pub mod place;
 pub mod serial;
 mod thread_cache;
@@ -55,8 +56,9 @@ pub mod stats;
 pub mod trace;
 
 pub use error::{ApgasError, DeadPlaceException, Result};
-pub use finish::FinishScope;
+pub use finish::{FinishScope, LedgerEntry};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
+pub use monitor::{HealthBoard, HealthSnapshot, MonitorServer, PlaceHealth};
 pub use place::{Place, PlaceGroup};
 pub use plh::PlaceLocalHandle;
 pub use runtime::{Ctx, Runtime, RuntimeConfig};
@@ -67,8 +69,9 @@ pub use trace::{SpanGuard, SpanKind, TraceEvent, Tracer};
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::error::{ApgasError, DeadPlaceException, Result as ApgasResult};
-    pub use crate::finish::FinishScope;
+    pub use crate::finish::{FinishScope, LedgerEntry};
     pub use crate::metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
+    pub use crate::monitor::{HealthSnapshot, MonitorServer};
     pub use crate::place::{Place, PlaceGroup};
     pub use crate::plh::PlaceLocalHandle;
     pub use crate::runtime::{Ctx, Runtime, RuntimeConfig};

@@ -199,9 +199,10 @@ impl MetricsRegistry {
         h
     }
 
-    /// Render every non-empty series as an aligned latency table
-    /// (`count / sum / p50 / p95 / p99 / max`).
-    pub fn report(&self) -> String {
+    /// Snapshot every non-empty series — per-kind and named — as
+    /// `(name, snapshot)` pairs, in kind order then registration order.
+    /// This is what the Prometheus exporter and the report table render.
+    pub fn snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
         let mut rows: Vec<(String, HistogramSnapshot)> = Vec::new();
         for k in SpanKind::ALL {
             let s = self.kind(k).snapshot();
@@ -215,6 +216,13 @@ impl MetricsRegistry {
                 rows.push(((*name).to_string(), s));
             }
         }
+        rows
+    }
+
+    /// Render every non-empty series as an aligned latency table
+    /// (`count / sum / p50 / p95 / p99 / max`).
+    pub fn report(&self) -> String {
+        let rows = self.snapshots();
         let mut out = String::new();
         out.push_str(&format!(
             "{:<20} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",

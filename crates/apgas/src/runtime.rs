@@ -17,7 +17,8 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{ApgasError, DeadPlaceException, Result};
-use crate::finish::{self, CtlMsg, FinishScope};
+use crate::finish::{self, CtlMsg, FinishScope, LedgerEntry};
+use crate::monitor::{self, HealthBoard, HealthSnapshot, MonitorServer, PlaceHealth};
 use crate::place::{Place, PlaceGroup};
 use crate::plh::PlhRegistry;
 use crate::stats::{RuntimeStats, StatsSnapshot};
@@ -39,12 +40,17 @@ pub struct RuntimeConfig {
     /// Structured tracing ([`crate::trace`]): `Some(on)` forces it, `None`
     /// (the default) defers to the `GML_TRACE` environment variable.
     pub trace: Option<bool>,
+    /// Live health monitoring ([`crate::monitor`]): `Some(port)` serves the
+    /// Prometheus scrape endpoint on `127.0.0.1:port` (0 → ephemeral),
+    /// `None` (the default) defers to the `GML_MONITOR_PORT` environment
+    /// variable (unset → disabled).
+    pub monitor_port: Option<u16>,
 }
 
 impl RuntimeConfig {
     /// A non-resilient runtime with `places` active places and no spares.
     pub fn new(places: usize) -> Self {
-        RuntimeConfig { places, spares: 0, resilient: false, trace: None }
+        RuntimeConfig { places, spares: 0, resilient: false, trace: None, monitor_port: None }
     }
 
     /// Set the number of spare places.
@@ -62,6 +68,14 @@ impl RuntimeConfig {
     /// Force structured tracing on or off, overriding `GML_TRACE`.
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = Some(on);
+        self
+    }
+
+    /// Serve the Prometheus health/metrics endpoint on `127.0.0.1:port`
+    /// (0 → ephemeral port; read it back via
+    /// [`Runtime::monitor_addr`]), overriding `GML_MONITOR_PORT`.
+    pub fn monitor_port(mut self, port: u16) -> Self {
+        self.monitor_port = Some(port);
         self
     }
 
@@ -83,6 +97,7 @@ pub(crate) enum Envelope {
 struct PlaceState {
     alive: AtomicBool,
     tx: Sender<Envelope>,
+    health: Arc<PlaceHealth>,
 }
 
 /// Shared runtime state. `Ctx` and dispatcher threads hold `Arc`s to this.
@@ -99,6 +114,14 @@ pub(crate) struct RtInner {
     cache: ThreadCache,
     pub(crate) stats: RuntimeStats,
     pub(crate) tracer: Tracer,
+    /// Heartbeat switchboard; a single branch per update when disabled.
+    health: HealthBoard,
+    /// The Prometheus scrape server, when monitoring is enabled.
+    monitor: Mutex<Option<MonitorServer>>,
+    /// Extra Prometheus collectors (e.g. the snapshot-store inventory),
+    /// appended to every scrape. Cleared at shutdown to break the
+    /// collector-closure → Ctx → RtInner reference cycle.
+    collectors: Mutex<Vec<Box<dyn Fn() -> String + Send + Sync>>>,
     next_finish_id: AtomicU64,
     pub(crate) next_plh_id: AtomicU64,
     dispatchers: Mutex<Vec<JoinHandle<()>>>,
@@ -127,7 +150,25 @@ impl RtInner {
         if !st.alive.load(Ordering::Acquire) {
             return Err(DeadPlaceException::new(p, "send to dead place"));
         }
+        self.health.on_enqueue(&st.health);
         st.tx.send(env).map_err(|_| DeadPlaceException::new(p, "runtime shut down"))
+    }
+
+    /// Freeze every place's heartbeat gauges (liveness read from the same
+    /// flag `kill_place` flips, so `up` reflects kills immediately).
+    fn health_snapshots(&self) -> Vec<HealthSnapshot> {
+        self.places
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(id, st)| {
+                self.health.snapshot(
+                    id as u32,
+                    st.alive.load(Ordering::Acquire),
+                    &st.health,
+                )
+            })
+            .collect()
     }
 
     /// Start one dispatcher-backed place with the next free id. Used both
@@ -136,7 +177,12 @@ impl RtInner {
         let mut places = self.places.write();
         let id = places.len() as u32;
         let (tx, rx) = unbounded();
-        places.push(Arc::new(PlaceState { alive: AtomicBool::new(true), tx }));
+        let health = Arc::new(PlaceHealth::new());
+        places.push(Arc::new(PlaceState {
+            alive: AtomicBool::new(true),
+            tx,
+            health: Arc::clone(&health),
+        }));
         drop(places);
         self.plh.ensure_place(id as usize + 1);
         self.tracer.ensure_place(id as usize + 1);
@@ -144,7 +190,7 @@ impl RtInner {
         let place = Place::new(id);
         let h = std::thread::Builder::new()
             .name(format!("apgas-place-{id}"))
-            .spawn(move || dispatch_loop(rt, place, rx))
+            .spawn(move || dispatch_loop(rt, place, rx, health))
             .expect("spawn place dispatcher");
         self.dispatchers.lock().push(h);
         place
@@ -403,6 +449,33 @@ impl Ctx {
     pub fn trace_instant(&self, kind: SpanKind, arg: u64) {
         self.rt.tracer.instant(self.here.id(), kind, arg)
     }
+
+    /// A point-in-time view of every open resilient finish in the place-zero
+    /// registry: pending task counts per place, recorded exceptions, and
+    /// whether a waiter is already blocked. Empty under non-resilient
+    /// semantics (local finishes keep no central record). This is the
+    /// "ledger state" the failure-forensics flight recorder captures.
+    pub fn finish_ledger(&self) -> Vec<LedgerEntry> {
+        self.rt.finish_svc.ledger()
+    }
+
+    /// Local address of the Prometheus scrape endpoint, when monitoring is
+    /// enabled for this runtime.
+    pub fn monitor_addr(&self) -> Option<std::net::SocketAddr> {
+        self.rt.monitor.lock().as_ref().map(|m| m.addr())
+    }
+
+    /// Register an extra Prometheus collector whose rendered text is
+    /// appended to every scrape — how the data layers (e.g. the resilient
+    /// snapshot store) contribute metrics without the runtime knowing about
+    /// them. Collectors run on the scrape server's thread and may use this
+    /// context (cloned) to reach other places.
+    pub fn add_monitor_collector<F>(&self, f: F)
+    where
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        self.rt.collectors.lock().push(Box::new(f));
+    }
 }
 
 fn kill_place_inner(rt: &Arc<RtInner>, p: Place) -> Result<()> {
@@ -448,6 +521,7 @@ impl Runtime {
             Some(false) => Tracer::disabled(),
             None => Tracer::from_env(),
         };
+        let monitor_port = cfg.monitor_port.or_else(monitor::port_from_env);
         let inner = Arc::new(RtInner {
             cfg,
             places: RwLock::new(Vec::new()),
@@ -457,6 +531,9 @@ impl Runtime {
             cache: ThreadCache::new(),
             stats: RuntimeStats::default(),
             tracer,
+            health: HealthBoard::new(monitor_port.is_some()),
+            monitor: Mutex::new(None),
+            collectors: Mutex::new(Vec::new()),
             next_finish_id: AtomicU64::new(1),
             next_plh_id: AtomicU64::new(1),
             dispatchers: Mutex::new(Vec::new()),
@@ -464,6 +541,28 @@ impl Runtime {
         });
         for _ in 0..cfg.total_places() {
             inner.start_place();
+        }
+        if let Some(port) = monitor_port {
+            // Weak so the server's render closure does not keep the runtime
+            // alive (the server itself lives inside RtInner).
+            let weak = Arc::downgrade(&inner);
+            let render: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(move || {
+                let Some(rt) = weak.upgrade() else {
+                    return String::from("# runtime stopped\n");
+                };
+                let mut out = String::with_capacity(4096);
+                monitor::render_stats(&mut out, &rt.stats.snapshot());
+                monitor::render_health(&mut out, &rt.health_snapshots());
+                monitor::render_metrics(&mut out, &rt.tracer.metrics().snapshots());
+                for collect in rt.collectors.lock().iter() {
+                    out.push_str(&collect());
+                }
+                out
+            });
+            match MonitorServer::start(port, render) {
+                Ok(srv) => *inner.monitor.lock() = Some(srv),
+                Err(e) => eprintln!("monitor: failed to bind 127.0.0.1:{port}: {e}"),
+            }
         }
         Runtime { inner }
     }
@@ -493,6 +592,12 @@ impl Runtime {
         &self.inner.tracer
     }
 
+    /// Local address of the Prometheus scrape endpoint, when monitoring is
+    /// enabled ([`RuntimeConfig::monitor_port`] / `GML_MONITOR_PORT`).
+    pub fn monitor_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.monitor.lock().as_ref().map(|m| m.addr())
+    }
+
     /// Export the retained trace as Chrome `trace_event` JSON at `path`.
     pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.inner.tracer.chrome_json())
@@ -511,6 +616,13 @@ impl Runtime {
             }
         }
         self.inner.stopping.store(true, Ordering::Release);
+        // Stop the scrape server before the dispatchers so no scrape races
+        // the teardown; dropping collectors breaks their Ctx → RtInner
+        // reference cycle.
+        if let Some(mut srv) = self.inner.monitor.lock().take() {
+            srv.stop();
+        }
+        self.inner.collectors.lock().clear();
         for st in self.inner.places.read().iter() {
             let _ = st.tx.send(Envelope::Stop);
         }
@@ -539,14 +651,24 @@ impl Drop for Runtime {
     }
 }
 
-fn dispatch_loop(rt: Arc<RtInner>, place: Place, rx: Receiver<Envelope>) {
+fn dispatch_loop(rt: Arc<RtInner>, place: Place, rx: Receiver<Envelope>, health: Arc<PlaceHealth>) {
     while let Ok(env) = rx.recv() {
+        rt.health.on_dequeue(&health);
         match env {
             Envelope::Stop => break,
             Envelope::Task { run } => {
                 if rt.is_alive(place) {
                     let ctx = Ctx::new(Arc::clone(&rt), place);
-                    rt.cache.submit(Box::new(move || run(&ctx)));
+                    rt.health.on_dispatch(&health);
+                    if rt.health.is_on() {
+                        let h2 = Arc::clone(&health);
+                        rt.cache.submit(Box::new(move || {
+                            run(&ctx);
+                            ctx.rt.health.on_complete(&h2);
+                        }));
+                    } else {
+                        rt.cache.submit(Box::new(move || run(&ctx)));
+                    }
                 }
                 // Dead place: queued work is silently dropped; reply
                 // channels inside `run` disconnect and callers observe a

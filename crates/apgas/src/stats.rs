@@ -142,4 +142,83 @@ mod tests {
         assert_eq!(d.bytes_shipped, 0);
         assert_eq!(b.ctl_total(), 1);
     }
+
+    #[test]
+    fn since_is_counterwise_exact() {
+        let earlier = StatsSnapshot {
+            tasks_spawned: 10,
+            at_calls: 4,
+            ctl_spawns: 3,
+            ctl_terms: 3,
+            ctl_waits: 1,
+            bytes_shipped: 1_000,
+            bytes_received: 900,
+            encode_nanos: 50,
+            decode_nanos: 40,
+            failures: 1,
+            places_spawned: 0,
+        };
+        let later = StatsSnapshot {
+            tasks_spawned: 25,
+            at_calls: 9,
+            ctl_spawns: 8,
+            ctl_terms: 7,
+            ctl_waits: 3,
+            bytes_shipped: 4_000,
+            bytes_received: 3_900,
+            encode_nanos: 75,
+            decode_nanos: 60,
+            failures: 2,
+            places_spawned: 1,
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.tasks_spawned, 15);
+        assert_eq!(d.at_calls, 5);
+        assert_eq!(d.ctl_spawns, 5);
+        assert_eq!(d.ctl_terms, 4);
+        assert_eq!(d.ctl_waits, 2);
+        assert_eq!(d.bytes_shipped, 3_000);
+        assert_eq!(d.bytes_received, 3_000);
+        assert_eq!(d.encode_nanos, 25);
+        assert_eq!(d.decode_nanos, 20);
+        assert_eq!(d.failures, 1);
+        assert_eq!(d.places_spawned, 1);
+        assert_eq!(d.ctl_total(), 11, "ctl_total sums the three ctl deltas");
+    }
+
+    #[test]
+    fn since_saturates_when_counters_reset() {
+        // A snapshot taken before a counter reset (e.g. comparing across two
+        // separate runtimes) can be "ahead" of the later one; the delta must
+        // clamp field-wise at zero, never wrap.
+        let before_reset = StatsSnapshot {
+            tasks_spawned: 100,
+            at_calls: 50,
+            ctl_spawns: 30,
+            ctl_terms: 30,
+            ctl_waits: 10,
+            bytes_shipped: 1 << 30,
+            bytes_received: 1 << 30,
+            encode_nanos: u64::MAX,
+            decode_nanos: 7,
+            failures: 3,
+            places_spawned: 2,
+        };
+        let after_reset = StatsSnapshot { tasks_spawned: 5, decode_nanos: 9, ..Default::default() };
+        let d = after_reset.since(&before_reset);
+        assert_eq!(d.tasks_spawned, 0, "100 -> 5 saturates, does not wrap");
+        assert_eq!(d.at_calls, 0);
+        assert_eq!(d.ctl_total(), 0);
+        assert_eq!(d.bytes_shipped, 0);
+        assert_eq!(d.encode_nanos, 0, "even a u64::MAX earlier value saturates");
+        assert_eq!(d.decode_nanos, 2, "fields that did advance still diff exactly");
+        assert_eq!(d.failures, 0);
+    }
+
+    #[test]
+    fn ctl_total_zero_and_mixed() {
+        assert_eq!(StatsSnapshot::default().ctl_total(), 0);
+        let s = StatsSnapshot { ctl_spawns: 2, ctl_terms: 0, ctl_waits: 5, ..Default::default() };
+        assert_eq!(s.ctl_total(), 7);
+    }
 }

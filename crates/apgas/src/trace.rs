@@ -405,10 +405,10 @@ impl Tracer {
     /// (`1`/`true`/`on`/`yes`), ring capacity from `GML_TRACE_BUF`.
     pub fn from_env() -> Self {
         if env_truthy("GML_TRACE") {
-            let cap = std::env::var("GML_TRACE_BUF")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(DEFAULT_RING_CAPACITY);
+            // Warns on stderr (naming the variable and the default) when the
+            // value is present but unparsable, instead of silently ignoring
+            // a typo like GML_TRACE_BUF=64k.
+            let cap = crate::monitor::env_parsed("GML_TRACE_BUF", DEFAULT_RING_CAPACITY);
             Tracer::enabled(cap)
         } else {
             Tracer::disabled()

@@ -168,6 +168,19 @@ impl AppResilientStore {
             .ok_or_else(|| GmlError::data_loss(format!("no committed snapshot for object {object_id}")))
     }
 
+    /// Every object snapshot in the committed application snapshot, sorted
+    /// by snap id (for the flight recorder's redundancy audit).
+    pub fn committed_snapshots(&self) -> Vec<Snapshot> {
+        self.committed
+            .as_ref()
+            .map(|c| {
+                let mut v: Vec<Snapshot> = c.map.values().cloned().collect();
+                v.sort_by_key(|s| s.snap_id);
+                v
+            })
+            .unwrap_or_default()
+    }
+
     /// Restore every object in `objs` from the committed application
     /// snapshot (the paper's single `restore()` call restoring all saved
     /// GML objects).

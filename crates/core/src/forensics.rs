@@ -1,0 +1,398 @@
+//! The failure-forensics flight recorder.
+//!
+//! When the executor restores after a place failure, the interesting state —
+//! who was dead, what the resilient-finish ledger still had pending, which
+//! snapshot replicas survived, and *why* the executor picked the restore
+//! mode it did — is gone moments later: the group is rebuilt, the ledger
+//! drains, the next checkpoint re-establishes redundancy. This module
+//! captures all of it at the restore point as one [`PostMortem`] bundle,
+//! serialized as plain JSON (validated with the tracer's built-in parser, so
+//! the workspace stays dependency-free). [`ResilientExecutor`] attaches one
+//! bundle per restore to the [`CostReport`]; set `GML_FORENSICS_DIR` to also
+//! write each bundle to disk as `postmortem-<n>.json`.
+//!
+//! [`ResilientExecutor`]: crate::framework::ResilientExecutor
+//! [`CostReport`]: crate::report::CostReport
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use apgas::prelude::*;
+use apgas::trace::Phase;
+
+use crate::snapshot::Snapshot;
+use crate::store::{PlaceInventory, ResilientStore, SnapshotAudit};
+
+/// How many trailing trace events per place a bundle retains.
+const TRACE_TAIL_PER_PLACE: usize = 64;
+
+/// Why the executor restored the way it did: the configured mode, what
+/// actually happened (fallbacks included), and the inputs to that decision.
+#[derive(Clone, Debug)]
+pub struct RestoreDecision {
+    /// The [`RestoreMode`](crate::framework::RestoreMode) label the executor
+    /// was configured with.
+    pub configured_mode: &'static str,
+    /// The label of what actually ran — differs from `configured_mode` when
+    /// a replace mode fell back to a shrink variant. Matches the label on
+    /// the corresponding `exec.restore` trace span by construction.
+    pub effective_label: &'static str,
+    /// Whether the data grid was repartitioned.
+    pub rebalance: bool,
+    /// One human-readable sentence explaining the choice.
+    pub reason: String,
+    /// The dead places this restore reacted to.
+    pub dead_places: Vec<u32>,
+    /// Spare places that were live when the decision was made.
+    pub live_spares: Vec<u32>,
+    /// Places created elastically for this restore.
+    pub places_spawned: Vec<u32>,
+    /// The iteration rolled back to.
+    pub rolled_back_to: u64,
+    /// Which restore attempt of this recovery succeeded (> 1 when another
+    /// place died mid-restore).
+    pub attempt: u32,
+}
+
+/// A post-mortem bundle: everything worth knowing about the runtime at the
+/// moment one restore completed.
+#[derive(Clone, Debug)]
+pub struct PostMortem {
+    /// 1-based restore ordinal within the run (equals `RunStats::restores`
+    /// at capture time).
+    pub seq: u64,
+    /// Capture time, nanoseconds since the tracer's epoch (runtime start) —
+    /// directly comparable to `trace_tail[i].t_nanos`.
+    pub captured_at_nanos: u64,
+    /// Why this restore mode, with its inputs.
+    pub decision: RestoreDecision,
+    /// The resilient-finish ledger at capture time (normally drained;
+    /// leftover pending counts point at tasks orphaned by the failure).
+    pub ledger: Vec<LedgerEntry>,
+    /// Per-place snapshot-store inventory (dead places report zeroes).
+    pub store: Vec<PlaceInventory>,
+    /// Redundancy audit of every committed object snapshot.
+    pub snapshots: Vec<SnapshotAudit>,
+    /// The last [`TRACE_TAIL_PER_PLACE`] trace events of each place, in
+    /// global time order (empty when tracing is off).
+    pub trace_tail: Vec<TraceEvent>,
+}
+
+impl PostMortem {
+    /// Capture a bundle from the live runtime. `committed` is the set of
+    /// object snapshots the application just restored from.
+    pub fn capture(
+        ctx: &Ctx,
+        store: &ResilientStore,
+        committed: &[Snapshot],
+        decision: RestoreDecision,
+        seq: u64,
+    ) -> Self {
+        PostMortem {
+            seq,
+            captured_at_nanos: ctx.tracer().now_nanos(),
+            decision,
+            ledger: ctx.finish_ledger(),
+            store: store.inventory(ctx),
+            snapshots: committed.iter().map(|s| store.audit_snapshot(ctx, s)).collect(),
+            trace_tail: trace_tail(&ctx.tracer().events(), TRACE_TAIL_PER_PLACE),
+        }
+    }
+
+    /// Serialize the bundle as JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str(&format!(
+            "{{\"seq\":{},\"captured_at_nanos\":{},\"decision\":{{",
+            self.seq, self.captured_at_nanos
+        ));
+        let d = &self.decision;
+        s.push_str(&format!(
+            "\"configured_mode\":\"{}\",\"effective_label\":\"{}\",\"rebalance\":{},\
+             \"reason\":\"{}\",\"dead_places\":{},\"live_spares\":{},\
+             \"places_spawned\":{},\"rolled_back_to\":{},\"attempt\":{}}}",
+            esc(d.configured_mode),
+            esc(d.effective_label),
+            d.rebalance,
+            esc(&d.reason),
+            json_u32s(&d.dead_places),
+            json_u32s(&d.live_spares),
+            json_u32s(&d.places_spawned),
+            d.rolled_back_to,
+            d.attempt,
+        ));
+        s.push_str(",\"ledger\":[");
+        for (i, e) in self.ledger.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let pending: Vec<String> =
+                e.pending.iter().map(|(p, n)| format!("[{p},{n}]")).collect();
+            s.push_str(&format!(
+                "{{\"fid\":{},\"pending\":[{}],\"dead_exceptions\":{},\"panics\":{},\
+                 \"has_waiter\":{}}}",
+                e.fid,
+                pending.join(","),
+                e.dead_exceptions,
+                e.panics,
+                e.has_waiter,
+            ));
+        }
+        s.push_str("],\"store\":[");
+        for (i, p) in self.store.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"place\":{},\"alive\":{},\"entries\":{},\"snapshots\":{},\"bytes\":{}}}",
+                p.place.id(),
+                p.alive,
+                p.entries,
+                p.snapshots,
+                p.bytes,
+            ));
+        }
+        s.push_str("],\"snapshots\":[");
+        for (i, a) in self.snapshots.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"snap_id\":{},\"object_id\":{},\"entries\":{},\"fully_redundant\":{},\
+                 \"degraded\":{},\"lost\":{},\"placement_violations\":{},\"bytes\":{},\
+                 \"invariant_ok\":{}}}",
+                a.snap_id,
+                a.object_id,
+                a.entries,
+                a.fully_redundant,
+                a.degraded,
+                a.lost,
+                a.placement_violations,
+                a.bytes,
+                a.invariant_ok(),
+            ));
+        }
+        s.push_str("],\"trace_tail\":[");
+        for (i, e) in self.trace_tail.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let phase = match e.phase {
+                Phase::Begin => "begin",
+                Phase::End => "end",
+                Phase::Instant => "instant",
+            };
+            s.push_str(&format!(
+                "{{\"t_nanos\":{},\"dur_nanos\":{},\"place\":{},\"phase\":\"{phase}\",\
+                 \"kind\":\"{}\",\"label\":\"{}\",\"arg\":{}}}",
+                e.t_nanos,
+                e.dur_nanos,
+                e.place,
+                esc(e.kind.name()),
+                esc(e.label),
+                e.arg,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Check that [`to_json`](Self::to_json) produced well-formed JSON
+    /// (using the tracer's built-in validating parser).
+    pub fn validate(&self) -> Result<(), String> {
+        apgas::trace::validate_json(&self.to_json())
+    }
+
+    /// If `GML_FORENSICS_DIR` is set, write the bundle there as
+    /// `postmortem-<n>.json` (`n` is a process-global ordinal, so bundles
+    /// from consecutive runs never overwrite each other). Returns the path
+    /// written; logs and returns `None` on failure instead of erroring — the
+    /// flight recorder must never take down a recovery that just succeeded.
+    pub fn maybe_write_env_dir(&self) -> Option<PathBuf> {
+        let dir = std::env::var("GML_FORENSICS_DIR").ok()?;
+        if dir.is_empty() {
+            return None;
+        }
+        let json = self.to_json();
+        if let Err(e) = apgas::trace::validate_json(&json) {
+            eprintln!("gml: post-mortem bundle {} failed validation, not written: {e}", self.seq);
+            return None;
+        }
+        static ORDINAL: AtomicU64 = AtomicU64::new(0);
+        let n = ORDINAL.fetch_add(1, Ordering::Relaxed);
+        let path = PathBuf::from(dir).join(format!("postmortem-{n}.json"));
+        match std::fs::write(&path, json) {
+            Ok(()) => {
+                eprintln!("gml: post-mortem bundle written to {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("gml: failed to write post-mortem {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Keep only the last `per_place` events of each place, preserving the
+/// input's (global time) order.
+fn trace_tail(events: &[TraceEvent], per_place: usize) -> Vec<TraceEvent> {
+    let mut skip: HashMap<u32, usize> = HashMap::new();
+    for e in events {
+        *skip.entry(e.place).or_default() += 1;
+    }
+    for n in skip.values_mut() {
+        *n = n.saturating_sub(per_place);
+    }
+    events
+        .iter()
+        .filter(|e| {
+            let n = skip.get_mut(&e.place).expect("counted above");
+            if *n > 0 {
+                *n -= 1;
+                false
+            } else {
+                true
+            }
+        })
+        .copied()
+        .collect()
+}
+
+fn json_u32s(v: &[u32]) -> String {
+    let items: Vec<String> = v.iter().map(|n| n.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgas::trace::SpanKind;
+
+    fn decision() -> RestoreDecision {
+        RestoreDecision {
+            configured_mode: "replace_redundant",
+            effective_label: "shrink",
+            rebalance: false,
+            reason: "spares exhausted: 1 dead, 0 live spares \"left\"".into(),
+            dead_places: vec![2],
+            live_spares: vec![],
+            places_spawned: vec![],
+            rolled_back_to: 10,
+            attempt: 1,
+        }
+    }
+
+    fn event(t: u64, place: u32) -> TraceEvent {
+        TraceEvent {
+            t_nanos: t,
+            dur_nanos: 0,
+            place,
+            phase: Phase::Instant,
+            kind: SpanKind::Step,
+            label: "",
+            arg: t,
+        }
+    }
+
+    #[test]
+    fn empty_bundle_is_valid_json() {
+        let pm = PostMortem {
+            seq: 1,
+            captured_at_nanos: 42,
+            decision: decision(),
+            ledger: vec![],
+            store: vec![],
+            snapshots: vec![],
+            trace_tail: vec![],
+        };
+        pm.validate().unwrap();
+        let json = pm.to_json();
+        assert!(json.contains("\"configured_mode\":\"replace_redundant\""));
+        assert!(json.contains("\"effective_label\":\"shrink\""));
+        assert!(json.contains("\\\"left\\\""), "quotes in the reason are escaped");
+    }
+
+    #[test]
+    fn populated_bundle_is_valid_json() {
+        let pm = PostMortem {
+            seq: 3,
+            captured_at_nanos: 99,
+            decision: decision(),
+            ledger: vec![LedgerEntry {
+                fid: 7,
+                pending: vec![(0, 1), (2, 3)],
+                dead_exceptions: 1,
+                panics: 0,
+                has_waiter: true,
+            }],
+            store: vec![PlaceInventory {
+                place: Place::new(0),
+                alive: true,
+                entries: 4,
+                snapshots: 2,
+                bytes: 256,
+            }],
+            snapshots: vec![SnapshotAudit {
+                snap_id: 5,
+                object_id: 11,
+                entries: 4,
+                fully_redundant: 2,
+                degraded: 1,
+                lost: 1,
+                placement_violations: 0,
+                bytes: 256,
+            }],
+            trace_tail: vec![event(1, 0), event(2, 1)],
+        };
+        pm.validate().unwrap();
+        let json = pm.to_json();
+        assert!(json.contains("\"pending\":[[0,1],[2,3]]"));
+        assert!(json.contains("\"invariant_ok\":false"));
+        assert!(json.contains("\"kind\":\"exec.step\""));
+        assert!(json.contains("\"phase\":\"instant\""));
+    }
+
+    #[test]
+    fn trace_tail_keeps_last_n_per_place_in_order() {
+        // 100 events at place 0 interleaved with 3 at place 1.
+        let mut events = Vec::new();
+        for t in 0..100 {
+            events.push(event(t, 0));
+        }
+        events.push(event(40, 1));
+        events.push(event(60, 1));
+        events.push(event(80, 1));
+        events.sort_by_key(|e| e.t_nanos);
+        let tail = trace_tail(&events, 64);
+        assert_eq!(tail.iter().filter(|e| e.place == 0).count(), 64);
+        assert_eq!(tail.iter().filter(|e| e.place == 1).count(), 3, "under the cap: all kept");
+        // Place 0 keeps its *latest* 64 (args 36..100), and order is preserved.
+        assert!(tail.iter().filter(|e| e.place == 0).all(|e| e.arg >= 36));
+        assert!(tail.windows(2).all(|w| w[0].t_nanos <= w[1].t_nanos));
+    }
+
+    #[test]
+    fn esc_handles_control_chars() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -16,6 +16,7 @@ use apgas::prelude::*;
 
 use crate::app_store::AppResilientStore;
 use crate::error::{GmlError, GmlResult};
+use crate::forensics::{PostMortem, RestoreDecision};
 use crate::report::{CostReport, IterRow, RestoreCost};
 
 /// How the application adapts to the loss of places (§V-B).
@@ -223,6 +224,7 @@ impl ResilientExecutor {
         let first_snap = ctx.stats();
         let mut prev_snap = first_snap;
         let mut rows: Vec<IterRow> = Vec::new();
+        let mut bundles: Vec<PostMortem> = Vec::new();
 
         while !app.is_finished(ctx, iteration) {
             let mut row = IterRow {
@@ -256,7 +258,7 @@ impl ResilientExecutor {
                         store.cancel_snapshot(ctx);
                         let cost = self.recover(
                             ctx, app, store, &mut group, &mut iteration, &mut restores_left,
-                            &mut stats,
+                            &mut stats, &mut bundles,
                         )?;
                         row.restore = Some(cost);
                         next_checkpoint = iteration;
@@ -284,7 +286,7 @@ impl ResilientExecutor {
                     stats.step_time += t.elapsed();
                     let cost = self.recover(
                         ctx, app, store, &mut group, &mut iteration, &mut restores_left,
-                        &mut stats,
+                        &mut stats, &mut bundles,
                     )?;
                     row.restore = Some(cost);
                     next_checkpoint = iteration;
@@ -294,7 +296,7 @@ impl ResilientExecutor {
             Self::close_row(ctx, &mut rows, row, &mut prev_snap);
         }
         stats.total_time = start.elapsed();
-        let report = CostReport { rows, totals: prev_snap.since(&first_snap) };
+        let report = CostReport { rows, totals: prev_snap.since(&first_snap), bundles };
         Ok((group, stats, report))
     }
 
@@ -309,7 +311,8 @@ impl ResilientExecutor {
     }
 
     /// Pick a new group per the restore mode and roll the application back.
-    /// Returns the wall time and effective shape of the recovery.
+    /// Returns the wall time and effective shape of the recovery, and pushes
+    /// one flight-recorder [`PostMortem`] bundle when it succeeds.
     #[allow(clippy::too_many_arguments)]
     fn recover<A: ResilientIterativeApp>(
         &self,
@@ -320,6 +323,7 @@ impl ResilientExecutor {
         iteration: &mut u64,
         restores_left: &mut u32,
         stats: &mut RunStats,
+        bundles: &mut Vec<PostMortem>,
     ) -> GmlResult<RestoreCost> {
         let recover_t0 = Instant::now();
         let mut attempts: u32 = 0;
@@ -338,14 +342,41 @@ impl ResilientExecutor {
                     "recoverable error but no dead place observed".into(),
                 ));
             }
-            let (new_group, rebalance, label) = match self.cfg.mode {
-                RestoreMode::Shrink => (group.without(&dead), false, RestoreMode::Shrink.label()),
-                RestoreMode::ShrinkRebalance => {
-                    (group.without(&dead), true, RestoreMode::ShrinkRebalance.label())
-                }
+            let spares = ctx.live_spares();
+            let mut spawned: Vec<Place> = Vec::new();
+            let survivors = group.len() - dead.len();
+            let (new_group, rebalance, label, reason) = match self.cfg.mode {
+                RestoreMode::Shrink => (
+                    group.without(&dead),
+                    false,
+                    RestoreMode::Shrink.label(),
+                    format!(
+                        "configured shrink: continue on the {survivors} surviving place(s), \
+                         same data grid"
+                    ),
+                ),
+                RestoreMode::ShrinkRebalance => (
+                    group.without(&dead),
+                    true,
+                    RestoreMode::ShrinkRebalance.label(),
+                    format!(
+                        "configured shrink_rebalance: repartition the data grid over the \
+                         {survivors} surviving place(s)"
+                    ),
+                ),
                 RestoreMode::ReplaceRedundant => {
-                    match group.replace(&dead, &ctx.live_spares()) {
-                        Some(g) => (g, false, RestoreMode::ReplaceRedundant.label()),
+                    match group.replace(&dead, &spares) {
+                        Some(g) => (
+                            g,
+                            false,
+                            RestoreMode::ReplaceRedundant.label(),
+                            format!(
+                                "configured replace_redundant: {} dead place(s) substituted \
+                                 from {} live spare(s)",
+                                dead.len(),
+                                spares.len()
+                            ),
+                        ),
                         // Spares exhausted: fall back to the user-chosen
                         // shrink variant (the label reports what actually
                         // happened, not what was configured).
@@ -353,6 +384,13 @@ impl ResilientExecutor {
                             group.without(&dead),
                             self.cfg.fallback_rebalance,
                             Self::fallback_label(self.cfg.fallback_rebalance),
+                            format!(
+                                "replace_redundant fell back: {} dead place(s) but only {} \
+                                 live spare(s); shrinking{}",
+                                dead.len(),
+                                spares.len(),
+                                if self.cfg.fallback_rebalance { " with rebalance" } else { "" }
+                            ),
                         ),
                     }
                 }
@@ -362,12 +400,28 @@ impl ResilientExecutor {
                     for _ in &dead {
                         fresh.push(ctx.spawn_place()?);
                     }
+                    spawned = fresh.clone();
                     match group.replace(&dead, &fresh) {
-                        Some(g) => (g, false, RestoreMode::ReplaceElastic.label()),
+                        Some(g) => (
+                            g,
+                            false,
+                            RestoreMode::ReplaceElastic.label(),
+                            format!(
+                                "configured replace_elastic: spawned {} fresh place(s) to \
+                                 substitute for the dead ones",
+                                fresh.len()
+                            ),
+                        ),
                         None => (
                             group.without(&dead),
                             self.cfg.fallback_rebalance,
                             Self::fallback_label(self.cfg.fallback_rebalance),
+                            format!(
+                                "replace_elastic fell back: could not substitute {} dead \
+                                 place(s); shrinking{}",
+                                dead.len(),
+                                if self.cfg.fallback_rebalance { " with rebalance" } else { "" }
+                            ),
                         ),
                     }
                 }
@@ -384,6 +438,30 @@ impl ResilientExecutor {
             match result {
                 Ok(()) => {
                     stats.restores += 1;
+                    // Flight recorder: one bundle per successful restore.
+                    // `label` is the same value the Restore span above was
+                    // tagged with, so the recorded mode matches the trace by
+                    // construction.
+                    let decision = RestoreDecision {
+                        configured_mode: self.cfg.mode.label(),
+                        effective_label: label,
+                        rebalance,
+                        reason,
+                        dead_places: dead.iter().map(|p| p.id()).collect(),
+                        live_spares: spares.iter().map(|p| p.id()).collect(),
+                        places_spawned: spawned.iter().map(|p| p.id()).collect(),
+                        rolled_back_to: snapshot_iter,
+                        attempt: attempts,
+                    };
+                    let bundle = PostMortem::capture(
+                        ctx,
+                        store.store(),
+                        &store.committed_snapshots(),
+                        decision,
+                        stats.restores,
+                    );
+                    bundle.maybe_write_env_dir();
+                    bundles.push(bundle);
                     *group = new_group;
                     *iteration = snapshot_iter;
                     return Ok(RestoreCost {

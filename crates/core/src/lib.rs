@@ -26,6 +26,7 @@ pub mod dist_vector;
 pub mod dup_dense;
 pub mod dup_vector;
 pub mod error;
+pub mod forensics;
 pub mod framework;
 pub mod report;
 pub mod snapshot;
@@ -39,13 +40,14 @@ pub use dist_vector::DistVector;
 pub use dup_dense::{DupDenseHandle, DupDenseMatrix};
 pub use dup_vector::DupVector;
 pub use error::{GmlError, GmlResult};
+pub use forensics::{PostMortem, RestoreDecision};
 pub use framework::{
     young_interval, ChaosInjector, ExecutorConfig, FailureInjector, ResilientExecutor,
     ResilientIterativeApp, RestoreMode, RunStats,
 };
 pub use report::{fmt_bytes, CostReport, IterRow, RestoreCost};
 pub use snapshot::{Snapshot, Snapshottable};
-pub use store::ResilientStore;
+pub use store::{render_inventory, PlaceInventory, ResilientStore, SnapshotAudit};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -15,6 +15,8 @@ use std::time::Duration;
 use apgas::metrics::fmt_nanos;
 use apgas::stats::StatsSnapshot;
 
+use crate::forensics::PostMortem;
+
 /// Wall time and shape of one restore performed by the executor.
 #[derive(Clone, Copy, Debug)]
 pub struct RestoreCost {
@@ -58,6 +60,9 @@ pub struct CostReport {
     /// Counter deltas for the whole run (same boundary snapshots as the
     /// rows, so the rows sum to exactly this).
     pub totals: StatsSnapshot,
+    /// One flight-recorder bundle per restore, in restore order (see
+    /// [`PostMortem`]).
+    pub bundles: Vec<PostMortem>,
 }
 
 impl CostReport {
@@ -190,7 +195,7 @@ mod tests {
             ctl_spawns: 5,
             ..Default::default()
         };
-        let report = CostReport { rows, totals };
+        let report = CostReport { rows, totals, bundles: vec![] };
         assert!(report.consistent_with_totals());
         let mut wrong = report.clone();
         wrong.totals.bytes_shipped = 151;
@@ -208,7 +213,7 @@ mod tests {
             rolled_back_to: 5,
             attempts: 1,
         });
-        let report = CostReport { totals: r.delta, rows: vec![r] };
+        let report = CostReport { totals: r.delta, rows: vec![r], bundles: vec![] };
         let text = report.render();
         assert!(text.contains("shrink_rebalance"));
         assert!(text.contains("→it5"));

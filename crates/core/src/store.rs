@@ -47,6 +47,78 @@ impl PlaceStore {
     fn len(&self) -> usize {
         self.map.lock().len()
     }
+
+    /// Presence test without cloning the payload (audit probes).
+    fn contains(&self, snap_id: u64, key: u64) -> bool {
+        self.map.lock().contains_key(&(snap_id, key))
+    }
+
+    /// `(entries, distinct snapshots, payload bytes)` under one lock.
+    fn inventory(&self) -> (usize, usize, u64) {
+        let map = self.map.lock();
+        let mut snaps = std::collections::HashSet::new();
+        let mut bytes = 0u64;
+        for ((sid, _), v) in map.iter() {
+            snaps.insert(*sid);
+            bytes += v.len() as u64;
+        }
+        (map.len(), snaps.len(), bytes)
+    }
+}
+
+/// Per-place inventory of one store shard, as reported by
+/// [`ResilientStore::inventory`] — the exporter's
+/// `gml_store_*{place=...}` gauges and the flight recorder's store section.
+#[derive(Clone, Copy, Debug)]
+pub struct PlaceInventory {
+    /// The shard's place.
+    pub place: Place,
+    /// Liveness at inventory time; a dead place reports zeroes (its memory,
+    /// and with it the shard, is gone).
+    pub alive: bool,
+    /// Stored `(snapshot, key)` entries.
+    pub entries: usize,
+    /// Distinct snapshot ids with at least one entry here.
+    pub snapshots: usize,
+    /// Total payload bytes held.
+    pub bytes: u64,
+}
+
+/// Result of auditing one [`Snapshot`](crate::snapshot::Snapshot) against
+/// the double-redundancy invariant (§IV-B): every entry present at both its
+/// owner and its backup, with the backup at the *next place* of the
+/// snapshot's group.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotAudit {
+    /// The audited snapshot's store namespace.
+    pub snap_id: u64,
+    /// The object the snapshot belongs to.
+    pub object_id: u64,
+    /// Entries the snapshot's metadata records.
+    pub entries: usize,
+    /// Entries whose payload is present at both replica places.
+    pub fully_redundant: usize,
+    /// Entries down to exactly one surviving replica (one more failure away
+    /// from loss). A non-redundant (ablation) store reports every entry
+    /// here by design.
+    pub degraded: usize,
+    /// Entries with **no** surviving replica — the invariant violation a
+    /// double failure produces.
+    pub lost: usize,
+    /// Entries whose recorded backup is not the owner's next place in the
+    /// snapshot's group (misplacement would silently void the
+    /// one-failure-survivability guarantee).
+    pub placement_violations: usize,
+    /// Metadata payload bytes across all entries.
+    pub bytes: u64,
+}
+
+impl SnapshotAudit {
+    /// True when the snapshot still honours the store's invariant: nothing
+    /// lost and every backup where the placement rule says it must be.
+    pub fn invariant_ok(&self) -> bool {
+        self.lost == 0 && self.placement_violations == 0
+    }
 }
 
 /// Handle to the distributed double in-memory store. Cheap to clone and
@@ -215,6 +287,138 @@ impl ResilientStore {
         let plh = self.plh;
         Ok(ctx.at(p, move |ctx| plh.local(ctx).map(|s| s.len()).unwrap_or(0))?)
     }
+
+    /// Inventory every place's shard: entry/snapshot counts and payload
+    /// bytes. Dead places report zeroes rather than failing — the whole
+    /// point is to read the store's shape *during* a failure.
+    pub fn inventory(&self, ctx: &Ctx) -> Vec<PlaceInventory> {
+        let mut out = Vec::new();
+        for place in ctx.all_places().iter() {
+            if !ctx.is_alive(place) {
+                out.push(PlaceInventory { place, alive: false, entries: 0, snapshots: 0, bytes: 0 });
+                continue;
+            }
+            let plh = self.plh;
+            let (entries, snapshots, bytes) = ctx
+                .at(place, move |ctx| {
+                    plh.local(ctx).map(|s| s.inventory()).unwrap_or((0, 0, 0))
+                })
+                // Lost a race with a kill: same as dead.
+                .unwrap_or((0, 0, 0));
+            out.push(PlaceInventory { place, alive: true, entries, snapshots, bytes });
+        }
+        out
+    }
+
+    /// Audit one snapshot against the double-redundancy invariant: probe
+    /// every recorded replica for presence (one batched `at` per live
+    /// place) and check backup placement against the group's next-place
+    /// rule. Tolerates any pattern of dead places — after losing both
+    /// replicas of an entry it *reports* the loss instead of failing.
+    pub fn audit_snapshot(
+        &self,
+        ctx: &Ctx,
+        snap: &crate::snapshot::Snapshot,
+    ) -> SnapshotAudit {
+        // Batch presence probes: every (place, key) pair we must check,
+        // grouped by place so each live place is visited exactly once.
+        let mut probes: HashMap<Place, Vec<u64>> = HashMap::new();
+        for (key, loc) in snap.entries.iter() {
+            probes.entry(loc.owner).or_default().push(*key);
+            if loc.backup != loc.owner {
+                probes.entry(loc.backup).or_default().push(*key);
+            }
+        }
+        let snap_id = snap.snap_id;
+        let mut present: std::collections::HashSet<(Place, u64)> = std::collections::HashSet::new();
+        for (place, keys) in probes {
+            if !ctx.is_alive(place) {
+                continue;
+            }
+            let plh = self.plh;
+            let keys2 = keys.clone();
+            let found: Vec<bool> = ctx
+                .at(place, move |ctx| match plh.local(ctx) {
+                    Ok(shard) => keys2.iter().map(|k| shard.contains(snap_id, *k)).collect(),
+                    Err(_) => vec![false; keys2.len()],
+                })
+                // The place died between the liveness check and the probe.
+                .unwrap_or_else(|_| vec![false; keys.len()]);
+            for (key, ok) in keys.into_iter().zip(found) {
+                if ok {
+                    present.insert((place, key));
+                }
+            }
+        }
+        let mut audit = SnapshotAudit {
+            snap_id,
+            object_id: snap.object_id,
+            entries: snap.entries.len(),
+            fully_redundant: 0,
+            degraded: 0,
+            lost: 0,
+            placement_violations: 0,
+            bytes: snap.total_bytes() as u64,
+        };
+        for (key, loc) in snap.entries.iter() {
+            let owner_ok = present.contains(&(loc.owner, *key));
+            let backup_ok = if loc.backup == loc.owner {
+                owner_ok
+            } else {
+                present.contains(&(loc.backup, *key))
+            };
+            match (owner_ok, backup_ok) {
+                (true, true) => audit.fully_redundant += 1,
+                (false, false) => audit.lost += 1,
+                _ => audit.degraded += 1,
+            }
+            // Placement rule (§IV-B): the backup lives at the owner's next
+            // place in the snapshot's group (collapsing onto the owner for
+            // a single-place group).
+            match snap.group.next_place(loc.owner) {
+                Some(expected) if expected == loc.backup => {}
+                _ => audit.placement_violations += 1,
+            }
+        }
+        audit
+    }
+
+    /// Register a Prometheus collector reporting this store's per-place
+    /// inventory (`gml_store_*` gauges) on every scrape of the runtime's
+    /// monitor endpoint. No-op when monitoring is disabled.
+    pub fn register_monitor(&self, ctx: &Ctx) {
+        if ctx.monitor_addr().is_none() {
+            return;
+        }
+        let store = self.clone();
+        let cx = ctx.clone();
+        ctx.add_monitor_collector(move || render_inventory(&store.inventory(&cx)));
+    }
+}
+
+/// Render a store inventory as Prometheus text (`gml_store_*` families).
+pub fn render_inventory(inv: &[PlaceInventory]) -> String {
+    let mut out = String::new();
+    for (name, help, get) in [
+        (
+            "gml_store_place_alive",
+            "1 while the shard's place is alive.",
+            (|i: &PlaceInventory| u64::from(i.alive)) as fn(&PlaceInventory) -> u64,
+        ),
+        ("gml_store_entries", "Stored (snapshot, key) entries at the place.", |i| {
+            i.entries as u64
+        }),
+        ("gml_store_snapshots", "Distinct snapshot ids present at the place.", |i| {
+            i.snapshots as u64
+        }),
+        ("gml_store_bytes", "Payload bytes held at the place.", |i| i.bytes),
+    ] {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        for i in inv {
+            out.push_str(&format!("{name}{{place=\"{}\"}} {}\n", i.place.id(), get(i)));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -396,6 +600,123 @@ mod tests {
                 .save_pair(ctx, sid, 0, Bytes::from_static(b"x"), Place::new(2))
                 .unwrap_err();
             assert!(err.is_recoverable(), "dead backup is a recoverable failure: {err}");
+        });
+    }
+
+    use crate::snapshot::{Snapshot, SnapshotBuilder};
+
+    /// Save one entry per group place (owner = the place, backup = next in
+    /// group) and package the metadata like a collective `make_snapshot`.
+    fn saved_snapshot(ctx: &Ctx, store: &ResilientStore, group: &PlaceGroup) -> Snapshot {
+        let sid = store.fresh_snap_id();
+        let builder = SnapshotBuilder::new();
+        for (i, owner) in group.iter().enumerate() {
+            let backup = group.next_place(owner).unwrap();
+            let payload = Bytes::from(vec![i as u8; 64]);
+            let s2 = store.clone();
+            let p2 = payload.clone();
+            ctx.at(owner, move |ctx| {
+                s2.save_pair(ctx, sid, i as u64, p2, backup).unwrap();
+            })
+            .unwrap();
+            builder.record(i as u64, owner, backup, payload.len());
+        }
+        builder.build(sid, 42, group.clone(), Bytes::new())
+    }
+
+    #[test]
+    fn audit_confirms_double_redundancy_when_healthy() {
+        with_store(4, 0, |ctx, store| {
+            let group = ctx.world();
+            let snap = saved_snapshot(ctx, &store, &group);
+            let audit = store.audit_snapshot(ctx, &snap);
+            assert_eq!(audit.entries, 4);
+            assert_eq!(audit.fully_redundant, 4);
+            assert_eq!(audit.degraded, 0);
+            assert_eq!(audit.lost, 0);
+            assert_eq!(audit.placement_violations, 0);
+            assert_eq!(audit.bytes, 4 * 64);
+            assert!(audit.invariant_ok());
+        });
+    }
+
+    #[test]
+    fn audit_reports_degraded_after_single_failure() {
+        with_store(4, 0, |ctx, store| {
+            let group = ctx.world();
+            let snap = saved_snapshot(ctx, &store, &group);
+            // Place 1 owns key 1 and backs up key 0.
+            ctx.kill_place(Place::new(1)).unwrap();
+            let audit = store.audit_snapshot(ctx, &snap);
+            assert_eq!(audit.degraded, 2, "owner of key 1 and backup of key 0 are gone");
+            assert_eq!(audit.fully_redundant, 2);
+            assert_eq!(audit.lost, 0);
+            assert!(audit.invariant_ok(), "one failure never violates the invariant");
+            assert!(snap.reachable(ctx, &store));
+            assert!(!snap.fully_redundant(ctx));
+        });
+    }
+
+    #[test]
+    fn audit_reports_violation_after_owner_and_backup_die() {
+        with_store(5, 0, |ctx, store| {
+            let group = ctx.world();
+            let snap = saved_snapshot(ctx, &store, &group);
+            // Key 1: owner place 1, backup place 2. Kill both replicas.
+            ctx.kill_place(Place::new(1)).unwrap();
+            ctx.kill_place(Place::new(2)).unwrap();
+            assert!(!store.reachable(ctx, Place::new(1), Place::new(2)));
+            assert!(!snap.reachable(ctx, &store));
+            // The audit must *report* the loss, not panic or error out.
+            let audit = store.audit_snapshot(ctx, &snap);
+            assert_eq!(audit.lost, 1, "key 1 lost both replicas");
+            // Key 0 (backup at 1) and key 2 (owner at 2) are degraded; key 3
+            // and key 4 keep both replicas.
+            assert_eq!(audit.degraded, 2);
+            assert_eq!(audit.fully_redundant, 2);
+            assert!(!audit.invariant_ok());
+            assert_eq!(audit.placement_violations, 0, "placement was always correct");
+        });
+    }
+
+    #[test]
+    fn audit_flags_backup_misplacement() {
+        with_store(4, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let group = ctx.world();
+            // Backup deliberately placed two hops away instead of next.
+            let wrong_backup = Place::new(2);
+            store.save_pair(ctx, sid, 0, Bytes::from_static(b"misplaced"), wrong_backup).unwrap();
+            let builder = SnapshotBuilder::new();
+            builder.record(0, Place::ZERO, wrong_backup, 9);
+            let snap = builder.build(sid, 7, group, Bytes::new());
+            let audit = store.audit_snapshot(ctx, &snap);
+            assert_eq!(audit.fully_redundant, 1, "both copies exist...");
+            assert_eq!(audit.placement_violations, 1, "...but the backup is misplaced");
+            assert!(!audit.invariant_ok());
+        });
+    }
+
+    #[test]
+    fn inventory_counts_entries_and_zeroes_dead_places() {
+        with_store(3, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            store.save_pair(ctx, sid, 0, Bytes::from(vec![1u8; 100]), Place::new(1)).unwrap();
+            store.save_pair(ctx, sid, 1, Bytes::from(vec![2u8; 50]), Place::new(1)).unwrap();
+            ctx.kill_place(Place::new(2)).unwrap();
+            let inv = store.inventory(ctx);
+            assert_eq!(inv.len(), 3);
+            assert_eq!(inv[0].entries, 2);
+            assert_eq!(inv[0].snapshots, 1);
+            assert_eq!(inv[0].bytes, 150);
+            assert!(inv[0].alive);
+            assert_eq!(inv[1].entries, 2, "backup copies land at place 1");
+            assert!(!inv[2].alive);
+            assert_eq!(inv[2].entries, 0, "dead place reports zeroes");
+            let text = render_inventory(&inv);
+            assert!(text.contains("gml_store_entries{place=\"0\"} 2"));
+            assert!(text.contains("gml_store_place_alive{place=\"2\"} 0"));
+            assert!(text.contains("gml_store_bytes{place=\"0\"} 150"));
         });
     }
 }

@@ -15,6 +15,10 @@
 //! cargo run --release --example failure_drill -- --trace-out /tmp/drill.json
 //! # or via the environment (equivalent; works for any binary):
 //! GML_TRACE=1 GML_TRACE_OUT=/tmp/drill.json cargo run --release --example failure_drill
+//! # with the live Prometheus endpoint (0 picks a free port, printed at start):
+//! GML_MONITOR_PORT=0 cargo run --release --example failure_drill
+//! # write each restore's post-mortem bundle to disk:
+//! GML_FORENSICS_DIR=/tmp cargo run --release --example failure_drill
 //! ```
 
 use apgas::runtime::{Runtime, RuntimeConfig};
@@ -100,12 +104,17 @@ fn main() {
         cfg = cfg.trace(true);
     }
     let rt = Runtime::new(cfg);
+    if let Some(addr) = rt.monitor_addr() {
+        println!("monitor: scrape http://{addr}/metrics");
+    }
     rt.exec(|ctx| {
         let world = ctx.world();
         let store = ResilientStore::make(ctx).expect("store");
         // Created up-front: the store spans every place, so it must exist
         // before any failure is injected.
         let mut app_store = AppResilientStore::make(ctx).expect("app store");
+        // Publish the store's per-place inventory on the monitor endpoint.
+        app_store.store().register_monitor(ctx);
 
         // 12x8 blocks over a 6x1 place grid: two block-rows per place.
         let mut m =
@@ -169,6 +178,15 @@ fn main() {
         println!("--- per-iteration cost report ---");
         print!("{}", report.render());
         assert!(report.consistent_with_totals(), "rows must sum to totals");
+        // The flight recorder attached one post-mortem bundle per restore.
+        for b in &report.bundles {
+            b.validate().expect("post-mortem bundle must be valid JSON");
+            println!(
+                "--- post-mortem #{}: {} -> {} ({}) ---",
+                b.seq, b.decision.configured_mode, b.decision.effective_label, b.decision.reason
+            );
+        }
+        assert_eq!(report.bundles.len() as u64, stats.restores, "one bundle per restore");
     })
     .expect("runtime");
 

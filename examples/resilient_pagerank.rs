@@ -98,6 +98,9 @@ fn main() {
             cfg = cfg.trace(true);
         }
         let rt = Runtime::new(cfg);
+        if let Some(addr) = rt.monitor_addr() {
+            println!("  monitor: scrape http://{addr}/metrics");
+        }
         rt.exec(move |ctx| {
             let world = ctx.world();
             let mut app = FailureInjector {
@@ -107,6 +110,7 @@ fn main() {
                 fired: false,
             };
             let mut store = AppResilientStore::make(ctx).unwrap();
+            store.store().register_monitor(ctx);
             let exec = ResilientExecutor::new(ExecutorConfig::new(10, mode));
             let (final_group, stats, report) =
                 exec.run_reported(ctx, &mut app, &world, &mut store).expect("resilient run");
@@ -127,6 +131,17 @@ fn main() {
             println!("--- per-iteration cost report ---");
             print!("{}", report.render());
             assert!(report.consistent_with_totals(), "rows must sum to totals");
+            for b in &report.bundles {
+                b.validate().expect("post-mortem bundle must be valid JSON");
+                println!(
+                    "  post-mortem #{}: {} -> {} ({})",
+                    b.seq,
+                    b.decision.configured_mode,
+                    b.decision.effective_label,
+                    b.decision.reason
+                );
+            }
+            assert_eq!(report.bundles.len() as u64, stats.restores, "one bundle per restore");
             println!("  max |ranks - baseline| = {diff:.2e} (exact recovery)");
             assert!(diff < 1e-12);
         })

@@ -60,8 +60,9 @@ pub mod prelude {
     pub use gml_core::{
         fmt_bytes, young_interval, AppResilientStore, CostReport, DistBlockMatrix,
         DistDenseMatrix, DistSparseMatrix, DistVector, DupDenseMatrix, DupVector, ExecutorConfig,
-        GmlError, GmlResult, IterRow, ResilientExecutor, ResilientIterativeApp, ResilientStore,
-        RestoreCost, RestoreMode, RunStats, Snapshot, Snapshottable,
+        GmlError, GmlResult, IterRow, PlaceInventory, PostMortem, ResilientExecutor,
+        ResilientIterativeApp, ResilientStore, RestoreCost, RestoreDecision, RestoreMode,
+        RunStats, Snapshot, SnapshotAudit, Snapshottable,
     };
     pub use gml_matrix::{
         builder, BlockData, BlockSet, DenseMatrix, Grid, MatrixBlock, SparseCSC, SparseCSR,

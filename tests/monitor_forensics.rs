@@ -1,0 +1,148 @@
+//! End-to-end monitoring + flight-recorder contract: a monitored resilient
+//! run with an injected kill must (a) expose a scrapeable Prometheus
+//! endpoint whose `gml_place_up` gauges flip when the kill fires, and
+//! (b) attach exactly one valid post-mortem bundle per restore whose
+//! recorded restore mode matches the mode-labeled `exec.restore` trace
+//! span. With no monitor configured, no endpoint exists.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use apgas::runtime::{Runtime, RuntimeConfig};
+use apgas::trace::Phase;
+use resilient_gml::prelude::*;
+
+/// Minimal executor app: a duplicated vector incremented each step; kills
+/// `victim` at iteration `kill_at`.
+struct CounterDrill {
+    v: DupVector,
+    iters: u64,
+    kill_at: u64,
+    victim: Place,
+    fired: bool,
+}
+
+impl ResilientIterativeApp for CounterDrill {
+    fn is_finished(&self, _ctx: &Ctx, iteration: u64) -> bool {
+        iteration >= self.iters
+    }
+    fn step(&mut self, ctx: &Ctx, iteration: u64) -> GmlResult<()> {
+        if iteration == self.kill_at && !self.fired {
+            self.fired = true;
+            ctx.kill_place(self.victim)?;
+        }
+        self.v.apply(ctx, |x| {
+            x.cell_add_scalar(1.0);
+        })
+    }
+    fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+        store.start_new_snapshot();
+        store.save(ctx, &self.v)?;
+        store.commit(ctx)
+    }
+    fn restore(
+        &mut self,
+        ctx: &Ctx,
+        new_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+        _snapshot_iteration: u64,
+        _rebalance: bool,
+    ) -> GmlResult<()> {
+        self.v.remake(ctx, new_places)?;
+        store.restore(ctx, &mut [&mut self.v])
+    }
+}
+
+fn scrape(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to monitor");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape response");
+    response
+}
+
+fn gauge(body: &str, family: &str, place: u32) -> Option<u64> {
+    let needle = format!("{family}{{place=\"{place}\"}} ");
+    body.lines().find_map(|l| l.strip_prefix(&needle).and_then(|v| v.trim().parse().ok()))
+}
+
+#[test]
+fn monitored_run_flips_gauges_and_records_one_bundle_per_restore() {
+    let victim = Place::new(4);
+    let rt = Runtime::new(
+        RuntimeConfig::new(5).resilient(true).trace(true).monitor_port(0),
+    );
+    let addr = rt.monitor_addr().expect("monitor server must be up");
+
+    let before = scrape(addr);
+    assert!(before.starts_with("HTTP/1.0 200"), "endpoint must answer plain HTTP");
+    assert!(before.contains("text/plain; version=0.0.4"), "Prometheus text content type");
+    for p in 0..5u32 {
+        assert_eq!(gauge(&before, "gml_place_up", p), Some(1), "place {p} starts alive");
+    }
+
+    let (stats, report) = rt
+        .exec(move |ctx| {
+            let group = ctx.world();
+            let v = DupVector::make(ctx, 4, &group).unwrap();
+            let mut app = CounterDrill { v, iters: 10, kill_at: 5, victim, fired: false };
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            store.store().register_monitor(ctx);
+            let exec = ResilientExecutor::new(ExecutorConfig::new(3, RestoreMode::Shrink));
+            let (_, stats, report) =
+                exec.run_reported(ctx, &mut app, &group, &mut store).unwrap();
+            assert_eq!(app.v.read_local(ctx).unwrap().get(0), 10.0, "exact recovery");
+            (stats, report)
+        })
+        .unwrap();
+
+    // (a) The kill flipped the victim's liveness gauge; the store collector
+    // reports its shard as dead too.
+    let after = scrape(addr);
+    assert_eq!(gauge(&after, "gml_place_up", victim.id()), Some(0), "victim gauge flipped");
+    assert_eq!(gauge(&after, "gml_place_up", 0), Some(1), "place zero is immortal");
+    assert_eq!(gauge(&after, "gml_store_place_alive", victim.id()), Some(0));
+    assert!(after.contains("gml_tasks_spawned_total"), "runtime counters exposed");
+    assert!(after.contains("gml_place_mailbox_depth"), "health gauges exposed");
+
+    // (b) Exactly one valid bundle per restore, and the recorded mode
+    // matches the label on the Restore span that actually ran.
+    assert_eq!(stats.restores, 1);
+    assert_eq!(report.bundles.len(), 1, "one bundle per restore");
+    let b = &report.bundles[0];
+    b.validate().expect("bundle must serialize to valid JSON");
+    assert_eq!(b.seq, 1);
+    assert_eq!(b.decision.configured_mode, "shrink");
+    assert_eq!(b.decision.dead_places, vec![victim.id()]);
+    assert_eq!(b.decision.rolled_back_to, 3, "rolled back to the iteration-3 checkpoint");
+    let restore_labels: Vec<&str> = rt
+        .tracer()
+        .events()
+        .iter()
+        .filter(|e| e.kind == SpanKind::Restore && e.phase == Phase::End)
+        .map(|e| e.label)
+        .collect();
+    assert_eq!(restore_labels, vec![b.decision.effective_label], "bundle matches the span");
+
+    // The bundle's store audit saw the committed snapshot.
+    assert!(!b.snapshots.is_empty(), "committed snapshots were audited");
+    assert!(!b.store.is_empty(), "store inventory captured");
+    assert!(b.store.iter().any(|p| p.place == victim && !p.alive));
+
+    rt.shutdown();
+    // After shutdown the endpoint is gone.
+    assert!(TcpStream::connect(addr).is_err(), "monitor must stop with the runtime");
+}
+
+#[test]
+fn without_monitor_config_no_endpoint_exists() {
+    let rt = Runtime::new(RuntimeConfig::new(2).resilient(true));
+    assert!(rt.monitor_addr().is_none(), "no monitor unless configured");
+    rt.exec(|ctx| {
+        assert!(ctx.monitor_addr().is_none());
+    })
+    .unwrap();
+    rt.shutdown();
+}
