@@ -29,4 +29,21 @@ echo "== forensics smoke =="
 # built-in JSON parser — one bundle per restore, in memory and on disk.
 cargo run --release -p gml-bench --bin forensics_smoke
 
+echo "== kernel parity (GML_WORKERS=1 vs 4) =="
+# The pool's determinism guarantee, enforced: the same kernels on the same
+# seeded inputs must be bit-identical at every worker count. kernel_parity
+# prints one FNV hash per kernel; the worker count is read once per
+# process, so we run it twice and diff. The kernel property tests (which
+# include in-process serial_scope parity) run at both widths too.
+PARITY_DIR="$(mktemp -d -t gml_parity_XXXXXX)"
+trap 'rm -f "$TRACE_JSON"; rm -rf "$PARITY_DIR"' EXIT
+GML_WORKERS=1 cargo run --release -p gml-bench --bin kernel_parity \
+    | grep -v '^workers' > "$PARITY_DIR/w1.txt"
+GML_WORKERS=4 cargo run --release -p gml-bench --bin kernel_parity \
+    | grep -v '^workers' > "$PARITY_DIR/w4.txt"
+diff "$PARITY_DIR/w1.txt" "$PARITY_DIR/w4.txt" \
+    || { echo "kernel parity: outputs differ between worker counts"; exit 1; }
+GML_WORKERS=1 cargo test -q -p gml-matrix --test kernel_properties > /dev/null
+GML_WORKERS=4 cargo test -q -p gml-matrix --test kernel_properties > /dev/null
+
 echo "CI OK"

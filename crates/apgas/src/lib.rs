@@ -47,6 +47,7 @@ pub mod error;
 pub mod metrics;
 pub mod monitor;
 pub mod place;
+pub mod pool;
 pub mod serial;
 mod thread_cache;
 pub mod finish;
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::monitor::{HealthSnapshot, MonitorServer};
     pub use crate::place::{Place, PlaceGroup};
     pub use crate::plh::PlaceLocalHandle;
+    pub use crate::pool;
     pub use crate::runtime::{Ctx, Runtime, RuntimeConfig};
     pub use crate::serial::Serial;
     pub use crate::trace::{SpanGuard, SpanKind, TraceEvent, Tracer};

@@ -294,6 +294,28 @@ pub fn render_metrics(out: &mut String, series: &[(String, HistogramSnapshot)]) 
     }
 }
 
+/// Render the intra-place compute pool's process-wide gauges and counters.
+pub fn render_pool(out: &mut String) {
+    let c = crate::pool::counters();
+    family_header(
+        out,
+        "gml_pool_workers",
+        "gauge",
+        "Compute-pool workers, including the submitting thread (fixed at first use).",
+    );
+    out.push_str(&format!("gml_pool_workers {}\n", crate::pool::workers()));
+    let counters: [(&str, u64, &str); 4] = [
+        ("gml_pool_jobs_inline_total", c.jobs_inline, "Pool jobs executed inline on the caller."),
+        ("gml_pool_jobs_parallel_total", c.jobs_parallel, "Pool jobs fanned out to helper threads."),
+        ("gml_pool_chunks_total", c.chunks, "Work chunks executed by the pool."),
+        ("gml_pool_busy_nanos_total", c.busy_nanos, "Wall nanoseconds spent inside parallel pool jobs."),
+    ];
+    for (name, v, help) in counters {
+        family_header(out, name, "counter", help);
+        out.push_str(&format!("{name} {v}\n"));
+    }
+}
+
 /// The hand-rolled HTTP/1.0 scrape server.
 ///
 /// One accept loop on a dedicated thread; each connection gets the full

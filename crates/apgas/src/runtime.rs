@@ -188,6 +188,9 @@ impl RtInner {
         self.tracer.ensure_place(id as usize + 1);
         let rt = Arc::clone(self);
         let place = Place::new(id);
+        // Let the compute pool's auto-sizing account for this core-occupying
+        // dispatcher thread (only matters before the pool first runs).
+        crate::pool::note_dispatcher();
         let h = std::thread::Builder::new()
             .name(format!("apgas-place-{id}"))
             .spawn(move || dispatch_loop(rt, place, rx, health))
@@ -542,6 +545,17 @@ impl Runtime {
         for _ in 0..cfg.total_places() {
             inner.start_place();
         }
+        // Surface compute-pool jobs as `pool.run` spans on this runtime's
+        // tracer. The observer holds only a Weak handle: after shutdown it
+        // degrades to a no-op, and a newer runtime simply re-installs it.
+        {
+            let weak = Arc::downgrade(&inner);
+            crate::pool::set_observer(Some(Arc::new(move |chunks, elapsed| {
+                if let Some(rt) = weak.upgrade() {
+                    rt.tracer.complete(0, SpanKind::PoolRun, chunks as u64, elapsed);
+                }
+            })));
+        }
         if let Some(port) = monitor_port {
             // Weak so the server's render closure does not keep the runtime
             // alive (the server itself lives inside RtInner).
@@ -554,6 +568,7 @@ impl Runtime {
                 monitor::render_stats(&mut out, &rt.stats.snapshot());
                 monitor::render_health(&mut out, &rt.health_snapshots());
                 monitor::render_metrics(&mut out, &rt.tracer.metrics().snapshots());
+                monitor::render_pool(&mut out);
                 for collect in rt.collectors.lock().iter() {
                     out.push_str(&collect());
                 }

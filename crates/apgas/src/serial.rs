@@ -163,6 +163,47 @@ pub trait SerialElem: Serial {
     }
 }
 
+/// Payload size above which the bulk `memcpy` fans out to the compute pool
+/// (4 MiB: at least four [`pool::PAR_COPY_CHUNK`](crate::pool::PAR_COPY_CHUNK)
+/// chunks). Below it a single `memcpy` wins outright.
+#[cfg(target_endian = "little")]
+const PAR_BULK_MIN: usize = 4 << 20;
+
+/// Append `raw` to `buf` — one `memcpy` for small payloads, a pool-chunked
+/// copy above [`PAR_BULK_MIN`]. Byte-identical either way, for any worker
+/// count: the chunks are fixed-size disjoint ranges of one copy.
+#[cfg(target_endian = "little")]
+fn bulk_write_bytes(raw: &[u8], buf: &mut BytesMut) {
+    if raw.len() < PAR_BULK_MIN {
+        buf.put_slice(raw);
+        return;
+    }
+    buf.reserve(raw.len());
+    let start = buf.len();
+    crate::pool::copy_into_uninit(raw, &mut buf.spare_capacity_mut()[..raw.len()]);
+    // Safety: the copy above initialized exactly `raw.len()` bytes of the
+    // spare capacity reserved for them.
+    unsafe { buf.set_len(start + raw.len()) };
+}
+
+/// Fill `dst` with the next `dst.len()` bytes of `buf`, pool-chunked above
+/// [`PAR_BULK_MIN`]; the serial path is `copy_to_slice` unchanged.
+#[cfg(target_endian = "little")]
+fn bulk_read_bytes(buf: &mut Bytes, dst: &mut [u8]) {
+    if dst.len() < PAR_BULK_MIN {
+        buf.copy_to_slice(dst);
+        return;
+    }
+    let n = dst.len();
+    // Safety: a `&mut [u8]` is also valid uninitialized storage, and the
+    // pool copy writes every byte exactly once.
+    let uninit = unsafe {
+        std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast::<std::mem::MaybeUninit<u8>>(), n)
+    };
+    crate::pool::copy_into_uninit(&buf.chunk()[..n], uninit);
+    buf.advance(n);
+}
+
 /// Marks a primitive as bit-identical between memory and the LE wire format,
 /// enabling the whole-slice `memcpy` fast path on little-endian targets.
 /// Big-endian targets keep the element-wise default (still correct: the wire
@@ -182,7 +223,7 @@ macro_rules! impl_serial_elem_bulk {
                         std::mem::size_of_val(data),
                     )
                 };
-                buf.put_slice(raw);
+                bulk_write_bytes(raw, buf);
             }
 
             #[cfg(target_endian = "little")]
@@ -201,7 +242,7 @@ macro_rules! impl_serial_elem_bulk {
                         out.as_mut_ptr().add(start) as *mut u8,
                         byte_len,
                     );
-                    buf.copy_to_slice(dst);
+                    bulk_read_bytes(buf, dst);
                     out.set_len(start + n);
                 }
             }
@@ -232,7 +273,7 @@ impl SerialElem for usize {
         let raw = unsafe {
             std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
         };
-        buf.put_slice(raw);
+        bulk_write_bytes(raw, buf);
     }
 
     #[inline]
@@ -245,7 +286,7 @@ impl SerialElem for usize {
         unsafe {
             let dst =
                 std::slice::from_raw_parts_mut(out.as_mut_ptr().add(start) as *mut u8, byte_len);
-            buf.copy_to_slice(dst);
+            bulk_read_bytes(buf, dst);
             out.set_len(start + n);
         }
     }

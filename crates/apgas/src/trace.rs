@@ -82,10 +82,13 @@ pub enum SpanKind {
     PlaceDied,
     /// Elastic place creation (instant).
     SpawnPlace,
+    /// One multi-chunk compute-pool job (`apgas::pool::run`); the numeric
+    /// argument is the chunk count.
+    PoolRun,
 }
 
 /// Number of span kinds (size of per-kind arrays).
-pub const SPAN_KIND_COUNT: usize = 18;
+pub const SPAN_KIND_COUNT: usize = 19;
 
 impl SpanKind {
     /// Every kind, in discriminant order.
@@ -108,6 +111,7 @@ impl SpanKind {
         SpanKind::KillPlace,
         SpanKind::PlaceDied,
         SpanKind::SpawnPlace,
+        SpanKind::PoolRun,
     ];
 
     /// Dotted display name (`"exec.restore"`, `"serial.encode"`, …).
@@ -131,6 +135,7 @@ impl SpanKind {
             SpanKind::KillPlace => "place.kill",
             SpanKind::PlaceDied => "place.died",
             SpanKind::SpawnPlace => "place.spawn",
+            SpanKind::PoolRun => "pool.run",
         }
     }
 

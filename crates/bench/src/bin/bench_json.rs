@@ -1,14 +1,20 @@
 //! Machine-readable perf trajectory: runs the serialization throughput
-//! benchmarks (the checkpoint plane's hot path) and writes the results as
-//! `BENCH_serial_throughput.json` in the current directory, so successive
-//! commits can be compared without scraping bench stdout.
+//! benchmarks (the checkpoint plane's hot path) and the intra-place kernel
+//! benchmarks (pooled vs forced-serial), writing the results as
+//! `BENCH_serial_throughput.json` and `BENCH_kernel_throughput.json` in the
+//! current directory, so successive commits can be compared without
+//! scraping bench stdout.
+//!
+//! The kernel file records the worker count the run used (`GML_WORKERS` or
+//! auto-sized) — speedups are only comparable at equal width.
 //!
 //! Usage: `cargo run --release -p gml-bench --bin bench_json`
 
+use apgas::pool;
 use apgas::serial::{fallback, read_vec, write_slice, Serial};
 use bytes::BytesMut;
 use criterion::{BatchSize, BenchResult, Criterion};
-use gml_matrix::{builder, SparseCSR};
+use gml_matrix::{builder, DenseMatrix, SparseCSR};
 use std::hint::black_box;
 use std::io::Write as _;
 
@@ -65,16 +71,55 @@ fn run(c: &mut Criterion) {
     g.finish();
 }
 
+/// The intra-place kernel pool benchmarks: every kernel pair runs the same
+/// chunking pooled and under [`pool::serial_scope`], so the ratio isolates
+/// the parallel win (or the overhead floor on narrow machines).
+fn run_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_throughput");
+
+    // SpMV at 1M x 1M with ~1 nnz per row — the ISSUE's headline size.
+    let a = builder::random_csr(1_000_000, 1_000_000, 1, 21);
+    let x = builder::random_vector(1_000_000, 22);
+    let mut y = vec![0.0; 1_000_000];
+    g.bench_function(format!("spmv_1m_nnz{}_pooled", a.nnz()), |b| {
+        b.iter(|| a.spmv(1.0, black_box(x.as_slice()), 0.0, black_box(&mut y)))
+    });
+    g.bench_function(format!("spmv_1m_nnz{}_serial", a.nnz()), |b| {
+        b.iter(|| {
+            pool::serial_scope(|| a.spmv(1.0, black_box(x.as_slice()), 0.0, black_box(&mut y)))
+        })
+    });
+
+    // Dense GEMM at 512^3.
+    g.sample_size(5);
+    let da = builder::random_dense(512, 512, 23);
+    let db = builder::random_dense(512, 512, 24);
+    let mut dc = DenseMatrix::zeros(512, 512);
+    g.bench_function("gemm_512_pooled", |b| {
+        b.iter(|| da.gemm(1.0, black_box(&db), 0.0, black_box(&mut dc)))
+    });
+    g.bench_function("gemm_512_serial", |b| {
+        b.iter(|| pool::serial_scope(|| da.gemm(1.0, black_box(&db), 0.0, black_box(&mut dc))))
+    });
+
+    // Vector reduction (dot, 1M) — latency-bound, the hardest to speed up.
+    g.sample_size(20);
+    let v = builder::random_vector(1_000_000, 25);
+    let w = builder::random_vector(1_000_000, 26);
+    g.bench_function("dot_1m_pooled", |b| b.iter(|| black_box(v.dot(&w))));
+    g.bench_function("dot_1m_serial", |b| {
+        b.iter(|| pool::serial_scope(|| black_box(v.dot(&w))))
+    });
+    g.finish();
+}
+
 fn mean_of<'a>(results: &'a [BenchResult], suffix: &str) -> Option<&'a BenchResult> {
     results.iter().find(|r| r.name.ends_with(suffix))
 }
 
-fn main() {
-    let mut c = Criterion::default();
-    run(&mut c);
-    let results = c.results();
-
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
+/// Render one result set as a JSON benchmarks array (no trailing newline).
+fn benchmarks_json(results: &[BenchResult]) -> String {
+    let mut json = String::from("  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         json.push_str(&format!(
@@ -83,29 +128,66 @@ fn main() {
         ));
     }
     json.push_str("  ]");
-    // Derived speedups of the bulk fast path over the element-wise codec.
-    if let (Some(bulk), Some(elem)) = (
-        mean_of(results, "vec_f64_1m_encode_bulk"),
-        mean_of(results, "vec_f64_1m_encode_elementwise"),
-    ) {
-        json.push_str(&format!(
-            ",\n  \"encode_speedup_f64_1m\": {:.2}",
-            elem.mean_ns / bulk.mean_ns
-        ));
-    }
-    if let (Some(bulk), Some(elem)) = (
-        mean_of(results, "vec_f64_1m_decode_bulk"),
-        mean_of(results, "vec_f64_1m_decode_elementwise"),
-    ) {
-        json.push_str(&format!(
-            ",\n  \"decode_speedup_f64_1m\": {:.2}",
-            elem.mean_ns / bulk.mean_ns
-        ));
-    }
-    json.push_str("\n}\n");
+    json
+}
 
-    let path = "BENCH_serial_throughput.json";
+fn push_speedup(json: &mut String, results: &[BenchResult], key: &str, fast: &str, base: &str) {
+    if let (Some(f), Some(b)) = (mean_of(results, fast), mean_of(results, base)) {
+        json.push_str(&format!(",\n  \"{key}\": {:.2}", b.mean_ns / f.mean_ns));
+    }
+}
+
+fn write_file(path: &str, json: &str) {
     let mut f = std::fs::File::create(path).expect("create json");
     f.write_all(json.as_bytes()).expect("write json");
     println!("wrote {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    run(&mut c);
+    run_kernels(&mut c);
+    let (serial, kernel): (Vec<BenchResult>, Vec<BenchResult>) = c
+        .results()
+        .iter()
+        .cloned()
+        .partition(|r| r.name.starts_with("serial_throughput/"));
+
+    let mut json = format!("{{\n{}", benchmarks_json(&serial));
+    // Derived speedups of the bulk fast path over the element-wise codec.
+    push_speedup(
+        &mut json,
+        &serial,
+        "encode_speedup_f64_1m",
+        "vec_f64_1m_encode_bulk",
+        "vec_f64_1m_encode_elementwise",
+    );
+    push_speedup(
+        &mut json,
+        &serial,
+        "decode_speedup_f64_1m",
+        "vec_f64_1m_decode_bulk",
+        "vec_f64_1m_decode_elementwise",
+    );
+    json.push_str("\n}\n");
+    write_file("BENCH_serial_throughput.json", &json);
+
+    // Kernel pool results: record the worker width the numbers were taken
+    // at — a 1-core container honestly reports ~1.0x.
+    let mut json = format!(
+        "{{\n  \"workers\": {},\n  \"available_parallelism\": {},\n{}",
+        pool::workers(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        benchmarks_json(&kernel)
+    );
+    // The spmv names embed the realized nnz — match on the stable parts.
+    let spmv_pooled = kernel.iter().find(|r| r.name.contains("spmv") && r.name.ends_with("_pooled"));
+    let spmv_serial = kernel.iter().find(|r| r.name.contains("spmv") && r.name.ends_with("_serial"));
+    if let (Some(p), Some(s)) = (spmv_pooled, spmv_serial) {
+        json.push_str(&format!(",\n  \"spmv_speedup_1m\": {:.2}", s.mean_ns / p.mean_ns));
+    }
+    push_speedup(&mut json, &kernel, "gemm_speedup_512", "gemm_512_pooled", "gemm_512_serial");
+    push_speedup(&mut json, &kernel, "dot_speedup_1m", "dot_1m_pooled", "dot_1m_serial");
+    json.push_str("\n}\n");
+    write_file("BENCH_kernel_throughput.json", &json);
 }

@@ -1,0 +1,93 @@
+//! Determinism oracle for the intra-place kernel pool: runs every pooled
+//! kernel on fixed seeded inputs, at sizes that exceed all chunking
+//! thresholds, and prints one FNV-1a hash over the output bit patterns per
+//! kernel. The worker count is read once per process from `GML_WORKERS`,
+//! so the `kernel_parity` step in `ci.sh` runs this binary at
+//! `GML_WORKERS=1` and `GML_WORKERS=4` and diffs the dumps bit-for-bit —
+//! any chunk-order or combine-order regression flips a hash.
+//!
+//! Usage: `GML_WORKERS=4 cargo run --release -p gml-bench --bin kernel_parity`
+
+use apgas::pool;
+use gml_matrix::{builder, DenseMatrix};
+
+/// FNV-1a over the raw bit patterns — byte-order-stable on one machine,
+/// which is all the two-process diff needs.
+fn fnv1a(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn report(name: &str, values: &[f64]) {
+    println!("{name} {:016x}", fnv1a(values));
+}
+
+fn main() {
+    println!("workers {}", pool::workers());
+
+    // Sparse: 40k x 30k, ~4 nnz/row — enough for multiple gather chunks
+    // and a multi-way scatter-partial combine.
+    let a = builder::random_csr(40_000, 30_000, 4, 101);
+    let x = builder::random_vector(30_000, 102);
+    let xt = builder::random_vector(40_000, 103);
+
+    let mut y = vec![1.0; 40_000];
+    a.spmv(1.5, x.as_slice(), 0.5, &mut y);
+    report("csr_spmv", &y);
+
+    let mut y = vec![1.0; 30_000];
+    a.spmv_trans(1.5, xt.as_slice(), 0.5, &mut y);
+    report("csr_spmv_trans", &y);
+
+    let c = a.to_csc();
+    let mut y = vec![1.0; 40_000];
+    c.spmv(1.5, x.as_slice(), 0.5, &mut y);
+    report("csc_spmv", &y);
+
+    let mut y = vec![1.0; 30_000];
+    c.spmv_trans(1.5, xt.as_slice(), 0.5, &mut y);
+    report("csc_spmv_trans", &y);
+
+    let b = builder::random_dense(1_000, 4, 104);
+    let s = builder::random_csr(50_000, 1_000, 5, 105);
+    report("csr_spmm", s.spmm(&b).as_slice());
+
+    // Dense kernels.
+    let d = builder::random_dense(40_000, 50, 106);
+    let dx = builder::random_vector(50, 107);
+    let dxt = builder::random_vector(40_000, 108);
+
+    let mut y = vec![1.0; 40_000];
+    d.gemv(1.1, dx.as_slice(), 0.25, &mut y);
+    report("gemv", &y);
+
+    let mut y = vec![1.0; 50];
+    d.gemv_trans(1.1, dxt.as_slice(), 0.25, &mut y);
+    report("gemv_trans", &y);
+
+    let ga = builder::random_dense(160, 160, 109);
+    let gb = builder::random_dense(160, 160, 110);
+    let mut gc = DenseMatrix::from_vec(160, 160, vec![1.0; 160 * 160]);
+    ga.gemm(1.0, &gb, 0.5, &mut gc);
+    report("gemm", gc.as_slice());
+
+    let mut gc = DenseMatrix::zeros(160, 160);
+    ga.gemm_tn_acc(&gb, &mut gc);
+    report("gemm_tn_acc", gc.as_slice());
+
+    // Vector reductions — scalars hashed as 1-element slices.
+    let v = builder::random_vector(300_000, 111);
+    let w = builder::random_vector(300_000, 112);
+    report("dot", &[v.dot(&w)]);
+    report("norm2_sq", &[v.norm2_sq()]);
+    report("sum", &[v.sum()]);
+    let mut z = v.clone();
+    z.axpy(0.75, &w);
+    report("axpy", z.as_slice());
+}

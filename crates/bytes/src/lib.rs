@@ -296,6 +296,22 @@ impl BytesMut {
         self.vec.extend_from_slice(s);
     }
 
+    /// The unwritten remainder of the allocation, for encoders that fill
+    /// bytes in place (possibly from several threads) before committing
+    /// them with [`set_len`](BytesMut::set_len).
+    pub fn spare_capacity_mut(&mut self) -> &mut [std::mem::MaybeUninit<u8>] {
+        self.vec.spare_capacity_mut()
+    }
+
+    /// Set the initialized length.
+    ///
+    /// # Safety
+    /// `new_len` must be `<= capacity()` and every byte below it must have
+    /// been initialized.
+    pub unsafe fn set_len(&mut self, new_len: usize) {
+        self.vec.set_len(new_len);
+    }
+
     /// Convert into an immutable `Bytes`, transferring the allocation.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)

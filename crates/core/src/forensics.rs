@@ -65,6 +65,11 @@ pub struct PostMortem {
     /// Capture time, nanoseconds since the tracer's epoch (runtime start) —
     /// directly comparable to `trace_tail[i].t_nanos`.
     pub captured_at_nanos: u64,
+    /// Compute-pool worker count ([`apgas::pool::workers`]) — recorded so a
+    /// restored replay can be compared against the failure-free run knowing
+    /// the intra-place parallelism it ran with (results are bit-identical
+    /// across worker counts by construction; timings are not).
+    pub pool_workers: usize,
     /// Why this restore mode, with its inputs.
     pub decision: RestoreDecision,
     /// The resilient-finish ledger at capture time (normally drained;
@@ -92,6 +97,7 @@ impl PostMortem {
         PostMortem {
             seq,
             captured_at_nanos: ctx.tracer().now_nanos(),
+            pool_workers: apgas::pool::workers(),
             decision,
             ledger: ctx.finish_ledger(),
             store: store.inventory(ctx),
@@ -104,8 +110,8 @@ impl PostMortem {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str(&format!(
-            "{{\"seq\":{},\"captured_at_nanos\":{},\"decision\":{{",
-            self.seq, self.captured_at_nanos
+            "{{\"seq\":{},\"captured_at_nanos\":{},\"pool_workers\":{},\"decision\":{{",
+            self.seq, self.captured_at_nanos, self.pool_workers
         ));
         let d = &self.decision;
         s.push_str(&format!(
@@ -318,6 +324,7 @@ mod tests {
         let pm = PostMortem {
             seq: 1,
             captured_at_nanos: 42,
+            pool_workers: 1,
             decision: decision(),
             ledger: vec![],
             store: vec![],
@@ -336,6 +343,7 @@ mod tests {
         let pm = PostMortem {
             seq: 3,
             captured_at_nanos: 99,
+            pool_workers: 4,
             decision: decision(),
             ledger: vec![LedgerEntry {
                 fid: 7,

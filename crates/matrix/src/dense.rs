@@ -1,9 +1,15 @@
 //! Column-major dense matrix (`x10.matrix.DenseMatrix`).
+//!
+//! The BLAS-shaped kernels (`gemv`/`gemv_trans`/`gemm`/`gemm_tn_acc`) fan
+//! out onto [`apgas::pool`] over disjoint output chunks; see the crate docs
+//! for the determinism and finite-values contracts.
 
+use apgas::pool;
 use apgas::serial::{read_f64_vec, write_f64_slice, Serial};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::vector::Vector;
+use crate::{apply_beta, beta_combine, debug_check_finite, min_chunk_items};
 
 /// A dense matrix in column-major (Fortran/BLAS) storage.
 #[derive(Clone, Debug, PartialEq)]
@@ -97,6 +103,11 @@ impl DenseMatrix {
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
+    /// Borrow column `j` mutably.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
     /// `self *= alpha`.
     pub fn scale(&mut self, alpha: f64) -> &mut Self {
         for v in &mut self.data {
@@ -114,63 +125,90 @@ impl DenseMatrix {
         self
     }
 
-    /// `y = alpha * A * x + beta * y`. Column-sweep order for cache-friendly
-    /// access to the column-major payload.
+    /// `y = alpha * A * x + beta * y` (`beta == 0` assigns, BLAS-style).
+    /// Column-sweep order for cache-friendly access to the column-major
+    /// payload; row chunks of `y` fan out onto the compute pool, each chunk
+    /// replaying the exact serial column sweep over its rows.
     pub fn gemv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "gemv: x length != cols");
         assert_eq!(y.len(), self.rows, "gemv: y length != rows");
-        if beta != 1.0 {
-            for v in y.iter_mut() {
-                *v *= beta;
+        debug_check_finite("gemv: A", &self.data);
+        debug_check_finite("gemv: x", x);
+        let n = pool::chunk_count(self.rows, min_chunk_items(self.cols));
+        let rows = self.rows;
+        pool::run_split(y, n, |i| pool::chunk_range(rows, n, i), |i, sub| {
+            let r = pool::chunk_range(rows, n, i);
+            apply_beta(beta, sub);
+            for (j, &xj) in x.iter().enumerate() {
+                let axj = alpha * xj;
+                if axj == 0.0 {
+                    continue;
+                }
+                let col = &self.col(j)[r.start..r.end];
+                for (yi, aij) in sub.iter_mut().zip(col) {
+                    *yi += axj * *aij;
+                }
             }
-        }
-        for (j, &xj) in x.iter().enumerate() {
-            let axj = alpha * xj;
-            if axj == 0.0 {
-                continue;
-            }
-            let col = self.col(j);
-            for (yi, aij) in y.iter_mut().zip(col) {
-                *yi += axj * *aij;
-            }
-        }
+        });
     }
 
-    /// `y = alpha * Aᵀ * x + beta * y`. Each output element is a column dot
-    /// product, again sequential over the column-major payload.
+    /// `y = alpha * Aᵀ * x + beta * y` (`beta == 0` assigns, BLAS-style).
+    /// Each output element is an independent column dot product, so column
+    /// chunks of `y` fan out onto the compute pool bit-identically.
     pub fn gemv_trans(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "gemv_trans: x length != rows");
         assert_eq!(y.len(), self.cols, "gemv_trans: y length != cols");
-        for (j, yj) in y.iter_mut().enumerate() {
-            let col = self.col(j);
-            let dot: f64 = col.iter().zip(x).map(|(a, b)| a * b).sum();
-            *yj = alpha * dot + beta * *yj;
-        }
+        debug_check_finite("gemv_trans: A", &self.data);
+        debug_check_finite("gemv_trans: x", x);
+        let n = pool::chunk_count(self.cols, min_chunk_items(self.rows));
+        let cols = self.cols;
+        pool::run_split(y, n, |i| pool::chunk_range(cols, n, i), |i, sub| {
+            let r = pool::chunk_range(cols, n, i);
+            for (dj, yj) in sub.iter_mut().enumerate() {
+                let col = self.col(r.start + dj);
+                let dot: f64 = col.iter().zip(x).map(|(a, b)| a * b).sum();
+                *yj = beta_combine(beta, *yj, alpha * dot);
+            }
+        });
     }
 
-    /// `C = alpha * A * B + beta * C` (naive triple loop in jik order).
+    /// `C = alpha * A * B + beta * C` (`beta == 0` assigns, BLAS-style).
+    /// Naive jik triple loop; whole columns of `C` are independent and
+    /// contiguous in the column-major payload, so column chunks fan out
+    /// onto the compute pool with each column computed exactly serially.
     pub fn gemm(&self, alpha: f64, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
         assert_eq!(self.cols, b.rows, "gemm inner dimension");
         assert_eq!(c.rows, self.rows, "gemm C rows");
         assert_eq!(c.cols, b.cols, "gemm C cols");
-        for j in 0..c.cols {
-            let cj = &mut c.data[j * c.rows..(j + 1) * c.rows];
-            if beta != 1.0 {
-                for v in cj.iter_mut() {
-                    *v *= beta;
+        debug_check_finite("gemm: A", &self.data);
+        debug_check_finite("gemm: B", &b.data);
+        let (crows, ccols) = (c.rows, c.cols);
+        let n = pool::chunk_count(ccols, min_chunk_items(self.cols * crows));
+        pool::run_split(
+            &mut c.data,
+            n,
+            |i| {
+                let r = pool::chunk_range(ccols, n, i);
+                r.start * crows..r.end * crows
+            },
+            |i, sub| {
+                let r = pool::chunk_range(ccols, n, i);
+                for (dj, cj) in sub.chunks_mut(crows.max(1)).enumerate() {
+                    let j = r.start + dj;
+                    apply_beta(beta, cj);
+                    for k in 0..self.cols {
+                        let abkj = alpha * b.get(k, j);
+                        if abkj == 0.0 {
+                            continue;
+                        }
+                        let ak = self.col(k);
+                        for (cij, aik) in cj.iter_mut().zip(ak) {
+                            *cij += abkj * *aik;
+                        }
+                    }
                 }
-            }
-            for k in 0..self.cols {
-                let abkj = alpha * b.get(k, j);
-                if abkj == 0.0 {
-                    continue;
-                }
-                let ak = self.col(k);
-                for (cij, aik) in cj.iter_mut().zip(ak) {
-                    *cij += abkj * *aik;
-                }
-            }
-        }
+            },
+        );
     }
 
     /// The transpose as a new matrix.
@@ -186,19 +224,35 @@ impl DenseMatrix {
 
     /// `C += selfᵀ * B` where `self` is m×k, `B` is m×n and `C` is k×n —
     /// the partial-Gram product at the heart of distributed `WᵀV`/`WᵀW`.
+    /// Every `C[i,j]` is an independent column-column dot product, so
+    /// column chunks of `C` fan out onto the compute pool bit-identically.
     pub fn gemm_tn_acc(&self, b: &DenseMatrix, c: &mut DenseMatrix) {
         assert_eq!(self.rows, b.rows, "gemm_tn inner dimension");
         assert_eq!(c.rows, self.cols, "gemm_tn C rows");
         assert_eq!(c.cols, b.cols, "gemm_tn C cols");
-        for j in 0..b.cols {
-            let bj = b.col(j);
-            for i in 0..self.cols {
-                let ai = self.col(i);
-                let dot: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
-                let v = c.get(i, j) + dot;
-                c.set(i, j, v);
-            }
-        }
+        debug_check_finite("gemm_tn_acc: A", &self.data);
+        debug_check_finite("gemm_tn_acc: B", &b.data);
+        let (crows, ccols) = (c.rows, c.cols);
+        let n = pool::chunk_count(ccols, min_chunk_items(self.rows * crows));
+        pool::run_split(
+            &mut c.data,
+            n,
+            |i| {
+                let r = pool::chunk_range(ccols, n, i);
+                r.start * crows..r.end * crows
+            },
+            |i, sub| {
+                let r = pool::chunk_range(ccols, n, i);
+                for (dj, cj) in sub.chunks_mut(crows.max(1)).enumerate() {
+                    let bj = b.col(r.start + dj);
+                    for (i2, cij) in cj.iter_mut().enumerate() {
+                        let ai = self.col(i2);
+                        let dot: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+                        *cij += dot;
+                    }
+                }
+            },
+        );
     }
 
     /// Element-wise multiply.

@@ -14,9 +14,27 @@
 //!   (`x10.matrix.distblock.BlockSet`);
 //! * deterministic random builders for benchmark workloads.
 //!
-//! Kernels are single-threaded: in the paper each place runs one worker
-//! thread (`X10_NTHREADS=1`, `OPENBLAS_NUM_THREADS=1`); parallelism comes
-//! from running many places.
+//! # Intra-place parallelism
+//!
+//! The hot kernels (`spmv`/`spmv_trans`/`spmm`, `gemv`/`gemv_trans`/`gemm`/
+//! `gemm_tn_acc`, vector dot/axpy/norm) fan out onto the process-wide
+//! [`apgas::pool`] compute pool. The chunking is a function of the problem
+//! size only and reductions combine partials in fixed chunk order, so
+//! results are **bit-identical for every `GML_WORKERS` setting** —
+//! `GML_WORKERS=1` runs the historical serial loops. Small inputs always
+//! take the inline serial path.
+//!
+//! # The finite-values contract
+//!
+//! Kernels assume all matrix and vector contents are **finite** (`f64`
+//! values that are neither NaN nor ±inf). The kernels skip whole rows or
+//! columns whose scalar coefficient (`alpha * x[i]`-style) is exactly zero —
+//! a pure-performance move for sparse workloads that also suppresses IEEE
+//! propagation from non-finite *matrix* entries multiplied by that zero.
+//! `beta == 0.0` likewise **assigns** (BLAS semantics): the output buffer's
+//! prior contents, NaN included, never reach the result. The optional
+//! `check-finite` feature adds `debug_assert!` finiteness checks at every
+//! kernel entry for hunting down non-finite data at its source.
 
 pub mod block;
 pub mod builder;
@@ -32,3 +50,63 @@ pub use grid::{Grid, Overlap};
 pub use sparse_csc::SparseCSC;
 pub use sparse_csr::SparseCSR;
 pub use vector::Vector;
+
+/// Apply the BLAS `beta` prescale to an output slice: `beta == 0` assigns
+/// zero (never reads the possibly NaN/stale prior contents), `beta == 1` is
+/// a no-op, anything else scales in place.
+#[inline]
+pub(crate) fn apply_beta(beta: f64, y: &mut [f64]) {
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        for v in y {
+            *v *= beta;
+        }
+    }
+}
+
+/// Combine a freshly computed `alpha`-scaled accumulation with the prior
+/// output value under BLAS `beta` semantics (assignment when `beta == 0`).
+#[inline]
+pub(crate) fn beta_combine(beta: f64, prior: f64, acc: f64) -> f64 {
+    if beta == 0.0 {
+        acc
+    } else {
+        acc + beta * prior
+    }
+}
+
+/// Number of chunks for a scatter-form kernel that accumulates into an
+/// output vector of `out_len` elements while iterating `items` rows or
+/// columns. Each chunk beyond the first costs a zeroed `out_len` partial
+/// vector, so the count is bounded by a memory budget (16 MiB of partials)
+/// as well as a hard cap of 8; like every chunk policy it is a function of
+/// the problem size ONLY, keeping results bit-identical across worker
+/// counts. `1` means the historical in-place scatter runs unchanged.
+pub(crate) fn scatter_chunks(items: usize, out_len: usize) -> usize {
+    const MIN_ITEMS_PER_CHUNK: usize = 16_384;
+    const PARTIAL_BYTES_BUDGET: usize = 16 << 20;
+    let by_items = apgas::pool::chunk_count(items, MIN_ITEMS_PER_CHUNK);
+    let by_mem = (PARTIAL_BYTES_BUDGET / 8 / out_len.max(1)).max(1);
+    by_items.min(by_mem).min(8)
+}
+
+/// Chunk granularity for the compute-pool kernels: enough items per chunk
+/// that each chunk performs at least ~16k scalar operations, given the
+/// per-item cost. A pure function of the problem size, so the resulting
+/// chunking (and therefore the numerics) never depends on the worker count.
+pub(crate) fn min_chunk_items(work_per_item: usize) -> usize {
+    (16_384 / work_per_item.max(1)).max(1)
+}
+
+/// With the `check-finite` feature, debug-assert that every value in `data`
+/// is finite; a no-op otherwise. See the crate docs for the finite-values
+/// contract.
+#[inline]
+pub(crate) fn debug_check_finite(_what: &str, _data: &[f64]) {
+    #[cfg(feature = "check-finite")]
+    debug_assert!(
+        _data.iter().all(|v| v.is_finite()),
+        "{_what}: non-finite value violates the finite-values contract"
+    );
+}

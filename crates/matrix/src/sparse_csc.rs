@@ -5,11 +5,13 @@
 //! the paper's Table I lists both, and because `Aᵀx` on CSC has the access
 //! pattern of `Ax` on CSR.
 
+use apgas::pool;
 use apgas::serial::{Serial, SerialElem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::dense::DenseMatrix;
 use crate::vector::Vector;
+use crate::{apply_beta, beta_combine, debug_check_finite, min_chunk_items};
 
 /// A sparse matrix in CSC format: for each column, a contiguous run of
 /// `(row, value)` pairs with strictly increasing row indices.
@@ -111,36 +113,72 @@ impl SparseCSC {
         self
     }
 
-    /// `y = alpha * A * x + beta * y` (scatter along columns).
+    /// `y = alpha * A * x + beta * y` (scatter along columns; `beta == 0`
+    /// assigns, BLAS-style). Column chunks accumulate into per-chunk
+    /// partial vectors combined in ascending chunk order, so the result is
+    /// bit-identical for every worker count; with a single chunk (small
+    /// inputs) the historical in-place scatter runs unchanged.
     pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x length != cols");
         assert_eq!(y.len(), self.rows, "spmv: y length != rows");
-        if beta != 1.0 {
-            for v in y.iter_mut() {
-                *v *= beta;
+        debug_check_finite("spmv: A", &self.values);
+        debug_check_finite("spmv: x", x);
+        apply_beta(beta, y);
+        let (rows, cols) = (self.rows, self.cols);
+        let k = crate::scatter_chunks(cols, rows);
+        if k <= 1 {
+            for (j, &xj) in x.iter().enumerate() {
+                let axj = alpha * xj;
+                if axj == 0.0 {
+                    continue;
+                }
+                let (ridx, vals) = self.col(j);
+                for (&r, &v) in ridx.iter().zip(vals) {
+                    y[r] += axj * v;
+                }
             }
+            return;
         }
-        for (j, &xj) in x.iter().enumerate() {
-            let axj = alpha * xj;
-            if axj == 0.0 {
-                continue;
+        let mut partials = vec![0.0f64; k * rows];
+        pool::run_split(&mut partials, k, |i| i * rows..(i + 1) * rows, |i, part| {
+            for j in pool::chunk_range(cols, k, i) {
+                let axj = alpha * x[j];
+                if axj == 0.0 {
+                    continue;
+                }
+                let (ridx, vals) = self.col(j);
+                for (&r, &v) in ridx.iter().zip(vals) {
+                    part[r] += axj * v;
+                }
             }
-            let (rows, vals) = self.col(j);
-            for (&r, &v) in rows.iter().zip(vals) {
-                y[r] += axj * v;
+        });
+        for part in partials.chunks_exact(rows.max(1)) {
+            for (yr, pr) in y.iter_mut().zip(part) {
+                *yr += *pr;
             }
         }
     }
 
-    /// `y = alpha * Aᵀ * x + beta * y` (gather along columns).
+    /// `y = alpha * Aᵀ * x + beta * y` (gather along columns; `beta == 0`
+    /// assigns, BLAS-style). Every output element is an independent column
+    /// dot product, so column chunks of `y` fan out onto the compute pool
+    /// bit-identically.
     pub fn spmv_trans(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "spmv_trans: x length != rows");
         assert_eq!(y.len(), self.cols, "spmv_trans: y length != cols");
-        for (j, yj) in y.iter_mut().enumerate() {
-            let (rows, vals) = self.col(j);
-            let dot: f64 = rows.iter().zip(vals).map(|(&r, &v)| v * x[r]).sum();
-            *yj = alpha * dot + beta * *yj;
-        }
+        debug_check_finite("spmv_trans: A", &self.values);
+        debug_check_finite("spmv_trans: x", x);
+        let cols = self.cols;
+        let nnz_per_col = self.nnz() / cols.max(1);
+        let n = pool::chunk_count(cols, min_chunk_items(nnz_per_col));
+        pool::run_split(y, n, |i| pool::chunk_range(cols, n, i), |i, sub| {
+            let r = pool::chunk_range(cols, n, i);
+            for (dj, yj) in sub.iter_mut().enumerate() {
+                let (ridx, vals) = self.col(r.start + dj);
+                let dot: f64 = ridx.iter().zip(vals).map(|(&rr, &v)| v * x[rr]).sum();
+                *yj = beta_combine(beta, *yj, alpha * dot);
+            }
+        });
     }
 
     /// Multiply into a fresh output vector: `A * x`.

@@ -1,11 +1,16 @@
 //! Compressed sparse row matrix (`x10.matrix.sparse.SparseCSR`).
+//!
+//! The multiply kernels fan out onto [`apgas::pool`]; see the crate docs
+//! for the determinism and finite-values contracts.
 
+use apgas::pool;
 use apgas::serial::{Serial, SerialElem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::dense::DenseMatrix;
 use crate::sparse_csc::SparseCSC;
 use crate::vector::Vector;
+use crate::{apply_beta, beta_combine, debug_check_finite, min_chunk_items};
 
 /// A sparse matrix in CSR format: for each row, a contiguous run of
 /// `(col, value)` pairs. Column indices within a row are strictly
@@ -120,34 +125,69 @@ impl SparseCSR {
         self
     }
 
-    /// `y = alpha * A * x + beta * y`.
+    /// `y = alpha * A * x + beta * y` (`beta == 0` assigns, BLAS-style).
+    /// Gather form: every output row is an independent sparse dot product,
+    /// so row chunks of `y` fan out onto the compute pool bit-identically.
     pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x length != cols");
         assert_eq!(y.len(), self.rows, "spmv: y length != rows");
-        for (i, yi) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(i);
-            let dot: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
-            *yi = alpha * dot + beta * *yi;
-        }
+        debug_check_finite("spmv: A", &self.values);
+        debug_check_finite("spmv: x", x);
+        let rows = self.rows;
+        let nnz_per_row = self.nnz() / rows.max(1);
+        let n = pool::chunk_count(rows, min_chunk_items(nnz_per_row));
+        pool::run_split(y, n, |i| pool::chunk_range(rows, n, i), |i, sub| {
+            let r = pool::chunk_range(rows, n, i);
+            for (di, yi) in sub.iter_mut().enumerate() {
+                let (cols, vals) = self.row(r.start + di);
+                let dot: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
+                *yi = beta_combine(beta, *yi, alpha * dot);
+            }
+        });
     }
 
-    /// `y = alpha * Aᵀ * x + beta * y`.
+    /// `y = alpha * Aᵀ * x + beta * y` (`beta == 0` assigns, BLAS-style).
+    /// Scatter form: row chunks accumulate into per-chunk partial vectors
+    /// that are combined in ascending chunk order, so the result is
+    /// bit-identical for every worker count; with a single chunk (small
+    /// inputs) the historical in-place scatter runs unchanged.
     pub fn spmv_trans(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "spmv_trans: x length != rows");
         assert_eq!(y.len(), self.cols, "spmv_trans: y length != cols");
-        if beta != 1.0 {
-            for v in y.iter_mut() {
-                *v *= beta;
+        debug_check_finite("spmv_trans: A", &self.values);
+        debug_check_finite("spmv_trans: x", x);
+        apply_beta(beta, y);
+        let (rows, cols) = (self.rows, self.cols);
+        let k = crate::scatter_chunks(rows, cols);
+        if k <= 1 {
+            for (i, &xi) in x.iter().enumerate() {
+                let axi = alpha * xi;
+                if axi == 0.0 {
+                    continue;
+                }
+                let (cidx, vals) = self.row(i);
+                for (&c, &v) in cidx.iter().zip(vals) {
+                    y[c] += axi * v;
+                }
             }
+            return;
         }
-        for (i, &xi) in x.iter().enumerate() {
-            let axi = alpha * xi;
-            if axi == 0.0 {
-                continue;
+        let mut partials = vec![0.0f64; k * cols];
+        pool::run_split(&mut partials, k, |i| i * cols..(i + 1) * cols, |i, part| {
+            for row in pool::chunk_range(rows, k, i) {
+                let axi = alpha * x[row];
+                if axi == 0.0 {
+                    continue;
+                }
+                let (cidx, vals) = self.row(row);
+                for (&c, &v) in cidx.iter().zip(vals) {
+                    part[c] += axi * v;
+                }
             }
-            let (cols, vals) = self.row(i);
-            for (&c, &v) in cols.iter().zip(vals) {
-                y[c] += axi * v;
+        });
+        for part in partials.chunks_exact(cols.max(1)) {
+            for (yc, pc) in y.iter_mut().zip(part) {
+                *yc += *pc;
             }
         }
     }
@@ -159,18 +199,29 @@ impl SparseCSR {
         y
     }
 
-    /// Sparse × dense: `self (m×n) * B (n×k) → m×k` dense.
+    /// Sparse × dense: `self (m×n) * B (n×k) → m×k` dense. Every output
+    /// element is an independent sparse dot product; each output column is
+    /// contiguous, so row chunks within each column fan out onto the
+    /// compute pool bit-identically.
     pub fn spmm(&self, b: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, b.rows(), "spmm inner dimension");
+        debug_check_finite("spmm: A", &self.values);
+        debug_check_finite("spmm: B", b.as_slice());
         let k = b.cols();
         let mut out = DenseMatrix::zeros(self.rows, k);
-        for i in 0..self.rows {
-            let (cols, vals) = self.row(i);
-            for kk in 0..k {
-                let bcol = b.col(kk);
-                let dot: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * bcol[c]).sum();
-                out.set(i, kk, dot);
-            }
+        let rows = self.rows;
+        let nnz_per_row = self.nnz() / rows.max(1);
+        let n = pool::chunk_count(rows, min_chunk_items(nnz_per_row));
+        for kk in 0..k {
+            let bcol = b.col(kk);
+            pool::run_split(out.col_mut(kk), n, |i| pool::chunk_range(rows, n, i), |i, sub| {
+                let r = pool::chunk_range(rows, n, i);
+                for (di, oik) in sub.iter_mut().enumerate() {
+                    let (cols, vals) = self.row(r.start + di);
+                    let dot: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * bcol[c]).sum();
+                    *oik = dot;
+                }
+            });
         }
         out
     }

@@ -1,7 +1,16 @@
 //! A dense column vector (`x10.matrix.Vector`).
+//!
+//! The reductions (dot/norm/sum) and `axpy` fan out onto [`apgas::pool`]
+//! with partials combined in fixed chunk order — bit-identical for every
+//! worker count; see the crate docs.
 
+use apgas::pool;
 use apgas::serial::{read_f64_vec, write_f64_slice, Serial};
 use bytes::{Bytes, BytesMut};
+
+/// Items per chunk for the element-wise vector kernels (each item is ~one
+/// fused multiply-add of work).
+const VEC_MIN_CHUNK: usize = 16_384;
 
 /// A single column of `f64` elements.
 #[derive(Clone, Debug, PartialEq)]
@@ -107,21 +116,28 @@ impl Vector {
     /// `self += alpha * x` (BLAS axpy).
     pub fn axpy(&mut self, alpha: f64, x: &Vector) -> &mut Self {
         assert_eq!(self.len(), x.len(), "axpy length mismatch");
-        for (a, b) in self.data.iter_mut().zip(&x.data) {
-            *a += alpha * *b;
-        }
+        pool::for_each_chunk_mut(&mut self.data, VEC_MIN_CHUNK, |_, r, sub| {
+            for (a, b) in sub.iter_mut().zip(&x.data[r]) {
+                *a += alpha * *b;
+            }
+        });
         self
     }
 
-    /// Inner product `selfᵀ · other`.
+    /// Inner product `selfᵀ · other` — chunked partial sums combined in
+    /// fixed chunk order (bit-identical across worker counts).
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+        pool::sum_chunks(self.len(), VEC_MIN_CHUNK, |r| {
+            self.data[r.clone()].iter().zip(&other.data[r]).map(|(a, b)| a * b).sum()
+        })
     }
 
-    /// Squared Euclidean norm.
+    /// Squared Euclidean norm (same deterministic chunked reduction).
     pub fn norm2_sq(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum()
+        pool::sum_chunks(self.len(), VEC_MIN_CHUNK, |r| {
+            self.data[r].iter().map(|v| v * v).sum()
+        })
     }
 
     /// Euclidean norm.
@@ -129,9 +145,9 @@ impl Vector {
         self.norm2_sq().sqrt()
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (same deterministic chunked reduction).
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        pool::sum_chunks(self.len(), VEC_MIN_CHUNK, |r| self.data[r].iter().sum())
     }
 
     /// Apply `f` to every element in place (GML's `map`).

@@ -1,11 +1,21 @@
 //! Property-based tests for the single-place kernels: algebraic identities
-//! that must hold for arbitrary shapes and contents.
+//! that must hold for arbitrary shapes and contents, the BLAS `beta == 0`
+//! assignment semantics (NaN-poisoned output buffers), the finite-values
+//! contract boundary, and bit-identity between pooled and serial execution.
 
+use apgas::pool;
 use gml_matrix::{builder, DenseMatrix, SparseCSR, Vector};
 use proptest::prelude::*;
 
 fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}: {x} vs {y}");
+    }
 }
 
 proptest! {
@@ -174,4 +184,287 @@ proptest! {
             prop_assert_eq!(csc.get(r, c), v);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// BLAS beta semantics: `beta == 0` must ASSIGN, never scale. On the old
+// kernels every test below fails with NaN outputs, because `0.0 * NaN` is
+// NaN and the poisoned buffer leaks into the result.
+// ---------------------------------------------------------------------------
+
+/// A deliberately NaN-poisoned output buffer (uninitialized/stale memory in
+/// the checkpoint-restore paths looks exactly like this).
+fn poisoned(n: usize) -> Vec<f64> {
+    vec![f64::NAN; n]
+}
+
+#[test]
+fn gemv_beta_zero_overwrites_nan_poisoned_output() {
+    let (m, n) = (17, 13);
+    let a = builder::random_dense(m, n, 42);
+    let x = builder::random_vector(n, 43);
+    let mut got = poisoned(m);
+    a.gemv(1.5, x.as_slice(), 0.0, &mut got);
+    let mut want = vec![0.0; m];
+    a.gemv(1.5, x.as_slice(), 1.0, &mut want);
+    assert!(got.iter().all(|v| v.is_finite()), "NaN leaked through beta == 0");
+    assert_bits_eq(&got, &want, "gemv beta=0 vs beta=1-on-zeros");
+}
+
+#[test]
+fn gemv_trans_beta_zero_overwrites_nan_poisoned_output() {
+    let (m, n) = (17, 13);
+    let a = builder::random_dense(m, n, 44);
+    let x = builder::random_vector(m, 45);
+    let mut got = poisoned(n);
+    a.gemv_trans(2.0, x.as_slice(), 0.0, &mut got);
+    let mut want = vec![0.0; n];
+    a.gemv_trans(2.0, x.as_slice(), 1.0, &mut want);
+    assert!(got.iter().all(|v| v.is_finite()), "NaN leaked through beta == 0");
+    assert_bits_eq(&got, &want, "gemv_trans beta=0 vs beta=1-on-zeros");
+}
+
+#[test]
+fn gemm_beta_zero_overwrites_nan_poisoned_output() {
+    let a = builder::random_dense(11, 7, 46);
+    let b = builder::random_dense(7, 9, 47);
+    let mut got = DenseMatrix::from_vec(11, 9, poisoned(11 * 9));
+    a.gemm(1.0, &b, 0.0, &mut got);
+    let mut want = DenseMatrix::zeros(11, 9);
+    a.gemm(1.0, &b, 1.0, &mut want);
+    assert!(got.as_slice().iter().all(|v| v.is_finite()), "NaN leaked through beta == 0");
+    assert_bits_eq(got.as_slice(), want.as_slice(), "gemm beta=0 vs beta=1-on-zeros");
+}
+
+#[test]
+fn csr_spmv_and_trans_beta_zero_overwrite_nan_poisoned_output() {
+    let a = builder::random_csr(25, 19, 3, 48);
+    let x = builder::random_vector(19, 49);
+    let xt = builder::random_vector(25, 50);
+
+    let mut got = poisoned(25);
+    a.spmv(1.0, x.as_slice(), 0.0, &mut got);
+    let mut want = vec![0.0; 25];
+    a.spmv(1.0, x.as_slice(), 1.0, &mut want);
+    assert!(got.iter().all(|v| v.is_finite()), "spmv: NaN leaked through beta == 0");
+    assert_bits_eq(&got, &want, "csr spmv beta=0");
+
+    let mut got = poisoned(19);
+    a.spmv_trans(1.0, xt.as_slice(), 0.0, &mut got);
+    let mut want = vec![0.0; 19];
+    a.spmv_trans(1.0, xt.as_slice(), 1.0, &mut want);
+    assert!(got.iter().all(|v| v.is_finite()), "spmv_trans: NaN leaked through beta == 0");
+    assert_bits_eq(&got, &want, "csr spmv_trans beta=0");
+}
+
+#[test]
+fn csc_spmv_and_trans_beta_zero_overwrite_nan_poisoned_output() {
+    let a = builder::random_csr(25, 19, 3, 51).to_csc();
+    let x = builder::random_vector(19, 52);
+    let xt = builder::random_vector(25, 53);
+
+    let mut got = poisoned(25);
+    a.spmv(1.0, x.as_slice(), 0.0, &mut got);
+    let mut want = vec![0.0; 25];
+    a.spmv(1.0, x.as_slice(), 1.0, &mut want);
+    assert!(got.iter().all(|v| v.is_finite()), "spmv: NaN leaked through beta == 0");
+    assert_bits_eq(&got, &want, "csc spmv beta=0");
+
+    let mut got = poisoned(19);
+    a.spmv_trans(1.0, xt.as_slice(), 0.0, &mut got);
+    let mut want = vec![0.0; 19];
+    a.spmv_trans(1.0, xt.as_slice(), 1.0, &mut want);
+    assert!(got.iter().all(|v| v.is_finite()), "spmv_trans: NaN leaked through beta == 0");
+    assert_bits_eq(&got, &want, "csc spmv_trans beta=0");
+}
+
+#[test]
+fn beta_zero_alpha_zero_yields_exact_zeros() {
+    // With finite inputs, alpha == 0 and beta == 0 must produce exactly 0,
+    // regardless of what garbage the output held.
+    let a = builder::random_dense(9, 9, 54);
+    let x = builder::random_vector(9, 55);
+    let mut y = poisoned(9);
+    a.gemv(0.0, x.as_slice(), 0.0, &mut y);
+    assert!(y.iter().all(|&v| v == 0.0), "alpha=0, beta=0 must zero the output");
+
+    let s = builder::random_csr(9, 9, 2, 56);
+    let mut y = poisoned(9);
+    s.spmv_trans(0.0, x.as_slice(), 0.0, &mut y);
+    assert!(y.iter().all(|&v| v == 0.0), "alpha=0, beta=0 must zero the output");
+}
+
+#[test]
+fn beta_one_and_fractional_beta_still_scale() {
+    // The fix must not disturb the beta != 0 paths.
+    let a = builder::random_dense(8, 6, 57);
+    let x = builder::random_vector(6, 58);
+    let y0 = builder::random_vector(8, 59);
+    for &beta in &[1.0, 0.5, -2.0] {
+        let mut got = y0.clone();
+        a.gemv(1.0, x.as_slice(), beta, got.as_mut_slice());
+        let mut want = y0.clone();
+        want.scale(beta);
+        a.gemv(1.0, x.as_slice(), 1.0, want.as_mut_slice());
+        assert!(approx_eq(got.as_slice(), want.as_slice(), 1e-12), "beta={beta}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The finite-values contract boundary: the `axi == 0.0` / `abkj == 0.0`
+// skips suppress IEEE NaN/inf propagation from *matrix* entries whose
+// scalar coefficient is exactly zero. These tests pin the documented
+// behavior on both sides of the boundary.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_coefficient_skip_suppresses_nonfinite_matrix_entries() {
+    // Row 1 of A holds a NaN; x[1] == 0 makes its coefficient exactly zero,
+    // so the scatter skips the whole row and the NaN never propagates.
+    let a = SparseCSR::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, f64::NAN), (2, 2, 2.0)]);
+    let mut y = vec![0.0; 3];
+    a.spmv_trans(1.0, &[1.0, 0.0, 1.0], 0.0, &mut y);
+    assert!(
+        y.iter().all(|v| v.is_finite()),
+        "documented contract: zero-coefficient rows are skipped, NaN suppressed"
+    );
+
+    // Dense gemm skips columns of A via B's zero entries the same way.
+    let a = DenseMatrix::from_rows(&[&[1.0, f64::INFINITY], &[3.0, f64::INFINITY]]);
+    let b = DenseMatrix::from_rows(&[&[1.0], &[0.0]]);
+    let mut c = DenseMatrix::zeros(2, 1);
+    a.gemm(1.0, &b, 0.0, &mut c);
+    assert!(c.as_slice().iter().all(|v| v.is_finite()), "inf column skipped via b[1][0] == 0");
+}
+
+#[test]
+fn nonzero_coefficient_propagates_nonfinite_matrix_entries() {
+    // The flip side: with a non-zero coefficient, IEEE semantics apply and
+    // the NaN reaches every output the entry touches.
+    let a = SparseCSR::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, f64::NAN), (2, 2, 2.0)]);
+    let mut y = vec![0.0; 3];
+    a.spmv_trans(1.0, &[1.0, 1.0, 1.0], 0.0, &mut y);
+    assert!(y[1].is_nan(), "NaN must propagate once its row is not skipped");
+    assert!(y[0].is_finite() && y[2].is_finite());
+
+    let mut y = vec![0.0; 3];
+    a.spmv(1.0, &[1.0, 1.0, 1.0], 0.0, &mut y);
+    assert!(y[1].is_nan(), "gather form propagates the NaN to its row");
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: pooled execution vs forced-serial execution of the same
+// chunking. Sizes are chosen to exceed every chunking threshold, so under
+// GML_WORKERS > 1 these genuinely run on multiple threads. The ci.sh
+// `kernel_parity` step runs this whole file at GML_WORKERS=1 and =4.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn large_kernels_bit_identical_serial_vs_pool() {
+    // Sparse: 40k x 30k, ~4 nnz/row → multiple row/scatter chunks.
+    let a = builder::random_csr(40_000, 30_000, 4, 7);
+    let x = builder::random_vector(30_000, 8);
+    let xt = builder::random_vector(40_000, 9);
+
+    let mut par = vec![1.0; 40_000];
+    a.spmv(1.5, x.as_slice(), 0.5, &mut par);
+    let mut ser = vec![1.0; 40_000];
+    pool::serial_scope(|| a.spmv(1.5, x.as_slice(), 0.5, &mut ser));
+    assert_bits_eq(&par, &ser, "csr spmv");
+
+    let mut par = vec![1.0; 30_000];
+    a.spmv_trans(1.5, xt.as_slice(), 0.5, &mut par);
+    let mut ser = vec![1.0; 30_000];
+    pool::serial_scope(|| a.spmv_trans(1.5, xt.as_slice(), 0.5, &mut ser));
+    assert_bits_eq(&par, &ser, "csr spmv_trans (scatter partials)");
+
+    let c = a.to_csc();
+    let mut par = vec![1.0; 40_000];
+    c.spmv(1.5, x.as_slice(), 0.5, &mut par);
+    let mut ser = vec![1.0; 40_000];
+    pool::serial_scope(|| c.spmv(1.5, x.as_slice(), 0.5, &mut ser));
+    assert_bits_eq(&par, &ser, "csc spmv (scatter partials)");
+
+    let mut par = vec![1.0; 30_000];
+    c.spmv_trans(1.5, xt.as_slice(), 0.5, &mut par);
+    let mut ser = vec![1.0; 30_000];
+    pool::serial_scope(|| c.spmv_trans(1.5, xt.as_slice(), 0.5, &mut ser));
+    assert_bits_eq(&par, &ser, "csc spmv_trans");
+
+    // Dense: tall gemv + wide gemv_trans.
+    let d = builder::random_dense(40_000, 50, 10);
+    let dx = builder::random_vector(50, 11);
+    let dxt = builder::random_vector(40_000, 12);
+    let mut par = vec![1.0; 40_000];
+    d.gemv(1.1, dx.as_slice(), 0.25, &mut par);
+    let mut ser = vec![1.0; 40_000];
+    pool::serial_scope(|| d.gemv(1.1, dx.as_slice(), 0.25, &mut ser));
+    assert_bits_eq(&par, &ser, "gemv");
+
+    let mut par = vec![1.0; 50];
+    d.gemv_trans(1.1, dxt.as_slice(), 0.25, &mut par);
+    let mut ser = vec![1.0; 50];
+    pool::serial_scope(|| d.gemv_trans(1.1, dxt.as_slice(), 0.25, &mut ser));
+    assert_bits_eq(&par, &ser, "gemv_trans");
+}
+
+#[test]
+fn gemm_and_spmm_bit_identical_serial_vs_pool() {
+    let a = builder::random_dense(160, 160, 13);
+    let b = builder::random_dense(160, 160, 14);
+    let mut par = DenseMatrix::from_vec(160, 160, vec![1.0; 160 * 160]);
+    a.gemm(1.0, &b, 0.5, &mut par);
+    let mut ser = DenseMatrix::from_vec(160, 160, vec![1.0; 160 * 160]);
+    pool::serial_scope(|| a.gemm(1.0, &b, 0.5, &mut ser));
+    assert_bits_eq(par.as_slice(), ser.as_slice(), "gemm");
+
+    let mut par = DenseMatrix::zeros(160, 160);
+    a.gemm_tn_acc(&b, &mut par);
+    let mut ser = DenseMatrix::zeros(160, 160);
+    pool::serial_scope(|| a.gemm_tn_acc(&b, &mut ser));
+    assert_bits_eq(par.as_slice(), ser.as_slice(), "gemm_tn_acc");
+
+    let s = builder::random_csr(50_000, 1_000, 5, 15);
+    let dense_b = builder::random_dense(1_000, 4, 16);
+    let par = s.spmm(&dense_b);
+    let ser = pool::serial_scope(|| s.spmm(&dense_b));
+    assert_bits_eq(par.as_slice(), ser.as_slice(), "spmm");
+}
+
+#[test]
+fn vector_reductions_bit_identical_serial_vs_pool() {
+    let x = builder::random_vector(300_000, 17);
+    let y = builder::random_vector(300_000, 18);
+
+    let par = x.dot(&y);
+    let ser = pool::serial_scope(|| x.dot(&y));
+    assert_eq!(par.to_bits(), ser.to_bits(), "dot");
+
+    let par = x.norm2_sq();
+    let ser = pool::serial_scope(|| x.norm2_sq());
+    assert_eq!(par.to_bits(), ser.to_bits(), "norm2_sq");
+
+    let par = x.sum();
+    let ser = pool::serial_scope(|| x.sum());
+    assert_eq!(par.to_bits(), ser.to_bits(), "sum");
+
+    let mut par = x.clone();
+    par.axpy(0.75, &y);
+    let mut ser = x.clone();
+    pool::serial_scope(|| ser.axpy(0.75, &y));
+    assert_bits_eq(par.as_slice(), ser.as_slice(), "axpy");
+}
+
+#[test]
+fn repeated_runs_are_bitwise_stable() {
+    // Dynamic chunk claiming must not leak into the numerics: the same
+    // input twice gives bitwise the same answer.
+    let a = builder::random_csr(40_000, 40_000, 3, 19);
+    let x = builder::random_vector(40_000, 20);
+    let mut y1 = vec![0.0; 40_000];
+    a.spmv(1.0, x.as_slice(), 0.0, &mut y1);
+    let mut y2 = vec![0.0; 40_000];
+    a.spmv(1.0, x.as_slice(), 0.0, &mut y2);
+    assert_bits_eq(&y1, &y2, "spmv repeat");
+    assert_eq!(x.dot(&x).to_bits(), x.dot(&x).to_bits(), "dot repeat");
 }

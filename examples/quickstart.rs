@@ -13,6 +13,9 @@ fn main() {
     let result = Runtime::run(cfg, |ctx| {
         let world = ctx.world();
         println!("places: {:?}", world);
+        // Local kernels fan out onto the shared worker pool (GML_WORKERS
+        // overrides the auto-sizing; 1 = serial, same bits either way).
+        println!("kernel pool workers: {}", apgas::pool::workers());
 
         // A 400-node web graph, 100 nodes per place, sparse row-distributed.
         let pr_cfg = PageRankConfig {

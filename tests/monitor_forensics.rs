@@ -146,3 +146,111 @@ fn without_monitor_config_no_endpoint_exists() {
     .unwrap();
     rt.shutdown();
 }
+
+/// Drill for the *double-failure window*: the backup place dies between two
+/// checkpoints, so the next `ResilientStore` save hits a dead backup
+/// mid-snapshot. Kills `victim` at the start of checkpoint call `kill_at`.
+struct BackupKillerDrill {
+    v: DupVector,
+    iters: u64,
+    kill_at: u64,
+    victim: Place,
+    checkpoint_calls: u64,
+    save_error: Option<(bool, String)>,
+}
+
+impl ResilientIterativeApp for BackupKillerDrill {
+    fn is_finished(&self, _ctx: &Ctx, iteration: u64) -> bool {
+        iteration >= self.iters
+    }
+    fn step(&mut self, ctx: &Ctx, _iteration: u64) -> GmlResult<()> {
+        self.v.apply(ctx, |x| {
+            x.cell_add_scalar(1.0);
+        })
+    }
+    fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+        self.checkpoint_calls += 1;
+        if self.checkpoint_calls == self.kill_at {
+            // The backup dies while the snapshot is in flight.
+            ctx.kill_place(self.victim)?;
+        }
+        store.start_new_snapshot();
+        if let Err(e) = store.save(ctx, &self.v) {
+            self.save_error = Some((e.is_recoverable(), e.to_string()));
+            return Err(e);
+        }
+        store.commit(ctx)
+    }
+    fn restore(
+        &mut self,
+        ctx: &Ctx,
+        new_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+        _snapshot_iteration: u64,
+        _rebalance: bool,
+    ) -> GmlResult<()> {
+        self.v.remake(ctx, new_places)?;
+        store.restore(ctx, &mut [&mut self.v])
+    }
+}
+
+/// Killing the snapshot *backup* place mid-save must surface a recoverable
+/// dead-place error from the store, roll back to the last committed (now
+/// degraded but not lost) snapshot, and leave a forensics bundle that
+/// records the degraded redundancy.
+#[test]
+fn backup_death_mid_save_recovers_and_forensics_records_degraded_snapshot() {
+    // DupVector snapshots save from the group's place 0 with the backup at
+    // the next place in the group — Place(1) is the one whose death lands
+    // inside the save path.
+    let victim = Place::new(1);
+    let rt = Runtime::new(RuntimeConfig::new(4).resilient(true).trace(true));
+    let (stats, report, save_error) = rt
+        .exec(move |ctx| {
+            let group = ctx.world();
+            let v = DupVector::make(ctx, 4, &group).unwrap();
+            let mut app = BackupKillerDrill {
+                v,
+                iters: 5,
+                kill_at: 2,
+                victim,
+                checkpoint_calls: 0,
+                save_error: None,
+            };
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let exec = ResilientExecutor::new(ExecutorConfig::new(2, RestoreMode::Shrink));
+            let (_, stats, report) =
+                exec.run_reported(ctx, &mut app, &group, &mut store).unwrap();
+            assert_eq!(app.v.read_local(ctx).unwrap().get(0), 5.0, "exact recovery");
+            (stats, report, app.save_error)
+        })
+        .unwrap();
+
+    // The dead backup surfaced as a *recoverable* error from the save.
+    let (recoverable, msg) = save_error.expect("the in-flight save must fail");
+    assert!(recoverable, "dead backup must be recoverable, got: {msg}");
+    assert!(msg.contains("dead") || msg.contains("Dead"), "error names the dead place: {msg}");
+
+    // The executor restored once from the surviving replica.
+    assert_eq!(stats.restores, 1);
+    assert_eq!(report.bundles.len(), 1, "one bundle for the one restore");
+    let b = &report.bundles[0];
+    b.validate().expect("bundle must serialize to valid JSON");
+    assert_eq!(b.decision.dead_places, vec![victim.id()]);
+    assert_eq!(b.decision.rolled_back_to, 0, "rolled back to the first committed snapshot");
+
+    // The audited snapshot lost its backup but not its data: degraded, not
+    // lost, and the invariant still holds — one more failure from loss.
+    assert!(!b.snapshots.is_empty(), "committed snapshot was audited");
+    let audit = &b.snapshots[0];
+    assert!(audit.degraded >= 1, "backup death leaves the snapshot degraded");
+    assert_eq!(audit.lost, 0, "owner replica survives — nothing lost");
+    assert!(audit.invariant_ok(), "degradation is not an invariant violation");
+
+    // The bundle's store inventory shows the dead backup, and the recorded
+    // pool width makes the replay comparable.
+    assert!(b.store.iter().any(|p| p.place == victim && !p.alive));
+    assert!(b.pool_workers >= 1, "bundle records the kernel pool width");
+
+    rt.shutdown();
+}
