@@ -46,4 +46,19 @@ diff "$PARITY_DIR/w1.txt" "$PARITY_DIR/w4.txt" \
 GML_WORKERS=1 cargo test -q -p gml-matrix --test kernel_properties > /dev/null
 GML_WORKERS=4 cargo test -q -p gml-matrix --test kernel_properties > /dev/null
 
+echo "== checkpoint parity (save_batch vs save_pair) =="
+# The batched checkpoint transport must be observationally identical to the
+# per-pair reference path: checkpoint_parity snapshots the same objects
+# through each, printing every place's store inventory (entry placement,
+# snapshot counts, payload bytes) and an FNV hash per restored object; the
+# two dumps must diff clean bit-for-bit.
+CKPT_DIR="$(mktemp -d -t gml_ckpt_parity_XXXXXX)"
+trap 'rm -f "$TRACE_JSON"; rm -rf "$PARITY_DIR" "$CKPT_DIR"' EXIT
+cargo run --release -p gml-bench --bin checkpoint_parity -- batched \
+    | grep -v '^mode' > "$CKPT_DIR/batched.txt"
+cargo run --release -p gml-bench --bin checkpoint_parity -- per_pair \
+    | grep -v '^mode' > "$CKPT_DIR/per_pair.txt"
+diff "$CKPT_DIR/batched.txt" "$CKPT_DIR/per_pair.txt" \
+    || { echo "checkpoint parity: batched and per-pair transports diverge"; exit 1; }
+
 echo "CI OK"

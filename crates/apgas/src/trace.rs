@@ -85,10 +85,17 @@ pub enum SpanKind {
     /// One multi-chunk compute-pool job (`apgas::pool::run`); the numeric
     /// argument is the chunk count.
     PoolRun,
+    /// `ResilientStore::save_batch` — owner inserts for a whole place plus
+    /// one batched backup transfer; the numeric argument is the total
+    /// payload bytes of the batch.
+    StoreSaveBatch,
+    /// One deferred checkpoint ship: a batched backup transfer executed in
+    /// the background after the synchronous capture phase returned.
+    CkptShip,
 }
 
 /// Number of span kinds (size of per-kind arrays).
-pub const SPAN_KIND_COUNT: usize = 19;
+pub const SPAN_KIND_COUNT: usize = 21;
 
 impl SpanKind {
     /// Every kind, in discriminant order.
@@ -112,6 +119,8 @@ impl SpanKind {
         SpanKind::PlaceDied,
         SpanKind::SpawnPlace,
         SpanKind::PoolRun,
+        SpanKind::StoreSaveBatch,
+        SpanKind::CkptShip,
     ];
 
     /// Dotted display name (`"exec.restore"`, `"serial.encode"`, …).
@@ -136,6 +145,8 @@ impl SpanKind {
             SpanKind::PlaceDied => "place.died",
             SpanKind::SpawnPlace => "place.spawn",
             SpanKind::PoolRun => "pool.run",
+            SpanKind::StoreSaveBatch => "store.save_batch",
+            SpanKind::CkptShip => "ckpt.ship",
         }
     }
 

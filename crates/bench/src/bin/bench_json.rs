@@ -10,13 +10,20 @@
 //!
 //! Usage: `cargo run --release -p gml-bench --bin bench_json`
 
+use apgas::place::PlaceGroup;
 use apgas::pool;
-use apgas::serial::{fallback, read_vec, write_slice, Serial};
+use apgas::runtime::{Ctx, Runtime, RuntimeConfig};
+use apgas::serial::{arena, fallback, read_vec, write_slice, Serial};
 use bytes::BytesMut;
 use criterion::{BatchSize, BenchResult, Criterion};
-use gml_matrix::{builder, DenseMatrix, SparseCSR};
+use gml_core::{
+    AppResilientStore, DistBlockMatrix, ExecutorConfig, GmlResult, ResilientExecutor,
+    ResilientIterativeApp, ResilientStore, RestoreMode, Snapshottable,
+};
+use gml_matrix::{builder, BlockData, DenseMatrix, SparseCSR};
 use std::hint::black_box;
 use std::io::Write as _;
+use std::time::Instant;
 
 fn run(c: &mut Criterion) {
     let mut g = c.benchmark_group("serial_throughput");
@@ -113,6 +120,154 @@ fn run_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// Hand-rolled sampler for benchmarks that must run inside the APGAS
+/// runtime (Criterion's driver can't cross the `Runtime::run` boundary):
+/// same statistics, same `BenchResult` shape as the criterion groups.
+fn sample_ns(name: &str, samples: usize, mut f: impl FnMut()) -> BenchResult {
+    let mut mean = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        let ns = t0.elapsed().as_nanos() as f64;
+        mean += ns / samples as f64;
+        min = min.min(ns);
+        max = max.max(ns);
+    }
+    BenchResult { name: name.to_string(), mean_ns: mean, min_ns: min, max_ns: max, samples }
+}
+
+/// Numbers harvested from the in-runtime checkpoint benchmarks, alongside
+/// the `BenchResult` rows.
+struct CkptNumbers {
+    results: Vec<BenchResult>,
+    /// Mean synchronous capture time per two-phase checkpoint (ns).
+    capture_ns: f64,
+    /// Mean background ship busy time per two-phase checkpoint (ns).
+    ship_ns: f64,
+    /// Encode-arena reuse counters over the sampled checkpoints.
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+/// Minimal iterative app for the overlap measurement: scale a 16-block-per-
+/// place dense matrix each step, checkpoint it every iteration.
+struct ScaleApp {
+    m: DistBlockMatrix,
+    total_iters: u64,
+}
+
+impl ResilientIterativeApp for ScaleApp {
+    fn is_finished(&self, _ctx: &Ctx, iteration: u64) -> bool {
+        iteration >= self.total_iters
+    }
+
+    fn step(&mut self, ctx: &Ctx, _iteration: u64) -> GmlResult<()> {
+        self.m.scale(ctx, 1.0 + 1e-9)
+    }
+
+    fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+        store.start_new_snapshot();
+        store.save(ctx, &self.m)?;
+        store.commit(ctx)
+    }
+
+    fn restore(
+        &mut self,
+        ctx: &Ctx,
+        new_places: &PlaceGroup,
+        store: &mut AppResilientStore,
+        _snapshot_iteration: u64,
+        rebalance: bool,
+    ) -> GmlResult<()> {
+        self.m.remake(ctx, new_places, rebalance)?;
+        store.restore(ctx, &mut [&mut self.m])
+    }
+}
+
+/// 768x512 dense matrix in 64 48x128 blocks over 4 places: 16 blocks
+/// (~768KB) per place, so the batched transport collapses 16 per-pair
+/// round trips into one framed message per place.
+fn bench_matrix(ctx: &Ctx, g: &PlaceGroup) -> DistBlockMatrix {
+    let m = DistBlockMatrix::make(ctx, 768, 512, 16, 4, 4, 1, g, false).unwrap();
+    m.init_with(ctx, |bi, bj, _r0, _c0, rows, cols| {
+        BlockData::Dense(builder::random_dense(rows, cols, 31 + (bi * 4 + bj) as u64))
+    })
+    .unwrap();
+    m
+}
+
+/// The checkpoint-plane benchmarks, run inside a 4-place resilient runtime:
+/// batched vs per-pair snapshot transport, the two-phase capture/commit
+/// path with its phase split, and a full executor run with checkpoint/
+/// compute overlap off vs on.
+fn run_checkpoint() -> CkptNumbers {
+    Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+        let g = ctx.world();
+        let m = bench_matrix(ctx, &g);
+        let mut results = Vec::new();
+
+        // Transport comparison: the same 64-block snapshot through the
+        // batched fast path and the per-pair reference path (ships run
+        // inline here — no deferral — so this is end-to-end transport).
+        for (batched, name) in [(true, "snapshot_batched"), (false, "snapshot_per_pair")] {
+            let store = ResilientStore::make_with_batching(ctx, batched).unwrap();
+            let snap = m.make_snapshot(ctx, &store).unwrap(); // warm-up
+            store.delete_snapshot(ctx, snap.snap_id).unwrap();
+            results.push(sample_ns(&format!("checkpoint_throughput/{name}"), 15, || {
+                let snap = m.make_snapshot(ctx, &store).unwrap();
+                store.delete_snapshot(ctx, snap.snap_id).unwrap();
+            }));
+        }
+
+        // Two-phase checkpoint end-to-end (capture + commit barrier), with
+        // the capture/ship phase split harvested from the app store.
+        let mut astore = AppResilientStore::make(ctx).unwrap();
+        astore.start_new_snapshot();
+        astore.save(ctx, &m).unwrap(); // warm-up (also primes the arena)
+        astore.commit(ctx).unwrap();
+        astore.take_phases();
+        let samples = 15;
+        results.push(sample_ns("checkpoint_throughput/two_phase_commit_e2e", samples, || {
+            astore.start_new_snapshot();
+            astore.save(ctx, &m).unwrap();
+            astore.commit(ctx).unwrap();
+        }));
+        let (capture, ship) = astore.take_phases();
+        let capture_ns = capture.as_nanos() as f64 / samples as f64;
+        let ship_ns = ship.as_nanos() as f64 / samples as f64;
+
+        // Encode-arena reuse at checkpoint block size: steady-state encodes
+        // must recycle their buffers (the counters are thread-local, so the
+        // loop runs the encode on this thread and reads its own counters).
+        let block = builder::random_dense(48, 128, 7);
+        let _ = black_box(block.to_bytes()); // warm-up: park one buffer
+        arena::reset_reuse_stats();
+        results.push(sample_ns("checkpoint_throughput/encode_arena_48x128", 200, || {
+            let _ = black_box(block.to_bytes());
+        }));
+        let pool = arena::reuse_stats();
+
+        // Overlap off vs on: the same 6-iteration checkpoint-every-pass run,
+        // once with commit() as the ship barrier, once with ships draining
+        // behind the next iteration's compute.
+        for (overlap, name) in [(false, "run_overlap_off"), (true, "run_overlap_on")] {
+            results.push(sample_ns(&format!("checkpoint_throughput/{name}"), 5, || {
+                let mut app = ScaleApp { m: bench_matrix(ctx, &g), total_iters: 6 };
+                let mut store = AppResilientStore::make(ctx).unwrap();
+                let exec = ResilientExecutor::new(
+                    ExecutorConfig::new(1, RestoreMode::Shrink).overlap_ship(overlap),
+                );
+                exec.run(ctx, &mut app, &g, &mut store).unwrap();
+            }));
+        }
+
+        CkptNumbers { results, capture_ns, ship_ns, pool_hits: pool.hits, pool_misses: pool.misses }
+    })
+    .unwrap()
+}
+
 fn mean_of<'a>(results: &'a [BenchResult], suffix: &str) -> Option<&'a BenchResult> {
     results.iter().find(|r| r.name.ends_with(suffix))
 }
@@ -190,4 +345,48 @@ fn main() {
     push_speedup(&mut json, &kernel, "dot_speedup_1m", "dot_1m_pooled", "dot_1m_serial");
     json.push_str("\n}\n");
     write_file("BENCH_kernel_throughput.json", &json);
+
+    // Checkpoint pipeline: transport speedup, capture/ship phase split,
+    // overlap saving on a real executor run, encode-arena reuse. Like the
+    // kernel numbers, the overlap saving is width-dependent — the ship
+    // threads need a spare core to overlap with compute, so a 1-core
+    // container honestly reports ~1.0x.
+    let ckpt = run_checkpoint();
+    let mut json = format!(
+        "{{\n  \"workers\": {},\n  \"available_parallelism\": {},\n{}",
+        pool::workers(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        benchmarks_json(&ckpt.results)
+    );
+    push_speedup(
+        &mut json,
+        &ckpt.results,
+        "batched_transport_speedup",
+        "snapshot_batched",
+        "snapshot_per_pair",
+    );
+    json.push_str(&format!(",\n  \"capture_mean_ns\": {:.1}", ckpt.capture_ns));
+    json.push_str(&format!(",\n  \"ship_mean_ns\": {:.1}", ckpt.ship_ns));
+    push_speedup(
+        &mut json,
+        &ckpt.results,
+        "overlap_run_speedup",
+        "run_overlap_on",
+        "run_overlap_off",
+    );
+    if let (Some(on), Some(off)) = (
+        mean_of(&ckpt.results, "run_overlap_on"),
+        mean_of(&ckpt.results, "run_overlap_off"),
+    ) {
+        json.push_str(&format!(
+            ",\n  \"overlap_saving_ns_per_run\": {:.1}",
+            off.mean_ns - on.mean_ns
+        ));
+    }
+    json.push_str(&format!(
+        ",\n  \"encode_arena_hits\": {},\n  \"encode_arena_misses\": {}",
+        ckpt.pool_hits, ckpt.pool_misses
+    ));
+    json.push_str("\n}\n");
+    write_file("BENCH_checkpoint_throughput.json", &json);
 }

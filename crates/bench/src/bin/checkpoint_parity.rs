@@ -1,0 +1,113 @@
+//! Parity oracle for the batched checkpoint transport: checkpoints the same
+//! deterministic objects through the per-pair `save_pair` reference path
+//! (`per_pair`) and the single-framed-message `save_batch` fast path
+//! (`batched`), then prints every place's store inventory and one FNV-1a
+//! hash per restored object. The `checkpoint_parity` step in `ci.sh` runs
+//! this binary once per mode and diffs the dumps bit-for-bit — any
+//! divergence in placement, payload bytes, or restored contents between the
+//! two transports fails CI.
+//!
+//! Usage: `cargo run --release -p gml-bench --bin checkpoint_parity -- {batched|per_pair}`
+
+use apgas::runtime::{Runtime, RuntimeConfig};
+use gml_core::{
+    DistDenseMatrix, DistSparseMatrix, DistVector, DupDenseMatrix, DupVector, ResilientStore,
+    Snapshottable,
+};
+use gml_matrix::builder;
+
+/// FNV-1a over the raw bit patterns — byte-order-stable on one machine,
+/// which is all the two-process diff needs.
+fn fnv1a(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn report(name: &str, values: &[f64]) {
+    println!("{name} {:016x}", fnv1a(values));
+}
+
+/// Deterministic pseudo-random fill, identical in both processes.
+fn val(i: usize) -> f64 {
+    ((i.wrapping_mul(2654435761)) % 10_000) as f64 * 0.25 - 1250.0
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let batched = match mode.as_str() {
+        "batched" => true,
+        "per_pair" => false,
+        other => {
+            eprintln!("usage: checkpoint_parity {{batched|per_pair}} (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+    println!("mode {mode}");
+
+    Runtime::run(RuntimeConfig::new(4).resilient(true), move |ctx| {
+        let g = ctx.world();
+        let store = ResilientStore::make_with_batching(ctx, batched).unwrap();
+
+        // The same objects, ids, and contents in both modes: creation order
+        // fixes the object ids, the store counter fixes the snap ids.
+        let mut dv = DistVector::make(ctx, 10_000, &g).unwrap();
+        dv.init(ctx, |i| val(i)).unwrap();
+        let mut dup = DupVector::make(ctx, 4_096, &g).unwrap();
+        dup.init(ctx, |i| val(i + 17)).unwrap();
+        let mut dd = DupDenseMatrix::make(ctx, 64, 48, &g).unwrap();
+        dd.init(ctx, |i, j| val(i * 48 + j)).unwrap();
+        let mut dm = DistDenseMatrix::make(ctx, 96, 64, &g).unwrap();
+        dm.init(ctx, |i, j| val(i * 64 + j + 3)).unwrap();
+        let mut ds = DistSparseMatrix::make(ctx, 400, 300, &g).unwrap();
+        ds.init_blocks(ctx, |bi, _r0, _c0, rows, cols| {
+            builder::random_csr(rows, cols, 4, 1000 + bi as u64)
+        })
+        .unwrap();
+
+        let snaps = [
+            dv.make_snapshot(ctx, &store).unwrap(),
+            dup.make_snapshot(ctx, &store).unwrap(),
+            dd.make_snapshot(ctx, &store).unwrap(),
+            dm.make_snapshot(ctx, &store).unwrap(),
+            ds.make_snapshot(ctx, &store).unwrap(),
+        ];
+
+        // Both transports must produce the identical inventory: same entry
+        // placement, same snapshot count, same payload bytes, per place.
+        for inv in store.inventory(ctx) {
+            println!(
+                "inv place={} alive={} entries={} snapshots={} bytes={}",
+                inv.place.id(),
+                inv.alive,
+                inv.entries,
+                inv.snapshots,
+                inv.bytes
+            );
+        }
+
+        // Wipe the mutable objects, restore everything, and hash: the
+        // restored bits must match across transports.
+        dv.init(ctx, |_| 0.0).unwrap();
+        dup.init(ctx, |_| 0.0).unwrap();
+        dd.init(ctx, |_, _| 0.0).unwrap();
+        dm.init(ctx, |_, _| 0.0).unwrap();
+        dv.restore_snapshot(ctx, &store, &snaps[0]).unwrap();
+        dup.restore_snapshot(ctx, &store, &snaps[1]).unwrap();
+        dd.restore_snapshot(ctx, &store, &snaps[2]).unwrap();
+        dm.restore_snapshot(ctx, &store, &snaps[3]).unwrap();
+        ds.restore_snapshot(ctx, &store, &snaps[4]).unwrap();
+
+        report("dist_vector", dv.gather(ctx).unwrap().as_slice());
+        report("dup_vector", dup.read_local(ctx).unwrap().as_slice());
+        report("dup_dense", dd.local(ctx).unwrap().lock().as_slice());
+        report("dist_dense", dm.gather_dense(ctx).unwrap().as_slice());
+        report("dist_sparse", ds.gather_dense(ctx).unwrap().as_slice());
+    })
+    .unwrap();
+}

@@ -17,7 +17,7 @@
 //! dropping thread. The pool is bounded (count and per-buffer capacity) so it
 //! can never hoard more than a few megabytes per thread.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
@@ -29,22 +29,65 @@ use std::sync::Arc;
 const POOL_MIN_CAPACITY: usize = 1024;
 /// Buffers larger than this are returned to the allocator, not the pool.
 const POOL_MAX_CAPACITY: usize = 16 << 20;
-/// At most this many retired buffers are kept per thread.
-const POOL_MAX_BUFFERS: usize = 8;
+/// At most this many retired buffers are kept per thread. Sized for a
+/// checkpoint capture: a place encodes every local block *before* the
+/// previous checkpoint's buffers drop, so the park list must hold one
+/// checkpoint's worth of encode buffers or steady-state reuse thrashes.
+const POOL_MAX_BUFFERS: usize = 32;
 
 thread_local! {
     static FREE_LIST: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static POOL_HITS: Cell<u64> = const { Cell::new(0) };
+    static POOL_MISSES: Cell<u64> = const { Cell::new(0) };
+    static POOL_RECYCLED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Reuse counters for this thread's buffer pool. Hits/misses count only
+/// pool-eligible allocations (capacity ≥ the pooling threshold); `recycled`
+/// counts sole-owner buffers successfully parked for reuse.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pool-eligible allocations served from a parked buffer (no malloc).
+    pub hits: u64,
+    /// Pool-eligible allocations that had to hit the allocator.
+    pub misses: u64,
+    /// Retired buffers returned to the park list.
+    pub recycled: u64,
+    /// Buffers currently parked.
+    pub parked: u64,
+}
+
+/// Snapshot this thread's pool reuse counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        hits: POOL_HITS.with(Cell::get),
+        misses: POOL_MISSES.with(Cell::get),
+        recycled: POOL_RECYCLED.with(Cell::get),
+        parked: FREE_LIST.with(|fl| fl.borrow().len()) as u64,
+    }
+}
+
+/// Reset this thread's pool reuse counters (the park list itself is kept).
+pub fn reset_pool_stats() {
+    POOL_HITS.with(|c| c.set(0));
+    POOL_MISSES.with(|c| c.set(0));
+    POOL_RECYCLED.with(|c| c.set(0));
 }
 
 fn pool_take(min_capacity: usize) -> Option<Vec<u8>> {
     if min_capacity < POOL_MIN_CAPACITY {
         return None;
     }
-    FREE_LIST.with(|fl| {
+    let took = FREE_LIST.with(|fl| {
         let mut fl = fl.borrow_mut();
         let idx = fl.iter().position(|b| b.capacity() >= min_capacity)?;
         Some(fl.swap_remove(idx))
-    })
+    });
+    match &took {
+        Some(_) => POOL_HITS.with(|c| c.set(c.get() + 1)),
+        None => POOL_MISSES.with(|c| c.set(c.get() + 1)),
+    }
+    took
 }
 
 fn pool_put(mut buf: Vec<u8>) {
@@ -57,6 +100,7 @@ fn pool_put(mut buf: Vec<u8>) {
         let mut fl = fl.borrow_mut();
         if fl.len() < POOL_MAX_BUFFERS {
             fl.push(buf);
+            POOL_RECYCLED.with(|c| c.set(c.get() + 1));
         }
     });
 }
@@ -514,6 +558,24 @@ mod tests {
         assert_eq!(pooled_buffer_count(), 0);
         drop(keep); // last owner: recycle
         assert_eq!(pooled_buffer_count(), 1);
+    }
+
+    #[test]
+    fn pool_stats_track_hits_misses_and_recycles() {
+        while pool_take(POOL_MIN_CAPACITY).is_some() {}
+        reset_pool_stats();
+        let a = BytesMut::with_capacity(4096); // cold: miss
+        drop(a.freeze()); // sole owner: recycled
+        let b = BytesMut::with_capacity(2048); // warm: hit
+        drop(b.freeze());
+        let s = pool_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.recycled, 2);
+        assert_eq!(s.parked, 1);
+        // Tiny buffers bypass the pool entirely: no counter movement.
+        drop(BytesMut::with_capacity(16).freeze());
+        assert_eq!(pool_stats().hits + pool_stats().misses, 2);
     }
 
     #[test]

@@ -11,12 +11,16 @@
 //! PageRank checkpoints are so much cheaper than a full re-save.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use apgas::prelude::*;
 
 use crate::error::{GmlError, GmlResult};
 use crate::snapshot::{Snapshot, Snapshottable};
-use crate::store::ResilientStore;
+use crate::store::{ResilientStore, ShipOrder};
 
 /// One committed (or in-flight) application snapshot.
 #[derive(Clone)]
@@ -28,14 +32,110 @@ struct AppSnapshot {
     /// snap_ids inherited from the previous application snapshot
     /// (read-only reuse) — not to be deleted when that snapshot retires.
     reused: HashSet<u64>,
+    /// Store-id watermark at `start_new_snapshot`: every snap id this
+    /// attempt allocated lies in `first_snap_id..end_snap_id` (the end is
+    /// stamped at commit; `u64::MAX` while the attempt is open). The range
+    /// lets cancellation delete ids burned by saves that failed *before*
+    /// their snapshot entered `map`.
+    first_snap_id: u64,
+    end_snap_id: u64,
 }
 
+/// One background ship thread: executes a saved object's deferred backup
+/// transfers, returning the first error and the thread's busy time.
+type ShipTask = JoinHandle<(GmlResult<()>, Duration)>;
+
 /// Driver-side coordinator for atomic application checkpoints.
+///
+/// Checkpoints are **two-phase**: `save` runs only the short synchronous
+/// *capture* phase (serialize under the object lock, owner-side inserts),
+/// queueing the backup transfers as [`ShipOrder`]s that a background thread
+/// executes — the *ship* phase. With overlap off (the default) `commit` is
+/// the barrier that drains this snapshot's own ships, failing atomically if
+/// one of them hit a dead place. With overlap on (the executor's default)
+/// `commit` promotes the snapshot optimistically and the ships keep running
+/// while the next iterations compute; the *next* settle point (commit,
+/// [`drain`](Self::drain), or a recovery) becomes the barrier.
 pub struct AppResilientStore {
     store: ResilientStore,
     committed: Option<AppSnapshot>,
+    /// Committed by the application but with backup ships possibly still in
+    /// flight (overlap mode). Becomes `committed` once its ships settle.
+    provisional: Option<AppSnapshot>,
+    provisional_ships: Vec<ShipTask>,
     pending: Option<AppSnapshot>,
+    pending_ships: Vec<ShipTask>,
     current_iteration: u64,
+    /// When true, `commit` defers the ship barrier to the next settle point
+    /// so backup transfers overlap with compute. Off by default so direct
+    /// users see the classic synchronous commit; the executor turns it on.
+    overlap: bool,
+    /// Error from a failed provisional settle, surfaced by the next commit.
+    deferred_error: Option<GmlError>,
+    capture_time: Duration,
+    ship_time: Duration,
+    ship_gate: Option<Arc<AtomicBool>>,
+}
+
+/// Spawn the ship phase for one saved object: a thread executing its
+/// deferred backup transfers through a cloned [`Ctx`] (the documented
+/// helper-thread pattern) while the driver goes on computing.
+fn spawn_ship(
+    ctx: &Ctx,
+    store: &ResilientStore,
+    orders: Vec<ShipOrder>,
+    gate: Option<Arc<AtomicBool>>,
+) -> ShipTask {
+    let ctx = ctx.clone();
+    let store = store.clone();
+    std::thread::spawn(move || {
+        let t0 = Instant::now();
+        if let Some(gate) = gate {
+            // Failure-drill hook: park until the test releases the gate.
+            while gate.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let mut res = Ok(());
+        for order in orders {
+            if let Err(e) = store.execute_ship(&ctx, order) {
+                res = Err(e);
+                break;
+            }
+        }
+        (res, t0.elapsed())
+    })
+}
+
+/// Join every ship task, accumulating busy time into `ship_time` and
+/// returning the first error — preferring a recoverable (dead-place) one,
+/// since that is what the executor can act on.
+fn drain_ships(ships: &mut Vec<ShipTask>, ship_time: &mut Duration) -> GmlResult<()> {
+    let mut first_err: Option<GmlError> = None;
+    for task in ships.drain(..) {
+        match task.join() {
+            Ok((res, busy)) => {
+                *ship_time += busy;
+                if let Err(e) = res {
+                    let replace = match &first_err {
+                        None => true,
+                        Some(f) => !f.is_recoverable() && e.is_recoverable(),
+                    };
+                    if replace {
+                        first_err = Some(e);
+                    }
+                }
+            }
+            Err(_) => {
+                first_err
+                    .get_or_insert_with(|| GmlError::shape("checkpoint ship thread panicked"));
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 impl AppResilientStore {
@@ -50,9 +150,47 @@ impl AppResilientStore {
         Ok(AppResilientStore {
             store: ResilientStore::make_with_redundancy(ctx, redundant)?,
             committed: None,
+            provisional: None,
+            provisional_ships: Vec::new(),
             pending: None,
+            pending_ships: Vec::new(),
             current_iteration: 0,
+            overlap: false,
+            deferred_error: None,
+            capture_time: Duration::ZERO,
+            ship_time: Duration::ZERO,
+            ship_gate: None,
         })
+    }
+
+    /// Toggle checkpoint/compute overlap (see the type docs). The executor
+    /// sets this from [`ExecutorConfig`](crate::framework::ExecutorConfig).
+    pub fn set_overlap(&mut self, overlap: bool) {
+        self.overlap = overlap;
+    }
+
+    /// Whether commits defer the ship barrier to the next settle point.
+    pub fn is_overlap(&self) -> bool {
+        self.overlap
+    }
+
+    /// Test hook: while the gate is `true`, ship threads park before
+    /// executing their transfers — lets failure drills deterministically
+    /// kill a place "during the async ship phase".
+    #[doc(hidden)]
+    pub fn set_ship_gate(&mut self, gate: Arc<AtomicBool>) {
+        self.ship_gate = Some(gate);
+    }
+
+    /// Harvest and reset the accumulated capture/ship phase times. Capture
+    /// is save-side wall time; ship is background-thread busy time,
+    /// harvested when ships are *joined* — with overlap on, a checkpoint's
+    /// ship time typically shows up at the next settle point.
+    pub fn take_phases(&mut self) -> (Duration, Duration) {
+        (
+            std::mem::take(&mut self.capture_time),
+            std::mem::take(&mut self.ship_time),
+        )
     }
 
     /// The underlying key/value store.
@@ -72,12 +210,28 @@ impl AppResilientStore {
             iteration: self.current_iteration,
             map: HashMap::new(),
             reused: HashSet::new(),
+            first_snap_id: self.store.peek_next_id(),
+            end_snap_id: u64::MAX,
         });
     }
 
     /// Snapshot `obj` into the pending application snapshot.
+    ///
+    /// This is the **capture** phase only: the object serializes under its
+    /// lock and inserts the owner copies; the backup transfers it queued are
+    /// handed to a background ship thread before this method returns.
     pub fn save(&mut self, ctx: &Ctx, obj: &dyn Snapshottable) -> GmlResult<()> {
-        let snap = obj.make_snapshot(ctx, &self.store)?;
+        let t0 = Instant::now();
+        self.store.begin_deferred_ships();
+        let result = obj.make_snapshot(ctx, &self.store);
+        let orders = self.store.take_deferred_ships();
+        self.capture_time += t0.elapsed();
+        // On failure the queued orders are dropped unexecuted; the
+        // watermark in `cancel_snapshot` wipes the partial owner inserts.
+        let snap = result?;
+        if !orders.is_empty() {
+            self.pending_ships.push(spawn_ship(ctx, &self.store, orders, self.ship_gate.clone()));
+        }
         let pending = self
             .pending
             .as_mut()
@@ -92,7 +246,11 @@ impl AppResilientStore {
     /// failure is *not* reused — it is re-saved, so that every committed
     /// checkpoint can absorb the next failure.
     pub fn save_read_only(&mut self, ctx: &Ctx, obj: &dyn Snapshottable) -> GmlResult<()> {
-        let reusable = self.committed.as_ref().and_then(|c| {
+        // With overlap on, the newest committed state may still be the
+        // provisional snapshot — reuse from it first so the reuse chain
+        // stays inside the snapshot that will survive the next promotion.
+        let newest = self.provisional.as_ref().or(self.committed.as_ref());
+        let reusable = newest.and_then(|c| {
             c.map.get(&obj.object_id()).filter(|s| s.fully_redundant(ctx)).cloned()
         });
         match reusable {
@@ -111,12 +269,86 @@ impl AppResilientStore {
 
     /// Atomically promote the pending snapshot to committed and delete the
     /// retired one's entries (except those reused by the new snapshot).
+    ///
+    /// This is also the **barrier that drains in-flight ships**: it first
+    /// settles the previous overlap-mode snapshot, surfacing any dead-place
+    /// error its background ships hit; then, with overlap off, it joins this
+    /// snapshot's own ships so a failed ship fails the commit atomically.
     pub fn commit(&mut self, ctx: &Ctx) -> GmlResult<()> {
-        let pending = self
+        self.settle_provisional(ctx);
+        if let Some(e) = self.deferred_error.take() {
+            // The caller's cancel_snapshot will clean up the still-pending
+            // attempt; the previous committed snapshot stays the recovery
+            // point.
+            return Err(e);
+        }
+        let mut pending = self
             .pending
             .take()
             .ok_or_else(|| GmlError::shape("commit() before start_new_snapshot()"))?;
-        let old = self.committed.replace(pending);
+        pending.end_snap_id = self.store.peek_next_id();
+        if self.overlap {
+            self.provisional = Some(pending);
+            self.provisional_ships = std::mem::take(&mut self.pending_ships);
+            return Ok(());
+        }
+        let mut ships = std::mem::take(&mut self.pending_ships);
+        if let Err(e) = drain_ships(&mut ships, &mut self.ship_time) {
+            // Put the attempt back so cancel_snapshot can clean it up.
+            self.pending = Some(pending);
+            return Err(e);
+        }
+        self.promote(ctx, pending);
+        Ok(())
+    }
+
+    /// Join every in-flight ship of the provisional snapshot and either
+    /// promote it to committed or, when payload was truly lost, discard it
+    /// and stash the error for the next `commit`/`drain` to surface.
+    fn settle_provisional(&mut self, ctx: &Ctx) {
+        if self.provisional.is_none() && self.provisional_ships.is_empty() {
+            return;
+        }
+        let mut ships = std::mem::take(&mut self.provisional_ships);
+        let res = drain_ships(&mut ships, &mut self.ship_time);
+        let Some(snap) = self.provisional.take() else {
+            if let Err(e) = res {
+                self.deferred_error.get_or_insert(e);
+            }
+            return;
+        };
+        match res {
+            Ok(()) => self.promote(ctx, snap),
+            Err(e) => {
+                // A place died while this snapshot's backups were in
+                // flight. If every entry still has a live replica, the end
+                // state is identical to "the ships completed, then the
+                // place died" — a degraded but coherent snapshot. Promote
+                // it and let the failure surface through normal failure
+                // detection. Only when payload was truly lost (an owner
+                // died before its backups shipped) is the snapshot
+                // discarded; the older committed one stays the recovery
+                // point and the error is surfaced at the next settle call.
+                let usable =
+                    snap.map.values().all(|s| self.store.audit_snapshot(ctx, s).lost == 0);
+                if usable {
+                    self.promote(ctx, snap);
+                } else {
+                    let mut exclude = snap.reused.clone();
+                    if let Some(p) = self.pending.as_ref() {
+                        exclude.extend(p.reused.iter().copied());
+                    }
+                    self.delete_range(ctx, snap.first_snap_id, snap.end_snap_id, &exclude);
+                    self.deferred_error.get_or_insert(e);
+                }
+            }
+        }
+    }
+
+    /// Replace `committed` with `snap` and delete the retired snapshot's
+    /// entries (except those `snap` reuses).
+    fn promote(&mut self, ctx: &Ctx, snap: AppSnapshot) {
+        let old = self.committed.replace(snap);
         if let Some(old) = old {
             let keep: HashSet<u64> = self
                 .committed
@@ -134,18 +366,43 @@ impl AppResilientStore {
                 }
             }
         }
-        Ok(())
+    }
+
+    /// Best-effort delete of every snap id in `first..end` except `exclude`.
+    fn delete_range(&self, ctx: &Ctx, first: u64, end: u64, exclude: &HashSet<u64>) {
+        for snap_id in first..end {
+            if !exclude.contains(&snap_id) {
+                let _ = self.store.delete_snapshot(ctx, snap_id);
+            }
+        }
+    }
+
+    /// Barrier: settle the overlap-mode snapshot (joining its in-flight
+    /// ships) and surface any deferred ship error. The executor calls this
+    /// before reading the committed snapshot for a restore and at the end
+    /// of a run.
+    pub fn drain(&mut self, ctx: &Ctx) -> GmlResult<()> {
+        self.settle_provisional(ctx);
+        match self.deferred_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Abort the pending snapshot, deleting any entries it created (but not
     /// reused read-only snapshots, which still belong to the committed one).
     pub fn cancel_snapshot(&mut self, ctx: &Ctx) {
         if let Some(pending) = self.pending.take() {
-            for snap in pending.map.values() {
-                if !pending.reused.contains(&snap.snap_id) {
-                    let _ = self.store.delete_snapshot(ctx, snap.snap_id);
-                }
-            }
+            // Join this attempt's ship threads first: their orders reference
+            // the ids about to be deleted (execute_ship skips stale orders,
+            // but the join keeps deletion and shipping from racing).
+            let mut ships = std::mem::take(&mut self.pending_ships);
+            let _ = drain_ships(&mut ships, &mut self.ship_time);
+            // Watermark delete: every id the attempt allocated, including
+            // ids burned by saves that failed before their snapshot entered
+            // the map — previously those leaked partial inventory.
+            let end = self.store.peek_next_id();
+            self.delete_range(ctx, pending.first_snap_id, end, &pending.reused);
         }
     }
 
@@ -324,6 +581,106 @@ mod tests {
 
             let snap = store.snapshot_of(v.object_id()).unwrap();
             assert!(snap.fetch(ctx, store.store(), 0).is_ok(), "cancel must not nuke shared data");
+        });
+    }
+
+    #[test]
+    fn overlap_commit_promotes_at_the_next_settle_point() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let mut v = DupVector::make(ctx, 2, &g).unwrap();
+            v.init(ctx, |_| 1.0).unwrap();
+            store.set_overlap(true);
+
+            store.set_current_iteration(3);
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            // Overlap mode: the snapshot is provisional until its ships are
+            // drained at the next settle point.
+            assert!(!store.has_snapshot(), "promotion deferred past commit");
+
+            v.apply(ctx, |x| x.fill(2.0)).unwrap();
+            store.set_current_iteration(7);
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            assert_eq!(store.snapshot_iteration(), Some(3), "previous snapshot settled");
+
+            store.drain(ctx).unwrap();
+            assert_eq!(store.snapshot_iteration(), Some(7), "drain settles the last one");
+            store.restore(ctx, &mut [&mut v]).unwrap();
+            assert_eq!(v.read_local(ctx).unwrap().as_slice(), &[2.0, 2.0]);
+        });
+    }
+
+    #[test]
+    fn overlap_ship_failure_with_live_owner_promotes_degraded_snapshot() {
+        run(3, |ctx| {
+            let g = ctx.world();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let mut v = DupVector::make(ctx, 2, &g).unwrap();
+            v.init(ctx, |_| 4.0).unwrap();
+            store.set_overlap(true);
+            let gate = Arc::new(AtomicBool::new(true));
+            store.set_ship_gate(gate.clone());
+
+            store.set_current_iteration(6);
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+
+            // The backup place dies while the ship is parked in flight. The
+            // owner copy survives, so the end state equals "ship completed,
+            // then the place died": the snapshot promotes, degraded.
+            ctx.kill_place(g.place(1)).unwrap();
+            gate.store(false, Ordering::Release);
+            store.drain(ctx).unwrap();
+            assert_eq!(store.snapshot_iteration(), Some(6));
+
+            let survivors = g.without(&[g.place(1)]);
+            v.remake(ctx, &survivors).unwrap();
+            v.apply(ctx, |x| x.fill(0.0)).unwrap();
+            store.restore(ctx, &mut [&mut v]).unwrap();
+            assert_eq!(v.read_local(ctx).unwrap().as_slice(), &[4.0, 4.0]);
+        });
+    }
+
+    #[test]
+    fn overlap_ship_failure_with_lost_payload_discards_and_surfaces() {
+        run(4, |ctx| {
+            // Group not containing place 0 so the snapshot owner can die.
+            let g: PlaceGroup =
+                [Place::new(1), Place::new(2), Place::new(3)].into_iter().collect();
+            let mut store = AppResilientStore::make(ctx).unwrap();
+            let mut v = DupVector::make(ctx, 2, &g).unwrap();
+            v.init(ctx, |_| 5.0).unwrap();
+            store.set_overlap(true);
+
+            store.set_current_iteration(5);
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            store.drain(ctx).unwrap();
+            assert_eq!(store.snapshot_iteration(), Some(5));
+
+            // Second checkpoint: the owner dies while its ship is parked, so
+            // the backup copy never lands and the payload is lost. The
+            // provisional snapshot must be discarded and the error surfaced;
+            // the iteration-5 snapshot stays the recovery point.
+            let gate = Arc::new(AtomicBool::new(true));
+            store.set_ship_gate(gate.clone());
+            v.apply(ctx, |x| x.fill(6.0)).unwrap();
+            store.set_current_iteration(9);
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            ctx.kill_place(Place::new(1)).unwrap();
+            gate.store(false, Ordering::Release);
+            let err = store.drain(ctx).unwrap_err();
+            assert!(err.is_recoverable(), "dead-place ship error: {err}");
+            assert_eq!(store.snapshot_iteration(), Some(5), "rolled back to settled snapshot");
         });
     }
 

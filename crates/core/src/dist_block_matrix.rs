@@ -840,8 +840,10 @@ impl Snapshottable for DistBlockMatrix {
                 let grid = grid.clone();
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
-                        // Serialize outside the per-pair save so the lock is
-                        // held only while reading.
+                        // Capture: serialize every block under one short
+                        // lock (the bulk encode path), then hand the whole
+                        // batch to the store — one framed backup transfer
+                        // for the place instead of one round trip per block.
                         let serialized: Vec<(u64, Bytes)> = {
                             let set = plh.local(ctx)?;
                             let set = set.lock();
@@ -849,10 +851,10 @@ impl Snapshottable for DistBlockMatrix {
                                 .map(|b| (grid.block_id(b.bi, b.bj) as u64, ctx.encode(b)))
                                 .collect()
                         };
-                        for (key, bytes) in serialized {
-                            let len = store2.save_pair(ctx, snap_id, key, bytes, backup)?;
-                            builder.record(key, ctx.here(), backup, len);
+                        for (key, bytes) in &serialized {
+                            builder.record(*key, ctx.here(), backup, bytes.len());
                         }
+                        store2.save_batch(ctx, snap_id, serialized, backup)?;
                         Ok(())
                     });
                 });
@@ -862,7 +864,7 @@ impl Snapshottable for DistBlockMatrix {
         let mut desc = BytesMut::new();
         self.grid.write(&mut desc);
         desc.put_u8(self.sparse as u8);
-        Ok(builder.build(snap_id, self.object_id, self.group.clone(), desc.freeze()))
+        Ok(builder.build_at(ctx, snap_id, self.object_id, self.group.clone(), desc.freeze()))
     }
 
     fn restore_snapshot(

@@ -25,6 +25,17 @@ pub(crate) struct SegmentStore {
     pub(crate) segs: HashMap<usize, Vector>,
 }
 
+/// Invert `seg_owner` into per-group-index segment lists (ascending within
+/// each place). Done once per layout so collectives never rescan the whole
+/// ownership vector per place per call.
+fn owner_lists(seg_owner: &[usize], parts: usize) -> Vec<Vec<usize>> {
+    let mut lists = vec![Vec::new(); parts];
+    for (s, &o) in seg_owner.iter().enumerate() {
+        lists[o].push(s);
+    }
+    lists
+}
+
 /// A vector distributed in contiguous segments over a place group.
 pub struct DistVector {
     object_id: u64,
@@ -32,6 +43,10 @@ pub struct DistVector {
     pub(crate) splits: Arc<Vec<usize>>,
     /// Segment `s` lives at `group.place(seg_owner[s])`.
     pub(crate) seg_owner: Arc<Vec<usize>>,
+    /// Inverse of `seg_owner`, computed once per layout: for each group
+    /// index, the ascending list of segment ids it owns. Collectives index
+    /// this instead of rescanning `seg_owner` on every call.
+    pub(crate) place_segs: Arc<Vec<Vec<usize>>>,
     pub(crate) group: PlaceGroup,
     pub(crate) plh: PlaceLocalHandle<Mutex<SegmentStore>>,
 }
@@ -66,6 +81,7 @@ impl DistVector {
         if seg_owner.iter().any(|&o| o >= group.len()) {
             return Err(GmlError::shape("segment owner outside group"));
         }
+        let place_segs = Arc::new(owner_lists(&seg_owner, group.len()));
         let splits = Arc::new(splits);
         let seg_owner = Arc::new(seg_owner);
         let plh = {
@@ -87,6 +103,7 @@ impl DistVector {
             object_id: crate::fresh_object_id(),
             splits,
             seg_owner,
+            place_segs,
             group: group.clone(),
             plh,
         })
@@ -130,31 +147,28 @@ impl DistVector {
     {
         let plh = self.plh;
         let pot = ErrorPot::new();
+        let place_segs = Arc::clone(&self.place_segs);
+        let splits = Arc::clone(&self.splits);
         let res = ctx.finish(|fs| {
             for (idx, p) in self.group.iter().enumerate() {
                 // One task per place touches all that place's segments.
-                let mine: Vec<(usize, usize)> = self
-                    .seg_owner
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &o)| o == idx)
-                    .map(|(s, _)| (s, self.splits[s]))
-                    .collect();
-                if mine.is_empty() {
+                if place_segs[idx].is_empty() {
                     continue;
                 }
                 let f = f.clone();
                 let pot = pot.clone();
+                let place_segs = Arc::clone(&place_segs);
+                let splits = Arc::clone(&splits);
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
                         let store = plh.local(ctx)?;
                         let mut store = store.lock();
-                        for (s, off) in mine {
+                        for &s in &place_segs[idx] {
                             let seg = store
                                 .segs
                                 .get_mut(&s)
                                 .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
-                            f(s, off, seg);
+                            f(s, splits[s], seg);
                         }
                         Ok(())
                     });
@@ -209,27 +223,22 @@ impl DistVector {
         let b = other.plh;
         let plh = self.plh;
         let pot = ErrorPot::new();
-        let seg_owner = Arc::clone(&self.seg_owner);
+        let place_segs = Arc::clone(&self.place_segs);
         let res = ctx.finish(|fs| {
             for (idx, p) in self.group.iter().enumerate() {
-                let mine: Vec<usize> = seg_owner
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &o)| o == idx)
-                    .map(|(s, _)| s)
-                    .collect();
-                if mine.is_empty() {
+                if place_segs[idx].is_empty() {
                     continue;
                 }
                 let f = f.clone();
                 let pot = pot.clone();
+                let place_segs = Arc::clone(&place_segs);
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
                         let sa = plh.local(ctx)?;
                         let sb = b.local(ctx)?;
                         let mut sa = sa.lock();
                         let sb = sb.lock();
-                        for s in mine {
+                        for &s in &place_segs[idx] {
                             let other_seg = sb
                                 .segs
                                 .get(&s)
@@ -256,52 +265,57 @@ impl DistVector {
     {
         let plh = self.plh;
         let pot = ErrorPot::new();
-        let partials: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
-        let seg_owner = Arc::clone(&self.seg_owner);
+        // One slot per group index: each task writes only its own slot, so
+        // there is no contention on a shared gather vector, and the slot
+        // order is fixed by the precomputed per-place segment lists.
+        let slots: Arc<Vec<Mutex<Vec<f64>>>> =
+            Arc::new((0..self.group.len()).map(|_| Mutex::new(Vec::new())).collect());
+        let place_segs = Arc::clone(&self.place_segs);
         let splits = Arc::clone(&self.splits);
         let res = ctx.finish(|fs| {
             for (idx, p) in self.group.iter().enumerate() {
-                let mine: Vec<usize> = seg_owner
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &o)| o == idx)
-                    .map(|(s, _)| s)
-                    .collect();
-                if mine.is_empty() {
+                if place_segs[idx].is_empty() {
                     continue;
                 }
                 let f = f.clone();
                 let pot = pot.clone();
-                let partials = Arc::clone(&partials);
+                let slots = Arc::clone(&slots);
+                let place_segs = Arc::clone(&place_segs);
                 let splits = Arc::clone(&splits);
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
                         let store = plh.local(ctx)?;
                         let store = store.lock();
-                        let mut local = Vec::with_capacity(mine.len());
-                        for s in mine {
+                        let mut local = Vec::with_capacity(place_segs[idx].len());
+                        for &s in &place_segs[idx] {
                             let seg = store
                                 .segs
                                 .get(&s)
                                 .ok_or_else(|| GmlError::data_loss(format!("segment {s} missing")))?;
-                            local.push((s, f(s, splits[s], seg, ctx)?));
+                            local.push(f(s, splits[s], seg, ctx)?);
                         }
                         // One "message" back to the driver per place; the
                         // driver consumes it, so it counts as received too.
                         ctx.record_bytes(16 * local.len());
                         ctx.record_bytes_received(16 * local.len());
-                        partials.lock().extend(local);
+                        *slots[idx].lock() = local;
                         Ok(())
                     });
                 });
             }
         });
         pot.into_result(res)?;
-        let mut partials = Arc::try_unwrap(partials)
-            .map(Mutex::into_inner)
-            .unwrap_or_else(|arc| arc.lock().clone());
-        partials.sort_unstable_by_key(|(s, _)| *s);
-        Ok(partials.into_iter().map(|(_, v)| v).sum())
+        // Deterministic combine: scatter each place's partials back to their
+        // segment ids, then sum in ascending segment order (bit-identical to
+        // the old sort-by-segment gather).
+        let mut per_seg = vec![0.0f64; self.num_segments()];
+        for (idx, segs) in place_segs.iter().enumerate() {
+            let vals = slots[idx].lock();
+            for (&s, &v) in segs.iter().zip(vals.iter()) {
+                per_seg[s] = v;
+            }
+        }
+        Ok(per_seg.into_iter().sum())
     }
 
     /// Dot product with a duplicated vector of the same total length —
@@ -354,10 +368,10 @@ impl DistVector {
         let plh = self.plh;
         let pot = ErrorPot::new();
         let maxima: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
-        let seg_owner = Arc::clone(&self.seg_owner);
+        let place_segs = Arc::clone(&self.place_segs);
         let res = ctx.finish(|fs| {
             for (idx, p) in self.group.iter().enumerate() {
-                if !seg_owner.contains(&idx) {
+                if place_segs[idx].is_empty() {
                     continue;
                 }
                 let pot = pot.clone();
@@ -388,26 +402,21 @@ impl DistVector {
         let plh = self.plh;
         let pot = ErrorPot::new();
         let pieces: Arc<Mutex<Vec<(usize, Bytes)>>> = Arc::new(Mutex::new(Vec::new()));
-        let seg_owner = Arc::clone(&self.seg_owner);
+        let place_segs = Arc::clone(&self.place_segs);
         let res = ctx.finish(|fs| {
             for (idx, p) in self.group.iter().enumerate() {
-                let mine: Vec<usize> = seg_owner
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &o)| o == idx)
-                    .map(|(s, _)| s)
-                    .collect();
-                if mine.is_empty() {
+                if place_segs[idx].is_empty() {
                     continue;
                 }
                 let pot = pot.clone();
                 let pieces = Arc::clone(&pieces);
+                let place_segs = Arc::clone(&place_segs);
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
                         let store = plh.local(ctx)?;
                         let store = store.lock();
-                        let mut local = Vec::with_capacity(mine.len());
-                        for s in mine {
+                        let mut local = Vec::with_capacity(place_segs[idx].len());
+                        for &s in &place_segs[idx] {
                             let seg = store
                                 .segs
                                 .get(&s)
@@ -474,6 +483,7 @@ impl DistVector {
                 ctx.at(p, move |ctx| plh.remove_local(ctx))?;
             }
         }
+        let place_segs = Arc::new(owner_lists(&seg_owner, new_places.len()));
         let splits = Arc::new(splits);
         let seg_owner = Arc::new(seg_owner);
         {
@@ -500,6 +510,7 @@ impl DistVector {
         }
         self.splits = splits;
         self.seg_owner = seg_owner;
+        self.place_segs = place_segs;
         self.group = new_places.clone();
         Ok(())
     }
@@ -516,39 +527,40 @@ impl Snapshottable for DistVector {
         let builder = SnapshotBuilder::new();
         let plh = self.plh;
         let pot = ErrorPot::new();
-        let seg_owner = Arc::clone(&self.seg_owner);
+        let place_segs = Arc::clone(&self.place_segs);
         let group = self.group.clone();
         let store2 = store.clone();
         let res = ctx.finish(|fs| {
             for (idx, p) in group.iter().enumerate() {
-                let mine: Vec<usize> = seg_owner
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &o)| o == idx)
-                    .map(|(s, _)| s)
-                    .collect();
-                if mine.is_empty() {
+                if place_segs[idx].is_empty() {
                     continue;
                 }
                 let backup = group.place(group.next_index(idx));
                 let pot = pot.clone();
                 let builder = builder.clone();
                 let store2 = store2.clone();
+                let place_segs = Arc::clone(&place_segs);
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
-                        for s in mine {
-                            let bytes = {
-                                let st = plh.local(ctx)?;
-                                let st = st.lock();
-                                let seg = st.segs.get(&s).ok_or_else(|| {
-                                    GmlError::data_loss(format!("segment {s} missing"))
-                                })?;
-                                ctx.encode(seg)
-                            };
-                            let len =
-                                store2.save_pair(ctx, snap_id, s as u64, bytes, backup)?;
-                            builder.record(s as u64, ctx.here(), backup, len);
+                        // Capture: encode every local segment under one short
+                        // lock, then ship them as a single framed batch.
+                        let serialized: Vec<(u64, Bytes)> = {
+                            let st = plh.local(ctx)?;
+                            let st = st.lock();
+                            place_segs[idx]
+                                .iter()
+                                .map(|&s| {
+                                    let seg = st.segs.get(&s).ok_or_else(|| {
+                                        GmlError::data_loss(format!("segment {s} missing"))
+                                    })?;
+                                    Ok((s as u64, ctx.encode(seg)))
+                                })
+                                .collect::<GmlResult<_>>()?
+                        };
+                        for (key, bytes) in &serialized {
+                            builder.record(*key, ctx.here(), backup, bytes.len());
                         }
+                        store2.save_batch(ctx, snap_id, serialized, backup)?;
                         Ok(())
                     });
                 });
@@ -561,7 +573,7 @@ impl Snapshottable for DistVector {
         for &s in self.splits.iter() {
             desc.put_u64_le(s as u64);
         }
-        Ok(builder.build(snap_id, self.object_id, self.group.clone(), desc.freeze()))
+        Ok(builder.build_at(ctx, snap_id, self.object_id, self.group.clone(), desc.freeze()))
     }
 
     fn restore_snapshot(
@@ -580,20 +592,14 @@ impl Snapshottable for DistVector {
         let same_layout = old_splits == **self.splits;
         let plh = self.plh;
         let pot = ErrorPot::new();
-        let seg_owner = Arc::clone(&self.seg_owner);
+        let place_segs = Arc::clone(&self.place_segs);
         let splits = Arc::clone(&self.splits);
         let old_splits = Arc::new(old_splits);
         let store2 = store.clone();
         let snap = snapshot.clone();
         let res = ctx.finish(|fs| {
             for (idx, p) in self.group.iter().enumerate() {
-                let mine: Vec<usize> = seg_owner
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &o)| o == idx)
-                    .map(|(s, _)| s)
-                    .collect();
-                if mine.is_empty() {
+                if place_segs[idx].is_empty() {
                     continue;
                 }
                 let pot = pot.clone();
@@ -601,9 +607,10 @@ impl Snapshottable for DistVector {
                 let snap = snap.clone();
                 let splits = Arc::clone(&splits);
                 let old_splits = Arc::clone(&old_splits);
+                let place_segs = Arc::clone(&place_segs);
                 fs.async_at(p, move |ctx| {
                     pot.run(|| {
-                        for s in mine {
+                        for &s in &place_segs[idx] {
                             let (lo, hi) = (splits[s], splits[s + 1]);
                             let seg = if same_layout {
                                 ctx.decode::<Vector>(snap.fetch(ctx, &store2, s as u64)?)

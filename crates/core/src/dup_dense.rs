@@ -171,14 +171,16 @@ impl Snapshottable for DupDenseMatrix {
         let store2 = store.clone();
         let len = ctx.at(owner, move |ctx| -> GmlResult<usize> {
             let bytes = ctx.encode(&*plh.local(ctx)?.lock());
-            store2.save_pair(ctx, snap_id, 0, bytes, backup)
+            // A single-entry batch: same transport as the multi-block
+            // objects, so deferred shipping applies uniformly.
+            store2.save_batch(ctx, snap_id, vec![(0, bytes)], backup)
         })??;
         let builder = SnapshotBuilder::new();
         builder.record(0, owner, backup, len);
         let mut desc = BytesMut::new();
         desc.put_u64_le(self.rows as u64);
         desc.put_u64_le(self.cols as u64);
-        Ok(builder.build(snap_id, self.object_id, self.group.clone(), desc.freeze()))
+        Ok(builder.build_at(ctx, snap_id, self.object_id, self.group.clone(), desc.freeze()))
     }
 
     fn restore_snapshot(

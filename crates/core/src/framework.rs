@@ -72,6 +72,13 @@ pub struct ExecutorConfig {
     /// determine the checkpointing interval"). `checkpoint_interval` then
     /// only seeds the first interval.
     pub mttf: Option<Duration>,
+    /// Overlap checkpoint shipping with compute (on by default): `commit`
+    /// promotes the snapshot optimistically and its backup transfers run in
+    /// the background while the next iterations compute; the next settle
+    /// point (the following commit, a recovery, or the end of the run) is
+    /// the barrier that drains them. Turn off for the classic synchronous
+    /// commit barrier.
+    pub overlap_ship: bool,
 }
 
 impl ExecutorConfig {
@@ -83,6 +90,7 @@ impl ExecutorConfig {
             fallback_rebalance: false,
             max_restores: 8,
             mttf: None,
+            overlap_ship: true,
         }
     }
 
@@ -90,6 +98,13 @@ impl ExecutorConfig {
     /// mean time to failure.
     pub fn with_mttf(mut self, mttf: Duration) -> Self {
         self.mttf = Some(mttf);
+        self
+    }
+
+    /// Toggle checkpoint/compute overlap (see
+    /// [`overlap_ship`](Self::overlap_ship)).
+    pub fn overlap_ship(mut self, overlap: bool) -> Self {
+        self.overlap_ship = overlap;
         self
     }
 }
@@ -157,6 +172,15 @@ pub struct RunStats {
     pub step_time: Duration,
     /// Wall time spent checkpointing.
     pub checkpoint_time: Duration,
+    /// Synchronous *capture* portion of the checkpoints (serialize under
+    /// the object locks + owner-side inserts), as accumulated by the app
+    /// store's two-phase protocol.
+    pub capture_time: Duration,
+    /// Background *ship* busy time (backup transfers), harvested when ship
+    /// threads are joined. With overlap on, this time ran concurrently with
+    /// `step_time` — the overlap saving is roughly
+    /// `ship_time - (checkpoint_time - capture_time)`.
+    pub ship_time: Duration,
     /// Wall time spent restoring.
     pub restore_time: Duration,
     /// Wall time of the whole run.
@@ -225,12 +249,15 @@ impl ResilientExecutor {
         let mut prev_snap = first_snap;
         let mut rows: Vec<IterRow> = Vec::new();
         let mut bundles: Vec<PostMortem> = Vec::new();
+        store.set_overlap(self.cfg.overlap_ship);
 
         while !app.is_finished(ctx, iteration) {
             let mut row = IterRow {
                 iteration,
                 step: Duration::ZERO,
                 checkpoint: None,
+                capture: None,
+                ship: None,
                 restore: None,
                 delta: Default::default(),
             };
@@ -244,6 +271,16 @@ impl ResilientExecutor {
                     app.checkpoint(ctx, store)
                 };
                 row.checkpoint = Some(t.elapsed());
+                // Harvest the two-phase split. With overlap on, the ship
+                // time joined here mostly belongs to the *previous*
+                // checkpoint's transfers (this commit was their barrier).
+                let (capture, ship) = store.take_phases();
+                row.capture = Some(capture);
+                if ship > Duration::ZERO {
+                    row.ship = Some(ship);
+                }
+                stats.capture_time += capture;
+                stats.ship_time += ship;
                 match result {
                     Ok(()) => {
                         stats.checkpoint_time += t.elapsed();
@@ -265,7 +302,10 @@ impl ResilientExecutor {
                         Self::close_row(ctx, &mut rows, row, &mut prev_snap);
                         continue;
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        let _ = store.drain(ctx);
+                        return Err(e);
+                    }
                 }
             }
 
@@ -291,10 +331,21 @@ impl ResilientExecutor {
                     row.restore = Some(cost);
                     next_checkpoint = iteration;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    let _ = store.drain(ctx);
+                    return Err(e);
+                }
             }
             Self::close_row(ctx, &mut rows, row, &mut prev_snap);
         }
+        // End-of-run barrier: settle the last overlap-mode checkpoint. A
+        // dead-place error here is ignored deliberately — the run already
+        // produced its result, and the previous committed snapshot remains
+        // the recovery point for anyone restoring afterwards.
+        let _ = store.drain(ctx);
+        let (capture, ship) = store.take_phases();
+        stats.capture_time += capture;
+        stats.ship_time += ship;
         stats.total_time = start.elapsed();
         let report = CostReport { rows, totals: prev_snap.since(&first_snap), bundles };
         Ok((group, stats, report))
@@ -326,6 +377,12 @@ impl ResilientExecutor {
         bundles: &mut Vec<PostMortem>,
     ) -> GmlResult<RestoreCost> {
         let recover_t0 = Instant::now();
+        // Settle any in-flight overlap-mode checkpoint before reading the
+        // committed snapshot: a provisional snapshot whose ships all landed
+        // (or that is still fully usable) promotes and becomes the rollback
+        // target; one that lost payload is discarded. The drain error
+        // itself is moot — we are already recovering from the failure.
+        let _ = store.drain(ctx);
         let mut attempts: u32 = 0;
         loop {
             if *restores_left == 0 {

@@ -46,6 +46,15 @@ pub struct IterRow {
     /// Wall time of the checkpoint taken this pass, if any (failed,
     /// cancelled checkpoints included — their cost is real).
     pub checkpoint: Option<Duration>,
+    /// Synchronous *capture* portion of this pass's checkpoint (serialize
+    /// under the object locks + owner inserts). `Some` exactly when
+    /// `checkpoint` is.
+    pub capture: Option<Duration>,
+    /// Background *ship* busy time harvested by this pass. With overlap on,
+    /// a checkpoint's ships are joined — and therefore show up — at the
+    /// next settle point, typically one checkpoint later; the time itself
+    /// ran concurrently with the steps in between.
+    pub ship: Option<Duration>,
     /// The recovery performed this pass, if any.
     pub restore: Option<RestoreCost>,
     /// Runtime counter deltas consumed by this pass.
@@ -98,20 +107,24 @@ impl CostReport {
     }
 
     /// Render the Table-III-style per-iteration cost table plus a totals
-    /// line. `step / ckpt / restore` are wall times; `ctl` counts place-zero
-    /// bookkeeping messages; `enc+dec` is codec wall time; `ship / recv`
-    /// are payload bytes.
+    /// line. `step / ckpt / restore` are wall times; `capture` is the
+    /// synchronous serialize-and-insert portion of the checkpoint and
+    /// `ship(t)` the background backup-transfer busy time harvested this
+    /// pass (under overlap it belongs to the previous checkpoint and ran
+    /// concurrently with compute); `ctl` counts place-zero bookkeeping
+    /// messages; `enc+dec` is codec wall time; `ship / recv` are payload
+    /// bytes.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>5} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10}\n",
-            "iter", "step", "ckpt", "restore", "ctl", "enc+dec", "ship", "recv"
+            "{:>5} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10}\n",
+            "iter", "step", "ckpt", "capture", "ship(t)", "restore", "ctl", "enc+dec", "ship",
+            "recv"
         ));
         for r in &self.rows {
-            let ckpt = r
-                .checkpoint
-                .map(|d| fmt_nanos(d.as_nanos() as u64))
-                .unwrap_or_else(|| "-".into());
+            let opt = |d: Option<Duration>| {
+                d.map(|d| fmt_nanos(d.as_nanos() as u64)).unwrap_or_else(|| "-".into())
+            };
             let restore = r
                 .restore
                 .map(|rc| {
@@ -124,10 +137,12 @@ impl CostReport {
                 })
                 .unwrap_or_else(|| "-".into());
             out.push_str(&format!(
-                "{:>5} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10}\n",
+                "{:>5} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10}\n",
                 r.iteration,
                 fmt_nanos(r.step.as_nanos() as u64),
-                ckpt,
+                opt(r.checkpoint),
+                opt(r.capture),
+                opt(r.ship),
                 restore,
                 r.delta.ctl_total(),
                 fmt_nanos(r.delta.encode_nanos + r.delta.decode_nanos),
@@ -176,6 +191,8 @@ mod tests {
             iteration: iter,
             step: Duration::from_millis(1),
             checkpoint: None,
+            capture: None,
+            ship: None,
             restore: None,
             delta: StatsSnapshot {
                 bytes_shipped: shipped,
@@ -206,6 +223,8 @@ mod tests {
     fn render_mentions_restores_and_bytes() {
         let mut r = row(7, 2048, 2048, 1);
         r.checkpoint = Some(Duration::from_millis(3));
+        r.capture = Some(Duration::from_millis(2));
+        r.ship = Some(Duration::from_millis(1));
         r.restore = Some(RestoreCost {
             label: "shrink_rebalance",
             rebalance: true,
@@ -218,6 +237,8 @@ mod tests {
         assert!(text.contains("shrink_rebalance"));
         assert!(text.contains("→it5"));
         assert!(text.contains("2.0KB"));
+        assert!(text.contains("capture"), "two-phase capture column present");
+        assert!(text.contains("ship(t)"), "two-phase ship-time column present");
         assert_eq!(report.restores(), 1);
     }
 

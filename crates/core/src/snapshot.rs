@@ -149,7 +149,37 @@ impl SnapshotBuilder {
         );
         Snapshot { snap_id, object_id, group, entries, descriptor }
     }
+
+    /// Finish building *with metadata accounting*: the key → [`EntryLoc`]
+    /// map is gathered by the driver activity (the paper's place-zero
+    /// checkpoint coordinator), so every entry recorded by a task at some
+    /// other place corresponds to [`ENTRY_META_WIRE_BYTES`] of control
+    /// traffic back to the driver. Charging it to `bytes_shipped` /
+    /// `bytes_received` keeps the cost report from undercounting
+    /// checkpoints. All collective `make_snapshot` implementations finish
+    /// through here.
+    pub fn build_at(
+        self,
+        ctx: &Ctx,
+        snap_id: u64,
+        object_id: u64,
+        group: PlaceGroup,
+        descriptor: Bytes,
+    ) -> Snapshot {
+        let snap = self.build(snap_id, object_id, group, descriptor);
+        let meta = snap.entries.values().filter(|e| e.owner != ctx.here()).count()
+            * ENTRY_META_WIRE_BYTES;
+        if meta > 0 {
+            ctx.record_bytes(meta);
+            ctx.record_bytes_received(meta);
+        }
+        snap
+    }
 }
+
+/// Wire size of one gathered [`EntryLoc`] record: key, owner, backup and
+/// length, each as a `u64` (the workspace's uniform LE wire width).
+pub const ENTRY_META_WIRE_BYTES: usize = 32;
 
 impl Default for SnapshotBuilder {
     fn default() -> Self {

@@ -121,6 +121,31 @@ impl SnapshotAudit {
     }
 }
 
+/// One deferred backup transfer: everything needed to ship a place's batch
+/// of snapshot entries to its backup *after* the synchronous capture phase
+/// has returned. The payloads themselves stay in the owner's shard (they
+/// were inserted during capture); the order re-reads them by key at ship
+/// time, so the order itself carries only metadata.
+#[derive(Clone, Debug)]
+pub(crate) struct ShipOrder {
+    pub(crate) snap_id: u64,
+    pub(crate) owner: Place,
+    pub(crate) backup: Place,
+    pub(crate) keys: Vec<u64>,
+    /// Total payload bytes (for spans; the authoritative sizes live in the
+    /// shard).
+    pub(crate) total: usize,
+}
+
+/// Shared ship-deferral state: while `defer` is set, `save_batch` queues
+/// [`ShipOrder`]s instead of performing backup transfers inline. Shared via
+/// `Arc` across the store clones that collectives carry into remote tasks,
+/// so capture tasks at every place feed one queue.
+struct ShipState {
+    defer: std::sync::atomic::AtomicBool,
+    queue: Mutex<Vec<ShipOrder>>,
+}
+
 /// Handle to the distributed double in-memory store. Cheap to clone and
 /// `Send`, so collectives can carry it into remote tasks.
 #[derive(Clone)]
@@ -131,6 +156,11 @@ pub struct ResilientStore {
     /// halves checkpoint cost but loses snapshot data with the owning
     /// place. Production use keeps this on.
     redundant: bool,
+    /// When false, [`save_batch`](Self::save_batch) degrades to the per-pair
+    /// reference path (`save_pair` per entry) — kept for the CI parity check
+    /// that proves batching is a pure transport optimisation.
+    batched: bool,
+    ships: Arc<ShipState>,
 }
 
 impl ResilientStore {
@@ -143,7 +173,25 @@ impl ResilientStore {
     pub fn make_with_redundancy(ctx: &Ctx, redundant: bool) -> GmlResult<Self> {
         let all = ctx.all_places();
         let plh = PlaceLocalHandle::make(ctx, &all, |_| PlaceStore::new())?;
-        Ok(ResilientStore { plh, next_snap_id: Arc::new(AtomicU64::new(1)), redundant })
+        Ok(ResilientStore {
+            plh,
+            next_snap_id: Arc::new(AtomicU64::new(1)),
+            redundant,
+            batched: true,
+            ships: Arc::new(ShipState {
+                defer: std::sync::atomic::AtomicBool::new(false),
+                queue: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// Create the store with batched shipping toggled (see `batched`). The
+    /// per-pair path is the semantic reference; `ci.sh`'s `checkpoint_parity`
+    /// step diffs the two bit-for-bit.
+    pub fn make_with_batching(ctx: &Ctx, batched: bool) -> GmlResult<Self> {
+        let mut store = Self::make(ctx)?;
+        store.batched = batched;
+        Ok(store)
     }
 
     /// Whether backup copies are being written.
@@ -151,9 +199,24 @@ impl ResilientStore {
         self.redundant
     }
 
+    /// Whether `save_batch` uses the batched single-`at` transport.
+    pub fn is_batched(&self) -> bool {
+        self.batched
+    }
+
     /// Allocate a namespace for one object snapshot.
     pub fn fresh_snap_id(&self) -> u64 {
         self.next_snap_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The next id [`fresh_snap_id`](Self::fresh_snap_id) would hand out,
+    /// without allocating it. `AppResilientStore` reads this as a watermark
+    /// when opening a checkpoint attempt, so a cancelled attempt can delete
+    /// *every* id the attempt allocated — including ids burned by a
+    /// `make_snapshot` that failed before its snapshot entered the attempt's
+    /// map (which would otherwise leak partial inventory).
+    pub fn peek_next_id(&self) -> u64 {
+        self.next_snap_id.load(Ordering::Relaxed)
     }
 
     /// This place's shard, creating it on first use — elastically spawned
@@ -207,6 +270,133 @@ impl ResilientStore {
             })??;
         }
         Ok(len)
+    }
+
+    /// Save a whole place's snapshot entries at once: local inserts for
+    /// every pair, then **one** batched backup transfer carrying the entire
+    /// frame to `backup` — a single `at` round trip where the per-pair path
+    /// pays one per key. Must be called from a task running at the owning
+    /// place. Returns the total payload size.
+    ///
+    /// Semantically identical to calling [`save_pair`](Self::save_pair) per
+    /// entry (the `checkpoint_parity` CI step enforces this bit-for-bit);
+    /// only the transport differs. With batching disabled
+    /// ([`make_with_batching`](Self::make_with_batching)) it *is* that loop.
+    ///
+    /// While ship deferral is active (the two-phase checkpoint pipeline in
+    /// `AppResilientStore`), the backup transfer is queued as a
+    /// [`ShipOrder`] instead of executed inline; the dead-backup fail-fast
+    /// below still applies, so capture-time saves surface a backup that was
+    /// already dead exactly like the per-pair path does.
+    pub fn save_batch(
+        &self,
+        ctx: &Ctx,
+        snap_id: u64,
+        entries: Vec<(u64, Bytes)>,
+        backup: Place,
+    ) -> GmlResult<usize> {
+        let total: usize = entries.iter().map(|(_, v)| v.len()).sum();
+        let _span = ctx.trace_span(SpanKind::StoreSaveBatch, total as u64);
+        if !self.batched {
+            // Reference path: B sequential per-pair round trips.
+            for (key, value) in entries {
+                self.save_pair(ctx, snap_id, key, value, backup)?;
+            }
+            return Ok(total);
+        }
+        let shard = self.shard(ctx)?;
+        for (key, value) in &entries {
+            // Owner copies: refcount bumps only, as in `save_pair`.
+            shard.insert(snap_id, *key, value.clone());
+        }
+        if self.redundant && backup != ctx.here() && !entries.is_empty() {
+            // Fail fast on a backup that is already dead, so the enclosing
+            // checkpoint aborts at save time (atomic cancel) rather than at
+            // the ship barrier. A death *after* this check is caught by the
+            // transfer itself.
+            if !ctx.is_alive(backup) {
+                return Err(GmlError::from(apgas::ApgasError::DeadPlace(
+                    apgas::DeadPlaceException::new(backup, "backup died before batch ship"),
+                )));
+            }
+            if self.ships.defer.load(Ordering::Acquire) {
+                self.ships.queue.lock().push(ShipOrder {
+                    snap_id,
+                    owner: ctx.here(),
+                    backup,
+                    keys: entries.iter().map(|(k, _)| *k).collect(),
+                    total,
+                });
+            } else {
+                self.ship_entries(ctx, snap_id, entries, backup)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// The batched backup transfer: one `at` to `backup` carrying the whole
+    /// frame of `(key, payload)` pairs. Runs at the owning place.
+    fn ship_entries(
+        &self,
+        ctx: &Ctx,
+        snap_id: u64,
+        entries: Vec<(u64, Bytes)>,
+        backup: Place,
+    ) -> GmlResult<()> {
+        let total: usize = entries.iter().map(|(_, v)| v.len()).sum();
+        let store = self.clone();
+        ctx.record_bytes(total);
+        ctx.at(backup, move |ctx| -> GmlResult<()> {
+            let shard = store.shard(ctx)?;
+            for (key, value) in entries {
+                // One-honest-copy invariant, per entry: batching collapses B
+                // round trips into one, but each entry still costs exactly
+                // one physical copy, made here at the receiving place — the
+                // backup must not share the owner's allocation, or `kill`
+                // would not model memory loss. This is the only wire copy
+                // on the batched save path.
+                let owned = Bytes::copy_from_slice(&value);
+                ctx.record_bytes_received(owned.len());
+                shard.insert(snap_id, key, owned);
+            }
+            Ok(())
+        })??;
+        Ok(())
+    }
+
+    /// Start queueing backup transfers instead of executing them inline
+    /// (capture phase of the two-phase checkpoint).
+    pub(crate) fn begin_deferred_ships(&self) {
+        self.ships.defer.store(true, Ordering::Release);
+    }
+
+    /// Stop queueing and take every order accumulated since
+    /// [`begin_deferred_ships`](Self::begin_deferred_ships).
+    pub(crate) fn take_deferred_ships(&self) -> Vec<ShipOrder> {
+        self.ships.defer.store(false, Ordering::Release);
+        std::mem::take(&mut *self.ships.queue.lock())
+    }
+
+    /// Execute one deferred backup transfer: re-read the captured payloads
+    /// from the owner's shard and run the batched ship. Callable from any
+    /// place (the checkpoint pipeline runs it from a driver-side helper
+    /// thread while the next iteration computes).
+    pub(crate) fn execute_ship(&self, ctx: &Ctx, order: ShipOrder) -> GmlResult<()> {
+        let _span = ctx.trace_span(SpanKind::CkptShip, order.total as u64);
+        let store = self.clone();
+        ctx.at(order.owner, move |ctx| -> GmlResult<()> {
+            let shard = store.shard(ctx)?;
+            let entries: Vec<(u64, Bytes)> = order
+                .keys
+                .iter()
+                // A missing key means the snapshot was cancelled between
+                // capture and ship; the order is stale and skipping is the
+                // correct quiet outcome.
+                .filter_map(|&k| shard.get(order.snap_id, k).map(|v| (k, v)))
+                .collect();
+            store.ship_entries(ctx, order.snap_id, entries, order.backup)
+        })??;
+        Ok(())
     }
 
     /// Fetch an entry from wherever it survives: this place's shard first,
@@ -694,6 +884,101 @@ mod tests {
             assert_eq!(audit.fully_redundant, 1, "both copies exist...");
             assert_eq!(audit.placement_violations, 1, "...but the backup is misplaced");
             assert!(!audit.invariant_ok());
+        });
+    }
+
+    #[test]
+    fn save_batch_ships_once_and_accounts_every_byte() {
+        with_store(2, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let before = ctx.stats();
+            let entries: Vec<(u64, Bytes)> =
+                (0..8u64).map(|k| (k, Bytes::from(vec![k as u8; 128]))).collect();
+            let total = store.save_batch(ctx, sid, entries, Place::new(1)).unwrap();
+            assert_eq!(total, 8 * 128);
+            let after = ctx.stats();
+            assert_eq!(after.bytes_shipped - before.bytes_shipped, 8 * 128);
+            assert_eq!(after.bytes_received - before.bytes_received, 8 * 128);
+            // One batched round trip, not eight.
+            assert_eq!(after.at_calls - before.at_calls, 1, "a batch is one `at`");
+            for k in 0..8u64 {
+                let got = store.fetch(ctx, sid, k, Place::ZERO, Place::new(1)).unwrap();
+                assert_eq!(got, Bytes::from(vec![k as u8; 128]));
+            }
+        });
+    }
+
+    #[test]
+    fn save_batch_backup_survives_owner_failure() {
+        with_store(3, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            let s2 = store.clone();
+            ctx.at(Place::new(1), move |ctx| {
+                let entries = vec![
+                    (0u64, Bytes::from_static(b"alpha")),
+                    (1u64, Bytes::from_static(b"beta")),
+                ];
+                s2.save_batch(ctx, sid, entries, Place::new(2)).unwrap();
+            })
+            .unwrap();
+            ctx.kill_place(Place::new(1)).unwrap();
+            let got = store.fetch(ctx, sid, 1, Place::new(1), Place::new(2)).unwrap();
+            assert_eq!(got, Bytes::from_static(b"beta"));
+        });
+    }
+
+    #[test]
+    fn save_batch_fails_fast_when_backup_is_dead() {
+        with_store(3, 0, |ctx, store| {
+            ctx.kill_place(Place::new(2)).unwrap();
+            let sid = store.fresh_snap_id();
+            let err = store
+                .save_batch(ctx, sid, vec![(0, Bytes::from_static(b"x"))], Place::new(2))
+                .unwrap_err();
+            assert!(err.is_recoverable(), "dead backup is a recoverable failure: {err}");
+        });
+    }
+
+    #[test]
+    fn unbatched_store_takes_the_per_pair_reference_path() {
+        Runtime::run(RuntimeConfig::new(2).resilient(true), |ctx| {
+            let store = ResilientStore::make_with_batching(ctx, false).unwrap();
+            assert!(!store.is_batched());
+            let sid = store.fresh_snap_id();
+            let before = ctx.stats();
+            let entries: Vec<(u64, Bytes)> =
+                (0..4u64).map(|k| (k, Bytes::from(vec![k as u8; 32]))).collect();
+            store.save_batch(ctx, sid, entries, Place::new(1)).unwrap();
+            let after = ctx.stats();
+            // Same bytes, but one round trip per pair.
+            assert_eq!(after.bytes_shipped - before.bytes_shipped, 4 * 32);
+            assert_eq!(after.at_calls - before.at_calls, 4, "reference path is per-pair");
+            for k in 0..4u64 {
+                assert!(store.fetch(ctx, sid, k, Place::ZERO, Place::new(1)).is_ok());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deferred_ships_queue_then_execute() {
+        with_store(2, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            store.begin_deferred_ships();
+            let before = ctx.stats().bytes_shipped;
+            store
+                .save_batch(ctx, sid, vec![(0, Bytes::from(vec![9u8; 256]))], Place::new(1))
+                .unwrap();
+            // Capture inserted the owner copy but shipped nothing yet.
+            assert_eq!(ctx.stats().bytes_shipped - before, 0, "ship deferred");
+            assert_eq!(store.entries_at(ctx, Place::new(1)).unwrap(), 0);
+            let orders = store.take_deferred_ships();
+            assert_eq!(orders.len(), 1);
+            for order in orders {
+                store.execute_ship(ctx, order).unwrap();
+            }
+            assert_eq!(ctx.stats().bytes_shipped - before, 256, "ship ran");
+            assert_eq!(store.entries_at(ctx, Place::new(1)).unwrap(), 1);
         });
     }
 
