@@ -29,22 +29,34 @@ echo "== forensics smoke =="
 # built-in JSON parser — one bundle per restore, in memory and on disk.
 cargo run --release -p gml-bench --bin forensics_smoke
 
-echo "== kernel parity (GML_WORKERS=1 vs 4) =="
+echo "== kernel parity (GML_WORKERS=1 vs 4 vs 8) =="
 # The pool's determinism guarantee, enforced: the same kernels on the same
 # seeded inputs must be bit-identical at every worker count. kernel_parity
 # prints one FNV hash per kernel; the worker count is read once per
-# process, so we run it twice and diff. The kernel property tests (which
-# include in-process serial_scope parity) run at both widths too.
+# process, so we run it per width and diff every dump against workers=1.
+# The kernel property tests (which include in-process serial_scope parity)
+# and the blocked-vs-reference suite run at all three widths too.
 PARITY_DIR="$(mktemp -d -t gml_parity_XXXXXX)"
 trap 'rm -f "$TRACE_JSON"; rm -rf "$PARITY_DIR"' EXIT
-GML_WORKERS=1 cargo run --release -p gml-bench --bin kernel_parity \
-    | grep -v '^workers' > "$PARITY_DIR/w1.txt"
-GML_WORKERS=4 cargo run --release -p gml-bench --bin kernel_parity \
-    | grep -v '^workers' > "$PARITY_DIR/w4.txt"
-diff "$PARITY_DIR/w1.txt" "$PARITY_DIR/w4.txt" \
-    || { echo "kernel parity: outputs differ between worker counts"; exit 1; }
-GML_WORKERS=1 cargo test -q -p gml-matrix --test kernel_properties > /dev/null
-GML_WORKERS=4 cargo test -q -p gml-matrix --test kernel_properties > /dev/null
+for W in 1 4 8; do
+    GML_WORKERS=$W cargo run --release -p gml-bench --bin kernel_parity \
+        | grep -v '^workers' > "$PARITY_DIR/w$W.txt"
+done
+for W in 4 8; do
+    diff "$PARITY_DIR/w1.txt" "$PARITY_DIR/w$W.txt" \
+        || { echo "kernel parity: workers=1 vs workers=$W dumps differ"; exit 1; }
+done
+for W in 1 4 8; do
+    GML_WORKERS=$W cargo test -q -p gml-matrix --test kernel_properties > /dev/null
+    GML_WORKERS=$W cargo test -q -p gml-matrix --test blocked_vs_reference > /dev/null
+done
+
+echo "== kernel reference (blocked vs scalar twins) =="
+# Every rewritten kernel against its *_reference scalar twin on large
+# fixed-seed inputs: element-wise relative error must stay within 1e-10
+# (transpose bit-for-bit). Catches packing/indexing bugs that tolerance-free
+# parity hashing cannot see.
+cargo run --release -p gml-bench --bin kernel_reference
 
 echo "== checkpoint parity (save_batch vs save_pair) =="
 # The batched checkpoint transport must be observationally identical to the

@@ -218,6 +218,29 @@ pub fn chunk_range(len: usize, n_chunks: usize, chunk: usize) -> Range<usize> {
     start..end
 }
 
+/// [`chunk_count`] over granule-sized units: the number of chunks when
+/// `len` items are split on multiples of `granule` (the blocked kernels
+/// chunk on register-tile boundaries so no packed tile straddles two
+/// chunks). Like every chunk policy, a pure function of the sizes only.
+pub fn chunk_count_granular(len: usize, min_chunk: usize, granule: usize) -> usize {
+    let g = granule.max(1);
+    chunk_count(len.div_ceil(g), min_chunk.div_ceil(g))
+}
+
+/// [`chunk_range`] companion of [`chunk_count_granular`]: every boundary is
+/// a multiple of `granule` except the final end, which is clipped to `len`.
+/// The ranges partition `0..len` in ascending order.
+pub fn chunk_range_granular(
+    len: usize,
+    n_chunks: usize,
+    chunk: usize,
+    granule: usize,
+) -> Range<usize> {
+    let g = granule.max(1);
+    let units = chunk_range(len.div_ceil(g), n_chunks, chunk);
+    (units.start * g).min(len)..(units.end * g).min(len)
+}
+
 // ---------------------------------------------------------------------------
 // Core execution
 // ---------------------------------------------------------------------------
@@ -497,6 +520,33 @@ mod tests {
         assert_eq!(chunk_count(2048, 1024), 2);
         assert_eq!(chunk_count(1, 1024), 1);
         assert_eq!(chunk_count(0, 1024), 1);
+    }
+
+    #[test]
+    fn granular_ranges_partition_on_tile_boundaries() {
+        for len in [0usize, 1, 3, 4, 63, 64, 65, 511, 512, 12345] {
+            for granule in [1usize, 4, 8, 32] {
+                for min in [1usize, 8, 100] {
+                    let n = chunk_count_granular(len, min, granule);
+                    assert!((1..=MAX_CHUNKS).contains(&n));
+                    let mut next = 0;
+                    for i in 0..n {
+                        let r = chunk_range_granular(len, n, i, granule);
+                        assert_eq!(r.start, next, "contiguous at len={len} g={granule}");
+                        assert!(
+                            r.start % granule == 0,
+                            "start aligned at len={len} g={granule}"
+                        );
+                        assert!(
+                            r.end % granule == 0 || r.end == len,
+                            "end aligned or final at len={len} g={granule}"
+                        );
+                        next = r.end;
+                    }
+                    assert_eq!(next, len, "granular ranges cover 0..len");
+                }
+            }
+        }
     }
 
     #[test]

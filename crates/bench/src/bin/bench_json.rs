@@ -96,8 +96,12 @@ fn run_kernels(c: &mut Criterion) {
             pool::serial_scope(|| a.spmv(1.0, black_box(x.as_slice()), 0.0, black_box(&mut y)))
         })
     });
+    g.bench_function(format!("spmv_1m_nnz{}_reference", a.nnz()), |b| {
+        b.iter(|| a.spmv_reference(1.0, black_box(x.as_slice()), 0.0, black_box(&mut y)))
+    });
 
-    // Dense GEMM at 512^3.
+    // Dense GEMM at 512^3: blocked pooled, blocked forced-serial, and the
+    // scalar reference twin (the blocked-vs-reference ratio is the headline).
     g.sample_size(5);
     let da = builder::random_dense(512, 512, 23);
     let db = builder::random_dense(512, 512, 24);
@@ -108,6 +112,41 @@ fn run_kernels(c: &mut Criterion) {
     g.bench_function("gemm_512_serial", |b| {
         b.iter(|| pool::serial_scope(|| da.gemm(1.0, black_box(&db), 0.0, black_box(&mut dc))))
     });
+    g.bench_function("gemm_512_reference", |b| {
+        b.iter(|| da.gemm_reference(1.0, black_box(&db), 0.0, black_box(&mut dc)))
+    });
+
+    // Gram kernel: tall-skinny AᵀB accumulate, the NMF inner-product shape.
+    let ta = builder::random_dense(100_000, 32, 27);
+    let tb = builder::random_dense(100_000, 32, 28);
+    let mut tc = DenseMatrix::zeros(32, 32);
+    g.bench_function("gemm_tn_acc_100k_32_blocked", |b| {
+        b.iter(|| ta.gemm_tn_acc(black_box(&tb), black_box(&mut tc)))
+    });
+    g.bench_function("gemm_tn_acc_100k_32_reference", |b| {
+        b.iter(|| ta.gemm_tn_acc_reference(black_box(&tb), black_box(&mut tc)))
+    });
+
+    // Register-blocked GEMV at 2048^2 (memory-bandwidth-bound).
+    g.sample_size(20);
+    let ga = builder::random_dense(2048, 2048, 29);
+    let gx = builder::random_vector(2048, 30);
+    let mut gy = vec![0.0; 2048];
+    g.bench_function("gemv_2048_blocked", |b| {
+        b.iter(|| ga.gemv(1.0, black_box(gx.as_slice()), 0.0, black_box(&mut gy)))
+    });
+    g.bench_function("gemv_2048_reference", |b| {
+        b.iter(|| ga.gemv_reference(1.0, black_box(gx.as_slice()), 0.0, black_box(&mut gy)))
+    });
+
+    // Cache-blocked transpose at 1024^2 (allocates the output each pass,
+    // same as the reference — the ratio isolates the access pattern).
+    g.sample_size(10);
+    let tra = builder::random_dense(1024, 1024, 33);
+    g.bench_function("transpose_1024_blocked", |b| b.iter(|| black_box(tra.transpose())));
+    g.bench_function("transpose_1024_reference", |b| {
+        b.iter(|| black_box(tra.transpose_reference()))
+    });
 
     // Vector reduction (dot, 1M) — latency-bound, the hardest to speed up.
     g.sample_size(20);
@@ -116,6 +155,21 @@ fn run_kernels(c: &mut Criterion) {
     g.bench_function("dot_1m_pooled", |b| b.iter(|| black_box(v.dot(&w))));
     g.bench_function("dot_1m_serial", |b| {
         b.iter(|| pool::serial_scope(|| black_box(v.dot(&w))))
+    });
+    g.bench_function("dot_1m_reference", |b| b.iter(|| black_box(v.dot_reference(&w))));
+
+    // axpy at 1M: streaming update (alpha tiny so the vector stays bounded
+    // across however many iterations the sampler runs).
+    let mut av = builder::random_vector(1_000_000, 34);
+    g.bench_function("axpy_1m_blocked", |b| {
+        b.iter(|| {
+            av.axpy(1e-9, black_box(&w));
+        })
+    });
+    g.bench_function("axpy_1m_reference", |b| {
+        b.iter(|| {
+            av.axpy_reference(1e-9, black_box(&w));
+        })
     });
     g.finish();
 }
@@ -343,6 +397,43 @@ fn main() {
     }
     push_speedup(&mut json, &kernel, "gemm_speedup_512", "gemm_512_pooled", "gemm_512_serial");
     push_speedup(&mut json, &kernel, "dot_speedup_1m", "dot_1m_pooled", "dot_1m_serial");
+    // Blocked-vs-reference ratios: the win from tiling/packing/SIMD alone,
+    // independent of the pool (reference twins are always serial).
+    let spmv_reference =
+        kernel.iter().find(|r| r.name.contains("spmv") && r.name.ends_with("_reference"));
+    if let (Some(p), Some(r)) = (spmv_pooled, spmv_reference) {
+        json.push_str(&format!(",\n  \"spmv_1m_blocked_vs_reference\": {:.2}", r.mean_ns / p.mean_ns));
+    }
+    push_speedup(
+        &mut json,
+        &kernel,
+        "gemm_512_blocked_vs_reference",
+        "gemm_512_pooled",
+        "gemm_512_reference",
+    );
+    push_speedup(
+        &mut json,
+        &kernel,
+        "gemm_tn_acc_100k_32_blocked_vs_reference",
+        "gemm_tn_acc_100k_32_blocked",
+        "gemm_tn_acc_100k_32_reference",
+    );
+    push_speedup(
+        &mut json,
+        &kernel,
+        "gemv_2048_blocked_vs_reference",
+        "gemv_2048_blocked",
+        "gemv_2048_reference",
+    );
+    push_speedup(
+        &mut json,
+        &kernel,
+        "transpose_1024_blocked_vs_reference",
+        "transpose_1024_blocked",
+        "transpose_1024_reference",
+    );
+    push_speedup(&mut json, &kernel, "dot_1m_blocked_vs_reference", "dot_1m_pooled", "dot_1m_reference");
+    push_speedup(&mut json, &kernel, "axpy_1m_blocked_vs_reference", "axpy_1m_blocked", "axpy_1m_reference");
     json.push_str("\n}\n");
     write_file("BENCH_kernel_throughput.json", &json);
 

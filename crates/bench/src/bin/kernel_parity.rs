@@ -81,6 +81,18 @@ fn main() {
     ga.gemm_tn_acc(&gb, &mut gc);
     report("gemm_tn_acc", gc.as_slice());
 
+    // Packed-panel gemm with K crossing the KC = 256 cache block and no
+    // dimension a multiple of any tile size — exercises the pack-once-A /
+    // per-chunk-B path across several NR-aligned column chunks.
+    let ka = builder::random_dense(130, 517, 113);
+    let kb = builder::random_dense(517, 93, 114);
+    let mut kc = DenseMatrix::from_vec(130, 93, vec![1.0; 130 * 93]);
+    ka.gemm(1.1, &kb, 0.5, &mut kc);
+    report("gemm_kc_cross", kc.as_slice());
+
+    // Cache-blocked transpose (pure data movement — hash pins stability).
+    report("transpose", ka.transpose().as_slice());
+
     // Vector reductions — scalars hashed as 1-element slices.
     let v = builder::random_vector(300_000, 111);
     let w = builder::random_vector(300_000, 112);

@@ -1,0 +1,126 @@
+//! Blocked-vs-reference oracle: runs every rewritten kernel and its scalar
+//! `*_reference` twin on large fixed-seed inputs and checks the outputs agree
+//! element-wise within a relative tolerance. The blocked kernels reassociate
+//! sums (tiles, SIMD lanes, fused multiply-add), so exact bit equality is not
+//! expected — but any indexing or packing bug shows up as a large relative
+//! error here long before it would show up as a wrong solver answer.
+//!
+//! Prints the max relative error per kernel and exits nonzero if any exceeds
+//! the tolerance. Transpose is pure data movement and is compared bit-for-bit.
+//!
+//! Usage: `cargo run --release -p gml-bench --bin kernel_reference`
+
+use gml_matrix::{builder, DenseMatrix};
+
+/// |a - b| <= TOL * (1 + |b|): absolute near zero, relative for large values.
+const TOL: f64 = 1e-10;
+
+fn max_rel_err(name: &str, got: &[f64], want: &[f64]) -> f64 {
+    assert_eq!(got.len(), want.len(), "{name}: length mismatch");
+    let mut worst = 0.0f64;
+    for (&g, &w) in got.iter().zip(want) {
+        assert!(
+            g.is_finite() && w.is_finite(),
+            "{name}: non-finite output (got {g}, want {w})"
+        );
+        let rel = (g - w).abs() / (1.0 + w.abs());
+        if rel > worst {
+            worst = rel;
+        }
+    }
+    worst
+}
+
+fn main() {
+    let mut failures = 0usize;
+    let mut check = |name: &str, got: &[f64], want: &[f64]| {
+        let err = max_rel_err(name, got, want);
+        let ok = err <= TOL;
+        println!(
+            "{name:<24} max_rel_err {err:.3e}  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // gemm: K crosses KC = 256, nothing tile-aligned, beta combine with prior.
+    let a = builder::random_dense(300, 517, 201);
+    let b = builder::random_dense(517, 259, 202);
+    let mut c = DenseMatrix::from_vec(300, 259, vec![0.5; 300 * 259]);
+    let mut c_ref = c.clone();
+    a.gemm(1.25, &b, 0.75, &mut c);
+    a.gemm_reference(1.25, &b, 0.75, &mut c_ref);
+    check("gemm", c.as_slice(), c_ref.as_slice());
+
+    // gemm_tn_acc: tall-skinny Gram-style accumulation into a nonzero prior.
+    let ta = builder::random_dense(100_000, 21, 203);
+    let tb = builder::random_dense(100_000, 13, 204);
+    let mut tc = DenseMatrix::from_vec(21, 13, vec![0.25; 21 * 13]);
+    let mut tc_ref = tc.clone();
+    ta.gemm_tn_acc(&tb, &mut tc);
+    ta.gemm_tn_acc_reference(&tb, &mut tc_ref);
+    check("gemm_tn_acc", tc.as_slice(), tc_ref.as_slice());
+
+    // gemv / gemv_trans: column count not a multiple of the 4-column pass.
+    let g = builder::random_dense(10_000, 257, 205);
+    let gx = builder::random_vector(257, 206);
+    let gxt = builder::random_vector(10_000, 207);
+    let mut gy = vec![1.0; 10_000];
+    let mut gy_ref = gy.clone();
+    g.gemv(1.1, gx.as_slice(), 0.25, &mut gy);
+    g.gemv_reference(1.1, gx.as_slice(), 0.25, &mut gy_ref);
+    check("gemv", &gy, &gy_ref);
+
+    let mut gt = vec![1.0; 257];
+    let mut gt_ref = gt.clone();
+    g.gemv_trans(1.1, gxt.as_slice(), 0.25, &mut gt);
+    g.gemv_trans_reference(1.1, gxt.as_slice(), 0.25, &mut gt_ref);
+    check("gemv_trans", &gt, &gt_ref);
+
+    // spmv: unrolled CSR row accumulation vs the scalar gather.
+    let s = builder::random_csr(40_000, 30_000, 4, 208);
+    let sx = builder::random_vector(30_000, 209);
+    let mut sy = vec![1.0; 40_000];
+    let mut sy_ref = sy.clone();
+    s.spmv(1.5, sx.as_slice(), 0.5, &mut sy);
+    s.spmv_reference(1.5, sx.as_slice(), 0.5, &mut sy_ref);
+    check("spmv", &sy, &sy_ref);
+
+    // Vector kernels at a size well past every chunking threshold.
+    let v = builder::random_vector(1_000_000, 210);
+    let w = builder::random_vector(1_000_000, 211);
+    check("dot", &[v.dot(&w)], &[v.dot_reference(&w)]);
+    check("norm2_sq", &[v.norm2_sq()], &[v.norm2_sq_reference()]);
+    check("sum", &[v.sum()], &[v.sum_reference()]);
+    let mut z = v.clone();
+    let mut z_ref = v.clone();
+    z.axpy(0.75, &w);
+    z_ref.axpy_reference(0.75, &w);
+    check("axpy", z.as_slice(), z_ref.as_slice());
+
+    // Transpose moves bits without arithmetic — exact equality required.
+    let t = builder::random_dense(1_000, 517, 212);
+    let blocked = t.transpose();
+    let reference = t.transpose_reference();
+    let bit_equal = blocked
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    println!(
+        "{:<24} bitwise {}",
+        "transpose",
+        if bit_equal { "ok" } else { "FAIL" }
+    );
+    if !bit_equal {
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("kernel_reference: {failures} kernel(s) exceeded tolerance");
+        std::process::exit(1);
+    }
+    println!("kernel_reference: all blocked kernels within {TOL:.0e} of reference");
+}

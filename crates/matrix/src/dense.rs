@@ -1,15 +1,43 @@
 //! Column-major dense matrix (`x10.matrix.DenseMatrix`).
 //!
 //! The BLAS-shaped kernels (`gemv`/`gemv_trans`/`gemm`/`gemm_tn_acc`) fan
-//! out onto [`apgas::pool`] over disjoint output chunks; see the crate docs
-//! for the determinism and finite-values contracts.
+//! out onto [`apgas::pool`] over disjoint output chunks and run the
+//! cache-blocked/register-blocked inner loops from `crate::microkernel`
+//! inside each chunk; see the crate docs and DESIGN.md §3.10 for the
+//! determinism and finite-values contracts. Each blocked kernel keeps a
+//! `*_reference` scalar twin (the historical serial loop) as the numeric
+//! oracle for the property tests and the `kernel_reference` CI bin.
 
 use apgas::pool;
 use apgas::serial::{read_f64_vec, write_f64_slice, Serial};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::microkernel::{self, GEMV_COLS, KC, MR, NR};
+use crate::tile;
 use crate::vector::Vector;
 use crate::{apply_beta, beta_combine, debug_check_finite, min_chunk_items};
+
+/// Stream one packed A block (`MR`-row strips) against one packed B panel
+/// (`NR`-column strips) through the register microkernel, accumulating into
+/// the column-major chunk `sub` (`m` rows × `nc` columns). Shared by
+/// [`DenseMatrix::gemm`] and [`DenseMatrix::gemm_tn_acc`].
+fn microkernel_block(pa_block: &[f64], pb_panel: &[f64], kb: usize, m: usize, nc: usize, sub: &mut [f64]) {
+    for (t, pbs) in pb_panel.chunks_exact(kb * NR).enumerate() {
+        let j0 = t * NR;
+        let jw = (nc - j0).min(NR);
+        for (s, pas) in pa_block.chunks_exact(kb * MR).enumerate() {
+            let i0 = s * MR;
+            let iw = (m - i0).min(MR);
+            let acc = microkernel::gemm_mr_nr(pas, pbs);
+            for (jj, accj) in acc.iter().enumerate().take(jw) {
+                let cj = &mut sub[(j0 + jj) * m + i0..][..iw];
+                for (cv, &av) in cj.iter_mut().zip(accj) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
 
 /// A dense matrix in column-major (Fortran/BLAS) storage.
 #[derive(Clone, Debug, PartialEq)]
@@ -125,94 +153,237 @@ impl DenseMatrix {
         self
     }
 
-    /// `y = alpha * A * x + beta * y` (`beta == 0` assigns, BLAS-style).
-    /// Column-sweep order for cache-friendly access to the column-major
-    /// payload; row chunks of `y` fan out onto the compute pool, each chunk
-    /// replaying the exact serial column sweep over its rows.
+    /// `y = alpha * A * x + beta * y` (`beta == 0` assigns, BLAS-style;
+    /// `alpha == 0` reads neither `A` nor `x`). Register-blocked column
+    /// sweep: four columns per pass with a fixed per-element multiply-add
+    /// chain, remaining columns via single-column `axpy`. Row chunks of `y`
+    /// fan out onto the compute pool; the column grouping depends only on
+    /// the matrix shape, so worker-count parity is untouched.
     pub fn gemv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "gemv: x length != cols");
         assert_eq!(y.len(), self.rows, "gemv: y length != rows");
         debug_check_finite("gemv: A", &self.data);
         debug_check_finite("gemv: x", x);
-        let n = pool::chunk_count(self.rows, min_chunk_items(self.cols));
+        if alpha == 0.0 || self.cols == 0 {
+            apply_beta(beta, y);
+            return;
+        }
+        // Floor the band height: a chunk walks a `band × cols` strip of the
+        // column-major matrix, so narrow bands turn every column into a
+        // sub-cache-line strided touch and starve the prefetcher. 1024 rows
+        // keeps each per-column segment ≥ 8 KiB of contiguous reads. Pure
+        // function of the shape — and per-row results don't depend on the
+        // band split at all, so chunking changes can't change bits.
+        const GEMV_BAND_MIN_ROWS: usize = 1024;
+        let n = pool::chunk_count(self.rows, min_chunk_items(self.cols).max(GEMV_BAND_MIN_ROWS));
         let rows = self.rows;
+        let groups = self.cols - self.cols % GEMV_COLS;
         pool::run_split(y, n, |i| pool::chunk_range(rows, n, i), |i, sub| {
             let r = pool::chunk_range(rows, n, i);
             apply_beta(beta, sub);
-            for (j, &xj) in x.iter().enumerate() {
-                let axj = alpha * xj;
-                if axj == 0.0 {
-                    continue;
-                }
-                let col = &self.col(j)[r.start..r.end];
-                for (yi, aij) in sub.iter_mut().zip(col) {
-                    *yi += axj * *aij;
-                }
+            let mut j = 0;
+            while j < groups {
+                let coef: [f64; GEMV_COLS] = std::array::from_fn(|l| alpha * x[j + l]);
+                let cols: [&[f64]; GEMV_COLS] =
+                    std::array::from_fn(|l| &self.col(j + l)[r.start..r.end]);
+                microkernel::gemv_4col(&coef, cols, sub);
+                j += GEMV_COLS;
+            }
+            for (jj, &xj) in x.iter().enumerate().skip(groups) {
+                microkernel::axpy(alpha * xj, &self.col(jj)[r.start..r.end], sub);
             }
         });
     }
 
-    /// `y = alpha * Aᵀ * x + beta * y` (`beta == 0` assigns, BLAS-style).
-    /// Each output element is an independent column dot product, so column
-    /// chunks of `y` fan out onto the compute pool bit-identically.
+    /// Scalar reference twin of [`gemv`]: the historical serial column
+    /// sweep, with the zero skip keyed on the raw entry (`x[j] == 0.0`
+    /// skips the column, suppressing IEEE propagation from non-finite `A`
+    /// entries — see the crate docs). The blocked kernel may differ from
+    /// this oracle in final ULPs; `kernel_reference` CI bounds the drift.
+    pub fn gemv_reference(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "gemv: x length != cols");
+        assert_eq!(y.len(), self.rows, "gemv: y length != rows");
+        apply_beta(beta, y);
+        if alpha == 0.0 {
+            return;
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let axj = alpha * xj;
+            for (yi, aij) in y.iter_mut().zip(self.col(j)) {
+                *yi += axj * *aij;
+            }
+        }
+    }
+
+    /// `y = alpha * Aᵀ * x + beta * y` (`beta == 0` assigns, BLAS-style;
+    /// `alpha == 0` reads neither `A` nor `x`). Each output element is an
+    /// independent column dot product; four columns are dotted per pass
+    /// (sharing the `x` loads) with per-column lane structure identical to
+    /// the single-column kernel, so neither grouping nor the pool's column
+    /// chunking changes any output bit.
     pub fn gemv_trans(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "gemv_trans: x length != rows");
         assert_eq!(y.len(), self.cols, "gemv_trans: y length != cols");
         debug_check_finite("gemv_trans: A", &self.data);
         debug_check_finite("gemv_trans: x", x);
+        if alpha == 0.0 || self.rows == 0 {
+            apply_beta(beta, y);
+            return;
+        }
         let n = pool::chunk_count(self.cols, min_chunk_items(self.rows));
         let cols = self.cols;
         pool::run_split(y, n, |i| pool::chunk_range(cols, n, i), |i, sub| {
             let r = pool::chunk_range(cols, n, i);
-            for (dj, yj) in sub.iter_mut().enumerate() {
-                let col = self.col(r.start + dj);
-                let dot: f64 = col.iter().zip(x).map(|(a, b)| a * b).sum();
+            let mut dj = 0;
+            while dj + GEMV_COLS <= sub.len() {
+                let quad: [&[f64]; GEMV_COLS] =
+                    std::array::from_fn(|l| self.col(r.start + dj + l));
+                let dots = microkernel::dot4_cols(quad, x);
+                for (yj, &d) in sub[dj..dj + GEMV_COLS].iter_mut().zip(&dots) {
+                    *yj = beta_combine(beta, *yj, alpha * d);
+                }
+                dj += GEMV_COLS;
+            }
+            for (yj, jcol) in sub[dj..].iter_mut().zip(r.start + dj..r.end) {
+                let dot = microkernel::dot4(self.col(jcol), x);
                 *yj = beta_combine(beta, *yj, alpha * dot);
             }
         });
     }
 
-    /// `C = alpha * A * B + beta * C` (`beta == 0` assigns, BLAS-style).
-    /// Naive jik triple loop; whole columns of `C` are independent and
-    /// contiguous in the column-major payload, so column chunks fan out
-    /// onto the compute pool with each column computed exactly serially.
+    /// Scalar reference twin of [`gemv_trans`]: the historical serial
+    /// per-column scalar dot.
+    pub fn gemv_trans_reference(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "gemv_trans: x length != rows");
+        assert_eq!(y.len(), self.cols, "gemv_trans: y length != cols");
+        if alpha == 0.0 {
+            apply_beta(beta, y);
+            return;
+        }
+        for (j, yj) in y.iter_mut().enumerate() {
+            let dot: f64 = self.col(j).iter().zip(x).map(|(a, b)| a * b).sum();
+            *yj = beta_combine(beta, *yj, alpha * dot);
+        }
+    }
+
+    /// `C = alpha * A * B + beta * C` (`beta == 0` assigns, BLAS-style;
+    /// `alpha == 0` reads neither `A` nor `B`). Packed-panel cache
+    /// blocking: A is packed once into `MR`-row strips shared read-only by
+    /// every chunk; each column chunk packs its own alpha-folded
+    /// `NR`-column B panels per `KC` K-block (buffers rented from the tile
+    /// pool) and streams them through the register microkernel. Column
+    /// chunks fan out onto the compute pool on `NR`-aligned boundaries, a
+    /// pure function of the shape, so worker-count parity is untouched.
     pub fn gemm(&self, alpha: f64, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
         assert_eq!(self.cols, b.rows, "gemm inner dimension");
         assert_eq!(c.rows, self.rows, "gemm C rows");
         assert_eq!(c.cols, b.cols, "gemm C cols");
         debug_check_finite("gemm: A", &self.data);
         debug_check_finite("gemm: B", &b.data);
-        let (crows, ccols) = (c.rows, c.cols);
-        let n = pool::chunk_count(ccols, min_chunk_items(self.cols * crows));
+        let (m, kk, ccols) = (self.rows, self.cols, c.cols);
+        if alpha == 0.0 || kk == 0 {
+            apply_beta(beta, &mut c.data);
+            return;
+        }
+        if m == 0 || ccols == 0 {
+            return;
+        }
+        let strips_a = m.div_ceil(MR);
+        let mut pa = tile::rent(strips_a * MR * kk);
+        for k0 in (0..kk).step_by(KC) {
+            let kb = KC.min(kk - k0);
+            let block = &mut pa[strips_a * MR * k0..][..strips_a * MR * kb];
+            tile::pack_a_strips(&self.data, m, k0, kb, block);
+        }
+        let pa = &*pa;
+        let n = pool::chunk_count_granular(ccols, min_chunk_items(kk * m), NR);
         pool::run_split(
             &mut c.data,
             n,
             |i| {
-                let r = pool::chunk_range(ccols, n, i);
-                r.start * crows..r.end * crows
+                let r = pool::chunk_range_granular(ccols, n, i, NR);
+                r.start * m..r.end * m
             },
             |i, sub| {
-                let r = pool::chunk_range(ccols, n, i);
-                for (dj, cj) in sub.chunks_mut(crows.max(1)).enumerate() {
-                    let j = r.start + dj;
-                    apply_beta(beta, cj);
-                    for k in 0..self.cols {
-                        let abkj = alpha * b.get(k, j);
-                        if abkj == 0.0 {
-                            continue;
-                        }
-                        let ak = self.col(k);
-                        for (cij, aik) in cj.iter_mut().zip(ak) {
-                            *cij += abkj * *aik;
-                        }
-                    }
+                let r = pool::chunk_range_granular(ccols, n, i, NR);
+                let nc = r.len();
+                apply_beta(beta, sub);
+                let strips_b = nc.div_ceil(NR);
+                let mut pb = tile::rent(strips_b * NR * KC.min(kk));
+                for k0 in (0..kk).step_by(KC) {
+                    let kb = KC.min(kk - k0);
+                    let pbuf = &mut pb[..strips_b * NR * kb];
+                    tile::pack_b_strips(&b.data, kk, r.start, nc, k0, kb, alpha, pbuf);
+                    let pa_block = &pa[strips_a * MR * k0..][..strips_a * MR * kb];
+                    microkernel_block(pa_block, pbuf, kb, m, nc, sub);
                 }
             },
         );
     }
 
-    /// The transpose as a new matrix.
+    /// Scalar reference twin of [`gemm`]: the historical serial jik triple
+    /// loop, with the zero skip keyed on the raw entry (`b[k,j] == 0.0`
+    /// skips that rank-1 contribution, suppressing IEEE propagation from
+    /// non-finite `A` entries — never on the computed `alpha * b[k,j]`,
+    /// which could underflow to zero). The blocked kernel may differ from
+    /// this oracle in final ULPs; `kernel_reference` CI bounds the drift.
+    pub fn gemm_reference(&self, alpha: f64, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
+        assert_eq!(self.cols, b.rows, "gemm inner dimension");
+        assert_eq!(c.rows, self.rows, "gemm C rows");
+        assert_eq!(c.cols, b.cols, "gemm C cols");
+        let (crows, ccols) = (c.rows, c.cols);
+        if alpha == 0.0 {
+            apply_beta(beta, &mut c.data);
+            return;
+        }
+        for j in 0..ccols {
+            let cj = &mut c.data[j * crows..(j + 1) * crows];
+            apply_beta(beta, cj);
+            for k in 0..self.cols {
+                let bkj = b.get(k, j);
+                if bkj == 0.0 {
+                    continue;
+                }
+                let abkj = alpha * bkj;
+                let ak = self.col(k);
+                for (cij, aik) in cj.iter_mut().zip(ak) {
+                    *cij += abkj * *aik;
+                }
+            }
+        }
+    }
+
+    /// The transpose as a new matrix, 32×32 cache-blocked: within a tile
+    /// the source columns stay cache-resident while each output column
+    /// segment is written contiguously — replacing the strided-write
+    /// per-element `set` loop (kept as [`transpose_reference`]).
     pub fn transpose(&self) -> DenseMatrix {
+        const TB: usize = 32;
+        let (m, n) = (self.rows, self.cols);
+        let mut out = DenseMatrix::zeros(n, m);
+        for i0 in (0..m).step_by(TB) {
+            let ib = TB.min(m - i0);
+            for j0 in (0..n).step_by(TB) {
+                let jb = TB.min(n - j0);
+                for di in 0..ib {
+                    let src_row = i0 + di;
+                    let dst = &mut out.data[src_row * n + j0..][..jb];
+                    for (dj, d) in dst.iter_mut().enumerate() {
+                        *d = self.data[src_row + (j0 + dj) * m];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference twin of [`transpose`]: the per-element loop. Both produce
+    /// bit-identical output (transposition moves values, no arithmetic);
+    /// the blocked version only fixes the memory access pattern.
+    pub fn transpose_reference(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
         for j in 0..self.cols {
             for (i, &v) in self.col(j).iter().enumerate() {
@@ -224,35 +395,70 @@ impl DenseMatrix {
 
     /// `C += selfᵀ * B` where `self` is m×k, `B` is m×n and `C` is k×n —
     /// the partial-Gram product at the heart of distributed `WᵀV`/`WᵀW`.
-    /// Every `C[i,j]` is an independent column-column dot product, so
-    /// column chunks of `C` fan out onto the compute pool bit-identically.
+    /// Transpose-packs `selfᵀ` once into `MR`-row strips (contiguous reads
+    /// down A's columns) and drives the same register microkernel as
+    /// [`gemm`], accumulating K-blocks into `C` in ascending order. Column
+    /// chunks of `C` fan out onto the compute pool on `NR`-aligned
+    /// boundaries, a pure function of the shape.
     pub fn gemm_tn_acc(&self, b: &DenseMatrix, c: &mut DenseMatrix) {
         assert_eq!(self.rows, b.rows, "gemm_tn inner dimension");
         assert_eq!(c.rows, self.cols, "gemm_tn C rows");
         assert_eq!(c.cols, b.cols, "gemm_tn C cols");
         debug_check_finite("gemm_tn_acc: A", &self.data);
         debug_check_finite("gemm_tn_acc: B", &b.data);
-        let (crows, ccols) = (c.rows, c.cols);
-        let n = pool::chunk_count(ccols, min_chunk_items(self.rows * crows));
+        let (kdim, mt, ccols) = (self.rows, self.cols, c.cols);
+        if kdim == 0 || mt == 0 || ccols == 0 {
+            return;
+        }
+        let strips_a = mt.div_ceil(MR);
+        let mut pa = tile::rent(strips_a * MR * kdim);
+        for k0 in (0..kdim).step_by(KC) {
+            let kb = KC.min(kdim - k0);
+            let block = &mut pa[strips_a * MR * k0..][..strips_a * MR * kb];
+            tile::pack_at_strips(&self.data, kdim, mt, k0, kb, block);
+        }
+        let pa = &*pa;
+        let n = pool::chunk_count_granular(ccols, min_chunk_items(kdim * mt), NR);
         pool::run_split(
             &mut c.data,
             n,
             |i| {
-                let r = pool::chunk_range(ccols, n, i);
-                r.start * crows..r.end * crows
+                let r = pool::chunk_range_granular(ccols, n, i, NR);
+                r.start * mt..r.end * mt
             },
             |i, sub| {
-                let r = pool::chunk_range(ccols, n, i);
-                for (dj, cj) in sub.chunks_mut(crows.max(1)).enumerate() {
-                    let bj = b.col(r.start + dj);
-                    for (i2, cij) in cj.iter_mut().enumerate() {
-                        let ai = self.col(i2);
-                        let dot: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
-                        *cij += dot;
-                    }
+                let r = pool::chunk_range_granular(ccols, n, i, NR);
+                let nc = r.len();
+                let strips_b = nc.div_ceil(NR);
+                let mut pb = tile::rent(strips_b * NR * KC.min(kdim));
+                for k0 in (0..kdim).step_by(KC) {
+                    let kb = KC.min(kdim - k0);
+                    let pbuf = &mut pb[..strips_b * NR * kb];
+                    tile::pack_b_strips(&b.data, kdim, r.start, nc, k0, kb, 1.0, pbuf);
+                    let pa_block = &pa[strips_a * MR * k0..][..strips_a * MR * kb];
+                    microkernel_block(pa_block, pbuf, kb, mt, nc, sub);
                 }
             },
         );
+    }
+
+    /// Scalar reference twin of [`gemm_tn_acc`]: the historical serial
+    /// column-column dot loops, each `C[i,j]` accumulated as one complete
+    /// dot product added to the prior value.
+    pub fn gemm_tn_acc_reference(&self, b: &DenseMatrix, c: &mut DenseMatrix) {
+        assert_eq!(self.rows, b.rows, "gemm_tn inner dimension");
+        assert_eq!(c.rows, self.cols, "gemm_tn C rows");
+        assert_eq!(c.cols, b.cols, "gemm_tn C cols");
+        let crows = c.rows;
+        for j in 0..c.cols {
+            let cj = &mut c.data[j * crows..(j + 1) * crows];
+            let bj = b.col(j);
+            for (i2, cij) in cj.iter_mut().enumerate() {
+                let ai = self.col(i2);
+                let dot: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+                *cij += dot;
+            }
+        }
     }
 
     /// Element-wise multiply.

@@ -14,34 +14,52 @@
 //!   (`x10.matrix.distblock.BlockSet`);
 //! * deterministic random builders for benchmark workloads.
 //!
-//! # Intra-place parallelism
+//! # Intra-place parallelism and blocked kernels
 //!
 //! The hot kernels (`spmv`/`spmv_trans`/`spmm`, `gemv`/`gemv_trans`/`gemm`/
 //! `gemm_tn_acc`, vector dot/axpy/norm) fan out onto the process-wide
 //! [`apgas::pool`] compute pool. The chunking is a function of the problem
 //! size only and reductions combine partials in fixed chunk order, so
-//! results are **bit-identical for every `GML_WORKERS` setting** —
-//! `GML_WORKERS=1` runs the historical serial loops. Small inputs always
-//! take the inline serial path.
+//! results are **bit-identical for every `GML_WORKERS` setting**. Small
+//! inputs always take the inline serial path.
+//!
+//! Inside each chunk the kernels are cache-blocked and register-blocked
+//! (packed-panel GEMM, 4-column GEMV passes, multi-accumulator reductions —
+//! see `microkernel`/`tile` and DESIGN.md §3.10), with every accumulator
+//! combined in a *fixed* order so worker-count parity survives the
+//! blocking. Blocked results legitimately differ in final ULPs from plain
+//! scalar loops (different summation order, fused multiply-add on capable
+//! CPUs); each blocked kernel therefore keeps a `*_reference` scalar twin —
+//! the pre-blocking serial loop — and the `kernel_reference` CI bin plus
+//! the property tests bound the blocked-vs-reference drift.
 //!
 //! # The finite-values contract
 //!
 //! Kernels assume all matrix and vector contents are **finite** (`f64`
-//! values that are neither NaN nor ±inf). The kernels skip whole rows or
-//! columns whose scalar coefficient (`alpha * x[i]`-style) is exactly zero —
-//! a pure-performance move for sparse workloads that also suppresses IEEE
-//! propagation from non-finite *matrix* entries multiplied by that zero.
-//! `beta == 0.0` likewise **assigns** (BLAS semantics): the output buffer's
-//! prior contents, NaN included, never reach the result. The optional
-//! `check-finite` feature adds `debug_assert!` finiteness checks at every
-//! kernel entry for hunting down non-finite data at its source.
+//! values that are neither NaN nor ±inf). `beta == 0.0` **assigns** (BLAS
+//! semantics): the output buffer's prior contents, NaN included, never
+//! reach the result. Symmetrically, `alpha == 0.0` reads neither input:
+//! the kernels quick-return `beta * y` without touching A, B, or x, so
+//! non-finite input entries cannot propagate through a zero coefficient.
+//! The sparse scatter kernels (`spmv_trans`/`trans_spmm`) and the
+//! `*_reference` twins additionally skip rows or columns whose *raw* entry
+//! (`x[i]`, `b[k,j]`) is exactly zero — keyed on the entry, like
+//! `beta_combine` keys on `beta`, never on a computed product that could
+//! underflow to zero. The blocked dense paths perform no such per-entry
+//! skips: inside a nonzero-`alpha` computation they follow pure IEEE
+//! arithmetic, so a non-finite matrix entry poisons its output column as
+//! IEEE dictates. The optional `check-finite` feature adds `debug_assert!`
+//! finiteness checks at every kernel entry for hunting down non-finite
+//! data at its source.
 
 pub mod block;
 pub mod builder;
 pub mod dense;
 pub mod grid;
+mod microkernel;
 pub mod sparse_csc;
 pub mod sparse_csr;
+mod tile;
 pub mod vector;
 
 pub use block::{BlockData, BlockSet, MatrixBlock};

@@ -124,14 +124,19 @@ impl SparseCSC {
         debug_check_finite("spmv: A", &self.values);
         debug_check_finite("spmv: x", x);
         apply_beta(beta, y);
+        if alpha == 0.0 {
+            return;
+        }
         let (rows, cols) = (self.rows, self.cols);
         let k = crate::scatter_chunks(cols, rows);
         if k <= 1 {
             for (j, &xj) in x.iter().enumerate() {
-                let axj = alpha * xj;
-                if axj == 0.0 {
+                // Entry-keyed skip (`x[j]`, not the computed `alpha * x[j]`
+                // which could underflow to zero) — see the crate docs.
+                if xj == 0.0 {
                     continue;
                 }
+                let axj = alpha * xj;
                 let (ridx, vals) = self.col(j);
                 for (&r, &v) in ridx.iter().zip(vals) {
                     y[r] += axj * v;
@@ -142,10 +147,10 @@ impl SparseCSC {
         let mut partials = vec![0.0f64; k * rows];
         pool::run_split(&mut partials, k, |i| i * rows..(i + 1) * rows, |i, part| {
             for j in pool::chunk_range(cols, k, i) {
-                let axj = alpha * x[j];
-                if axj == 0.0 {
+                if x[j] == 0.0 {
                     continue;
                 }
+                let axj = alpha * x[j];
                 let (ridx, vals) = self.col(j);
                 for (&r, &v) in ridx.iter().zip(vals) {
                     part[r] += axj * v;

@@ -8,6 +8,7 @@ use apgas::serial::{Serial, SerialElem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::dense::DenseMatrix;
+use crate::microkernel;
 use crate::sparse_csc::SparseCSC;
 use crate::vector::Vector;
 use crate::{apply_beta, beta_combine, debug_check_finite, min_chunk_items};
@@ -125,14 +126,20 @@ impl SparseCSR {
         self
     }
 
-    /// `y = alpha * A * x + beta * y` (`beta == 0` assigns, BLAS-style).
-    /// Gather form: every output row is an independent sparse dot product,
-    /// so row chunks of `y` fan out onto the compute pool bit-identically.
+    /// `y = alpha * A * x + beta * y` (`beta == 0` assigns, BLAS-style;
+    /// `alpha == 0` reads neither `A` nor `x`). Gather form: every output
+    /// row is an independent 4-lane unrolled sparse dot product with fixed
+    /// lane-combine order, so row chunks of `y` fan out onto the compute
+    /// pool bit-identically.
     pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv: x length != cols");
         assert_eq!(y.len(), self.rows, "spmv: y length != rows");
         debug_check_finite("spmv: A", &self.values);
         debug_check_finite("spmv: x", x);
+        if alpha == 0.0 {
+            apply_beta(beta, y);
+            return;
+        }
         let rows = self.rows;
         let nnz_per_row = self.nnz() / rows.max(1);
         let n = pool::chunk_count(rows, min_chunk_items(nnz_per_row));
@@ -140,31 +147,55 @@ impl SparseCSR {
             let r = pool::chunk_range(rows, n, i);
             for (di, yi) in sub.iter_mut().enumerate() {
                 let (cols, vals) = self.row(r.start + di);
-                let dot: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
+                let dot = microkernel::sparse_row_dot(cols, vals, x);
                 *yi = beta_combine(beta, *yi, alpha * dot);
             }
         });
     }
 
-    /// `y = alpha * Aᵀ * x + beta * y` (`beta == 0` assigns, BLAS-style).
-    /// Scatter form: row chunks accumulate into per-chunk partial vectors
-    /// that are combined in ascending chunk order, so the result is
-    /// bit-identical for every worker count; with a single chunk (small
-    /// inputs) the historical in-place scatter runs unchanged.
+    /// Scalar reference twin of [`spmv`]: the historical serial row-gather
+    /// with a left-to-right scalar dot. The unrolled kernel may differ from
+    /// this oracle in final ULPs; `kernel_reference` CI bounds the drift.
+    pub fn spmv_reference(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length != cols");
+        assert_eq!(y.len(), self.rows, "spmv: y length != rows");
+        if alpha == 0.0 {
+            apply_beta(beta, y);
+            return;
+        }
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let dot: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
+            *yi = beta_combine(beta, *yi, alpha * dot);
+        }
+    }
+
+    /// `y = alpha * Aᵀ * x + beta * y` (`beta == 0` assigns, BLAS-style;
+    /// `alpha == 0` reads neither `A` nor `x`). Scatter form: row chunks
+    /// accumulate into per-chunk partial vectors that are combined in
+    /// ascending chunk order, so the result is bit-identical for every
+    /// worker count; with a single chunk (small inputs) the historical
+    /// in-place scatter runs unchanged. A row whose `x[i]` is exactly zero
+    /// is skipped — keyed on the raw entry (like `beta_combine` keys on
+    /// `beta`), never on the computed `alpha * x[i]`, which could underflow
+    /// to zero.
     pub fn spmv_trans(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "spmv_trans: x length != rows");
         assert_eq!(y.len(), self.cols, "spmv_trans: y length != cols");
         debug_check_finite("spmv_trans: A", &self.values);
         debug_check_finite("spmv_trans: x", x);
         apply_beta(beta, y);
+        if alpha == 0.0 {
+            return;
+        }
         let (rows, cols) = (self.rows, self.cols);
         let k = crate::scatter_chunks(rows, cols);
         if k <= 1 {
             for (i, &xi) in x.iter().enumerate() {
-                let axi = alpha * xi;
-                if axi == 0.0 {
+                if xi == 0.0 {
                     continue;
                 }
+                let axi = alpha * xi;
                 let (cidx, vals) = self.row(i);
                 for (&c, &v) in cidx.iter().zip(vals) {
                     y[c] += axi * v;
@@ -175,10 +206,10 @@ impl SparseCSR {
         let mut partials = vec![0.0f64; k * cols];
         pool::run_split(&mut partials, k, |i| i * cols..(i + 1) * cols, |i, part| {
             for row in pool::chunk_range(rows, k, i) {
-                let axi = alpha * x[row];
-                if axi == 0.0 {
+                if x[row] == 0.0 {
                     continue;
                 }
+                let axi = alpha * x[row];
                 let (cidx, vals) = self.row(row);
                 for (&c, &v) in cidx.iter().zip(vals) {
                     part[c] += axi * v;
@@ -218,8 +249,7 @@ impl SparseCSR {
                 let r = pool::chunk_range(rows, n, i);
                 for (di, oik) in sub.iter_mut().enumerate() {
                     let (cols, vals) = self.row(r.start + di);
-                    let dot: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * bcol[c]).sum();
-                    *oik = dot;
+                    *oik = microkernel::sparse_row_dot(cols, vals, bcol);
                 }
             });
         }

@@ -1,12 +1,17 @@
 //! A dense column vector (`x10.matrix.Vector`).
 //!
 //! The reductions (dot/norm/sum) and `axpy` fan out onto [`apgas::pool`]
-//! with partials combined in fixed chunk order — bit-identical for every
-//! worker count; see the crate docs.
+//! with partials combined in fixed chunk order, and each chunk runs the
+//! 8-lane multi-accumulator kernels from `crate::microkernel` — lane
+//! combines happen in a fixed order too, so results stay bit-identical for
+//! every worker count (see the crate docs). The `*_reference` twins keep
+//! the plain serial scalar loops as numeric oracles.
 
 use apgas::pool;
 use apgas::serial::{read_f64_vec, write_f64_slice, Serial};
 use bytes::{Bytes, BytesMut};
+
+use crate::microkernel;
 
 /// Items per chunk for the element-wise vector kernels (each item is ~one
 /// fused multiply-add of work).
@@ -113,31 +118,52 @@ impl Vector {
         self
     }
 
-    /// `self += alpha * x` (BLAS axpy).
+    /// `self += alpha * x` (BLAS axpy). One fused multiply-add per element
+    /// inside each pool chunk — order-independent per element, so chunking
+    /// never changes bits.
     pub fn axpy(&mut self, alpha: f64, x: &Vector) -> &mut Self {
         assert_eq!(self.len(), x.len(), "axpy length mismatch");
         pool::for_each_chunk_mut(&mut self.data, VEC_MIN_CHUNK, |_, r, sub| {
-            for (a, b) in sub.iter_mut().zip(&x.data[r]) {
-                *a += alpha * *b;
-            }
+            microkernel::axpy(alpha, &x.data[r], sub);
         });
         self
     }
 
-    /// Inner product `selfᵀ · other` — chunked partial sums combined in
-    /// fixed chunk order (bit-identical across worker counts).
+    /// Scalar reference twin of [`axpy`]: serial multiply-then-add.
+    pub fn axpy_reference(&mut self, alpha: f64, x: &Vector) -> &mut Self {
+        assert_eq!(self.len(), x.len(), "axpy length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&x.data) {
+            *a += alpha * *b;
+        }
+        self
+    }
+
+    /// Inner product `selfᵀ · other` — 8-lane multi-accumulator partials
+    /// per chunk, combined in fixed chunk order (bit-identical across
+    /// worker counts).
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
         pool::sum_chunks(self.len(), VEC_MIN_CHUNK, |r| {
-            self.data[r.clone()].iter().zip(&other.data[r]).map(|(a, b)| a * b).sum()
+            microkernel::dot(&self.data[r.clone()], &other.data[r])
         })
+    }
+
+    /// Scalar reference twin of [`dot`]: the serial left-to-right sum.
+    pub fn dot_reference(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// Squared Euclidean norm (same deterministic chunked reduction).
     pub fn norm2_sq(&self) -> f64 {
         pool::sum_chunks(self.len(), VEC_MIN_CHUNK, |r| {
-            self.data[r].iter().map(|v| v * v).sum()
+            microkernel::dot(&self.data[r.clone()], &self.data[r])
         })
+    }
+
+    /// Scalar reference twin of [`norm2_sq`].
+    pub fn norm2_sq_reference(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
     }
 
     /// Euclidean norm.
@@ -147,7 +173,12 @@ impl Vector {
 
     /// Sum of all elements (same deterministic chunked reduction).
     pub fn sum(&self) -> f64 {
-        pool::sum_chunks(self.len(), VEC_MIN_CHUNK, |r| self.data[r].iter().sum())
+        pool::sum_chunks(self.len(), VEC_MIN_CHUNK, |r| microkernel::sum(&self.data[r]))
+    }
+
+    /// Scalar reference twin of [`sum`]: the serial left-to-right sum.
+    pub fn sum_reference(&self) -> f64 {
+        self.data.iter().sum()
     }
 
     /// Apply `f` to every element in place (GML's `map`).

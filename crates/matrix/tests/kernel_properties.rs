@@ -311,30 +311,102 @@ fn beta_one_and_fractional_beta_still_scale() {
 }
 
 // ---------------------------------------------------------------------------
-// The finite-values contract boundary: the `axi == 0.0` / `abkj == 0.0`
-// skips suppress IEEE NaN/inf propagation from *matrix* entries whose
-// scalar coefficient is exactly zero. These tests pin the documented
-// behavior on both sides of the boundary.
+// The finite-values contract boundary: the sparse scatter kernels and the
+// `*_reference` twins skip rows/columns whose *raw entry* (`x[i]`, `b[k,j]`)
+// is exactly zero, suppressing IEEE NaN/inf propagation from matrix entries
+// multiplied by that zero; `alpha == 0` reads neither input on every kernel.
+// The blocked dense paths perform no per-entry skips (pure IEEE inside a
+// nonzero-alpha computation). These tests pin the documented behavior on
+// both sides of the boundary.
 // ---------------------------------------------------------------------------
 
 #[test]
 fn zero_coefficient_skip_suppresses_nonfinite_matrix_entries() {
-    // Row 1 of A holds a NaN; x[1] == 0 makes its coefficient exactly zero,
+    // Row 1 of A holds a NaN; x[1] == 0 makes its entry-keyed skip fire,
     // so the scatter skips the whole row and the NaN never propagates.
     let a = SparseCSR::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, f64::NAN), (2, 2, 2.0)]);
     let mut y = vec![0.0; 3];
     a.spmv_trans(1.0, &[1.0, 0.0, 1.0], 0.0, &mut y);
     assert!(
         y.iter().all(|v| v.is_finite()),
-        "documented contract: zero-coefficient rows are skipped, NaN suppressed"
+        "documented contract: zero-entry rows are skipped, NaN suppressed"
     );
 
-    // Dense gemm skips columns of A via B's zero entries the same way.
+    // The reference gemm twin skips columns of A via B's zero entries the
+    // same way (the blocked gemm follows pure IEEE and would propagate).
     let a = DenseMatrix::from_rows(&[&[1.0, f64::INFINITY], &[3.0, f64::INFINITY]]);
     let b = DenseMatrix::from_rows(&[&[1.0], &[0.0]]);
     let mut c = DenseMatrix::zeros(2, 1);
-    a.gemm(1.0, &b, 0.0, &mut c);
+    a.gemm_reference(1.0, &b, 0.0, &mut c);
     assert!(c.as_slice().iter().all(|v| v.is_finite()), "inf column skipped via b[1][0] == 0");
+}
+
+#[test]
+fn entry_keyed_skip_ignores_underflowing_coefficients() {
+    // Regression for the pre-PR-6 `abkj == 0.0` skip, which keyed on the
+    // *computed* `alpha * b[k,j]` and therefore silently dropped rank-1
+    // contributions whose product underflowed to zero. The skip must key on
+    // the raw entry: a subnormal-producing alpha*b must still contribute.
+    let a = DenseMatrix::from_rows(&[&[1.0]]);
+    let b = DenseMatrix::from_rows(&[&[f64::MIN_POSITIVE]]); // alpha*b underflows to 0
+    let mut c = DenseMatrix::zeros(1, 1);
+    a.gemm_reference(f64::MIN_POSITIVE, &b, 0.0, &mut c);
+    let direct = f64::MIN_POSITIVE * f64::MIN_POSITIVE; // == 0.0 after rounding
+    assert_eq!(direct, 0.0, "premise: the product underflows");
+    // The contribution is still *computed* (0.0 here), not skipped; with a
+    // NaN in A the underflowing-but-nonzero entry must now poison C.
+    let a_nan = DenseMatrix::from_rows(&[&[f64::NAN]]);
+    let mut c = DenseMatrix::zeros(1, 1);
+    a_nan.gemm_reference(f64::MIN_POSITIVE, &b, 0.0, &mut c);
+    assert!(
+        c.get(0, 0).is_nan(),
+        "entry-keyed skip: b != 0 means the contribution happens, NaN and all"
+    );
+}
+
+#[test]
+fn alpha_zero_reads_neither_input_nan_poison_regression() {
+    // alpha == 0 is the input-side analogue of `beta == 0` assignment:
+    // NaN/inf-poisoned A, B, or x must never reach the output. Pinned on
+    // both the blocked kernels and the reference twins.
+    let nan_mat = |m: usize, n: usize| DenseMatrix::from_vec(m, n, vec![f64::NAN; m * n]);
+    let a = nan_mat(9, 7);
+    let b = nan_mat(7, 5);
+    let x = vec![f64::INFINITY; 7];
+    for beta in [0.0, 0.5] {
+        let mut c = DenseMatrix::from_vec(9, 5, vec![2.0; 45]);
+        a.gemm(0.0, &b, beta, &mut c);
+        assert!(
+            c.as_slice().iter().all(|&v| v == 2.0 * beta),
+            "gemm alpha=0 beta={beta} must be beta*C exactly"
+        );
+        let mut c = DenseMatrix::from_vec(9, 5, vec![2.0; 45]);
+        a.gemm_reference(0.0, &b, beta, &mut c);
+        assert!(c.as_slice().iter().all(|&v| v == 2.0 * beta), "gemm_reference alpha=0");
+
+        let mut y = vec![2.0; 9];
+        a.gemv(0.0, &x, beta, &mut y);
+        assert!(y.iter().all(|&v| v == 2.0 * beta), "gemv alpha=0 beta={beta}");
+        let mut y = vec![2.0; 9];
+        a.gemv_reference(0.0, &x, beta, &mut y);
+        assert!(y.iter().all(|&v| v == 2.0 * beta), "gemv_reference alpha=0");
+
+        let mut y = vec![2.0; 7];
+        let xt = vec![f64::NAN; 9];
+        a.gemv_trans(0.0, &xt, beta, &mut y);
+        assert!(y.iter().all(|&v| v == 2.0 * beta), "gemv_trans alpha=0 beta={beta}");
+
+        let s = SparseCSR::from_triplets(3, 3, &[(0, 0, f64::NAN), (2, 1, f64::INFINITY)]);
+        let mut y = vec![2.0; 3];
+        s.spmv(0.0, &[f64::NAN; 3], beta, &mut y);
+        assert!(y.iter().all(|&v| v == 2.0 * beta), "spmv alpha=0 beta={beta}");
+        let mut y = vec![2.0; 3];
+        s.spmv_trans(0.0, &[f64::NAN; 3], beta, &mut y);
+        assert!(y.iter().all(|&v| v == 2.0 * beta), "spmv_trans alpha=0 beta={beta}");
+        let mut y = vec![2.0; 3];
+        s.to_csc().spmv(0.0, &[f64::NAN; 3], beta, &mut y);
+        assert!(y.iter().all(|&v| v == 2.0 * beta), "csc spmv alpha=0 beta={beta}");
+    }
 }
 
 #[test]
