@@ -73,4 +73,16 @@ cargo run --release -p gml-bench --bin checkpoint_parity -- per_pair \
 diff "$CKPT_DIR/batched.txt" "$CKPT_DIR/per_pair.txt" \
     || { echo "checkpoint parity: batched and per-pair transports diverge"; exit 1; }
 
+echo "== bench regress (fresh bench_json vs committed baselines) =="
+# Re-runs the JSON benchmarks into a scratch dir and diffs every benchmark
+# minimum and derived speedup against the committed BENCH_*.json (per-key
+# delta table; per-file noise factor over the base tolerance, default ±25%,
+# override with GML_BENCH_TOLERANCE). Files stamped at a different worker
+# width than this host are skipped — regenerate baselines with bench_json
+# at the repo root when a perf change is intentional.
+BENCH_DIR="$(mktemp -d -t gml_bench_regress_XXXXXX)"
+trap 'rm -f "$TRACE_JSON"; rm -rf "$PARITY_DIR" "$CKPT_DIR" "$BENCH_DIR"' EXIT
+( cd "$BENCH_DIR" && "$OLDPWD/target/release/bench_json" > /dev/null )
+cargo run --release -p gml-bench --bin bench_regress -- . "$BENCH_DIR"
+
 echo "CI OK"

@@ -25,7 +25,7 @@ use crate::error::{ApgasError, DeadPlaceException};
 use crate::place::Place;
 use crate::runtime::{Ctx, Envelope};
 use crate::stats::RuntimeStats;
-use crate::trace::SpanKind;
+use crate::trace::{SpanKind, TraceCtx};
 
 /// Outcome of one finished task, reported to whichever finish owns it.
 #[derive(Debug, Clone)]
@@ -35,16 +35,21 @@ pub(crate) enum TaskOutcome {
 }
 
 /// Bookkeeping messages processed by the place-zero finish service.
+///
+/// `Spawn`/`Term`/`PlaceDied` carry a [`TraceCtx`] — the causal parent on
+/// the sending place — so place zero's bookkeeping instants link back to
+/// the activity that caused them (rendered as flow arrows into place
+/// zero's track, making the resilient-finish funnel visible).
 pub(crate) enum CtlMsg {
     /// Record a task about to be sent to `dst` under finish `fid`.
     /// Synchronous: the spawner blocks until `ack` fires.
-    Spawn { fid: u64, dst: Place, ack: Sender<SpawnAck> },
+    Spawn { fid: u64, dst: Place, ack: Sender<SpawnAck>, tctx: TraceCtx },
     /// A task under finish `fid` finished at `place`.
-    Term { fid: u64, place: Place, outcome: TaskOutcome },
+    Term { fid: u64, place: Place, outcome: TaskOutcome, tctx: TraceCtx },
     /// The finish body is done; signal `waiter` when all tasks are done.
     Wait { fid: u64, waiter: Arc<Waiter> },
     /// A place died: adjust every finish that had tasks there.
-    PlaceDied { place: Place },
+    PlaceDied { place: Place, tctx: TraceCtx },
 }
 
 /// Spawn-record acknowledgement from place zero.
@@ -130,7 +135,7 @@ impl FinishService {
     pub(crate) fn handle(&self, is_alive: impl Fn(Place) -> bool, msg: CtlMsg) {
         let mut recs = self.recs.lock();
         match msg {
-            CtlMsg::Spawn { fid, dst, ack } => {
+            CtlMsg::Spawn { fid, dst, ack, tctx: _ } => {
                 let rec = recs.entry(fid).or_default();
                 if is_alive(dst) {
                     *rec.pending.entry(dst.id()).or_insert(0) += 1;
@@ -141,7 +146,7 @@ impl FinishService {
                     Self::maybe_complete(&mut recs, fid);
                 }
             }
-            CtlMsg::Term { fid, place, outcome } => {
+            CtlMsg::Term { fid, place, outcome, tctx: _ } => {
                 if let Some(rec) = recs.get_mut(&fid) {
                     match rec.pending.get_mut(&place.id()) {
                         Some(c) if *c > 0 => *c -= 1,
@@ -159,7 +164,7 @@ impl FinishService {
                 rec.waiter = Some(waiter);
                 Self::maybe_complete(&mut recs, fid);
             }
-            CtlMsg::PlaceDied { place } => {
+            CtlMsg::PlaceDied { place, tctx: _ } => {
                 let fids: Vec<u64> = recs.keys().copied().collect();
                 for fid in fids {
                     let rec = recs.get_mut(&fid).expect("fid just listed");
@@ -320,7 +325,15 @@ impl FinishHandle {
     {
         let rt = ctx.rt();
         RuntimeStats::bump(&rt.stats.tasks_spawned);
-        rt.tracer.instant(ctx.here().id(), SpanKind::AsyncAt, p.id() as u64);
+        // The dispatch instant is the causal anchor: the receiving place's
+        // task span parents to it, so the Chrome export draws a flow arrow
+        // from this exact point to wherever the task actually ran.
+        let dispatch = rt.tracer.instant(ctx.here().id(), SpanKind::AsyncAt, p.id() as u64);
+        let tctx = if dispatch != 0 {
+            TraceCtx { parent: dispatch, origin: ctx.here().id() }
+        } else {
+            TraceCtx::NONE
+        };
         match self {
             FinishHandle::Local(state) => {
                 if !rt.is_alive(p) {
@@ -333,7 +346,15 @@ impl FinishHandle {
                     p,
                     Envelope::Task {
                         run: Box::new(move |ctx| {
-                            let outcome = run_catching(ctx, f);
+                            let _adopt = tctx.adopt();
+                            let outcome = {
+                                let _span = ctx.rt().tracer.span(
+                                    ctx.here().id(),
+                                    SpanKind::AsyncTask,
+                                    tctx.origin as u64,
+                                );
+                                run_catching(ctx, f)
+                            };
                             state2.terminated(outcome);
                         }),
                     },
@@ -354,7 +375,10 @@ impl FinishHandle {
                     let _span =
                         rt.tracer.span(ctx.here().id(), SpanKind::CtlSpawn, p.id() as u64);
                     let (ack_tx, ack_rx) = bounded(1);
-                    rt.send_ctl(CtlMsg::Spawn { fid, dst: p, ack: ack_tx });
+                    // Parent the place-zero bookkeeping instant to this
+                    // CtlSpawn span (captured inside its guard scope).
+                    let spawn_tctx = TraceCtx::capture(&rt.tracer, ctx.here().id());
+                    rt.send_ctl(CtlMsg::Spawn { fid, dst: p, ack: ack_tx, tctx: spawn_tctx });
                     match ack_rx.recv() {
                         Ok(SpawnAck::Ok) => {}
                         // Dead target: exception already recorded at the registry.
@@ -366,12 +390,31 @@ impl FinishHandle {
                     p,
                     Envelope::Task {
                         run: Box::new(move |ctx| {
-                            let outcome = run_catching(ctx, f);
+                            let _adopt = tctx.adopt();
+                            let outcome = {
+                                let _span = ctx.rt().tracer.span(
+                                    ctx.here().id(),
+                                    SpanKind::AsyncTask,
+                                    tctx.origin as u64,
+                                );
+                                run_catching(ctx, f)
+                            };
                             let rt = ctx.rt();
                             if rt.is_alive(ctx.here()) {
                                 RuntimeStats::bump(&rt.stats.ctl_terms);
-                                rt.tracer.instant(ctx.here().id(), SpanKind::CtlTerm, fid);
-                                rt.send_ctl(CtlMsg::Term { fid, place: ctx.here(), outcome });
+                                let term =
+                                    rt.tracer.instant(ctx.here().id(), SpanKind::CtlTerm, fid);
+                                let term_tctx = if term != 0 {
+                                    TraceCtx { parent: term, origin: ctx.here().id() }
+                                } else {
+                                    TraceCtx::NONE
+                                };
+                                rt.send_ctl(CtlMsg::Term {
+                                    fid,
+                                    place: ctx.here(),
+                                    outcome,
+                                    tctx: term_tctx,
+                                });
                             }
                             // If our place died mid-run, PlaceDied already
                             // accounted for us at the registry.
@@ -463,7 +506,7 @@ mod tests {
     fn service_counts_spawn_term_wait() {
         let svc = FinishService::default();
         let (ack, ack_rx) = bounded(1);
-        svc.handle(alive_all, CtlMsg::Spawn { fid: 1, dst: Place::new(2), ack });
+        svc.handle(alive_all, CtlMsg::Spawn { fid: 1, dst: Place::new(2), ack, tctx: TraceCtx::NONE });
         assert_eq!(ack_rx.recv().unwrap(), SpawnAck::Ok);
         assert_eq!(svc.open_finishes(), 1);
 
@@ -474,7 +517,7 @@ mod tests {
 
         svc.handle(
             alive_all,
-            CtlMsg::Term { fid: 1, place: Place::new(2), outcome: TaskOutcome::Completed },
+            CtlMsg::Term { fid: 1, place: Place::new(2), outcome: TaskOutcome::Completed, tctx: TraceCtx::NONE },
         );
         let report = waiter.block();
         assert!(report.dead.is_empty());
@@ -487,7 +530,7 @@ mod tests {
         let svc = FinishService::default();
         let dead = Place::new(3);
         let (ack, ack_rx) = bounded(1);
-        svc.handle(|p| p != dead, CtlMsg::Spawn { fid: 7, dst: dead, ack });
+        svc.handle(|p| p != dead, CtlMsg::Spawn { fid: 7, dst: dead, ack, tctx: TraceCtx::NONE });
         assert_eq!(ack_rx.recv().unwrap(), SpawnAck::Dead);
         let waiter = Waiter::new();
         svc.handle(|p| p != dead, CtlMsg::Wait { fid: 7, waiter: Arc::clone(&waiter) });
@@ -502,12 +545,12 @@ mod tests {
         let p = Place::new(2);
         for _ in 0..3 {
             let (ack, ack_rx) = bounded(1);
-            svc.handle(alive_all, CtlMsg::Spawn { fid: 9, dst: p, ack });
+            svc.handle(alive_all, CtlMsg::Spawn { fid: 9, dst: p, ack, tctx: TraceCtx::NONE });
             assert_eq!(ack_rx.recv().unwrap(), SpawnAck::Ok);
         }
         let waiter = Waiter::new();
         svc.handle(alive_all, CtlMsg::Wait { fid: 9, waiter: Arc::clone(&waiter) });
-        svc.handle(alive_all, CtlMsg::PlaceDied { place: p });
+        svc.handle(alive_all, CtlMsg::PlaceDied { place: p, tctx: TraceCtx::NONE });
         let report = waiter.block();
         assert_eq!(report.dead.len(), 1, "3 lost tasks collapse into one DPE per place");
         assert_eq!(svc.open_finishes(), 0);
@@ -518,13 +561,13 @@ mod tests {
         let svc = FinishService::default();
         let p = Place::new(1);
         let (ack, ack_rx) = bounded(1);
-        svc.handle(alive_all, CtlMsg::Spawn { fid: 4, dst: p, ack });
+        svc.handle(alive_all, CtlMsg::Spawn { fid: 4, dst: p, ack, tctx: TraceCtx::NONE });
         ack_rx.recv().unwrap();
-        svc.handle(alive_all, CtlMsg::PlaceDied { place: p });
+        svc.handle(alive_all, CtlMsg::PlaceDied { place: p, tctx: TraceCtx::NONE });
         // The task actually completed and its Term raced in late.
         svc.handle(
             alive_all,
-            CtlMsg::Term { fid: 4, place: p, outcome: TaskOutcome::Completed },
+            CtlMsg::Term { fid: 4, place: p, outcome: TaskOutcome::Completed, tctx: TraceCtx::NONE },
         );
         let waiter = Waiter::new();
         svc.handle(alive_all, CtlMsg::Wait { fid: 4, waiter: Arc::clone(&waiter) });

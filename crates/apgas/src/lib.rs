@@ -59,24 +59,28 @@ pub mod trace;
 pub use error::{ApgasError, DeadPlaceException, Result};
 pub use finish::{FinishScope, LedgerEntry};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
+pub use monitor::watchdog::{Watchdog, WatchdogReport};
 pub use monitor::{HealthBoard, HealthSnapshot, MonitorServer, PlaceHealth};
 pub use place::{Place, PlaceGroup};
 pub use plh::PlaceLocalHandle;
 pub use runtime::{Ctx, Runtime, RuntimeConfig};
 pub use serial::Serial;
 pub use stats::RuntimeStats;
-pub use trace::{SpanGuard, SpanKind, TraceEvent, Tracer};
+pub use trace::critical_path::{CostClass, IterProfile, SpanDag};
+pub use trace::{SpanGuard, SpanKind, TraceCtx, TraceEvent, Tracer};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::error::{ApgasError, DeadPlaceException, Result as ApgasResult};
     pub use crate::finish::{FinishScope, LedgerEntry};
     pub use crate::metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
+    pub use crate::monitor::watchdog::{Watchdog, WatchdogReport};
     pub use crate::monitor::{HealthSnapshot, MonitorServer};
     pub use crate::place::{Place, PlaceGroup};
     pub use crate::plh::PlaceLocalHandle;
     pub use crate::pool;
     pub use crate::runtime::{Ctx, Runtime, RuntimeConfig};
     pub use crate::serial::Serial;
-    pub use crate::trace::{SpanGuard, SpanKind, TraceEvent, Tracer};
+    pub use crate::trace::critical_path::IterProfile;
+    pub use crate::trace::{SpanGuard, SpanKind, TraceCtx, TraceEvent, Tracer};
 }

@@ -16,6 +16,11 @@
 //! disabled; port `0` → bind an ephemeral port). When disabled, every
 //! heartbeat update is a single predictable branch.
 
+/// Online anomaly detection layered on these heartbeats — see its module
+/// docs for the EWMA model and tuning knobs.
+#[path = "watchdog.rs"]
+pub mod watchdog;
+
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -97,12 +102,32 @@ impl PlaceHealth {
 pub struct HealthBoard {
     enabled: bool,
     epoch: Instant,
+    /// One bit per place (ids ≥ 64 share the top bit): set when the
+    /// watchdog flags the place as anomalous. Unlike the heartbeat
+    /// counters this works even with monitoring off, so examples can
+    /// demonstrate anomaly detection without a scrape server.
+    anomaly_mask: AtomicU64,
 }
 
 impl HealthBoard {
     /// A board with monitoring on or off.
     pub fn new(enabled: bool) -> Self {
-        HealthBoard { enabled, epoch: Instant::now() }
+        HealthBoard { enabled, epoch: Instant::now(), anomaly_mask: AtomicU64::new(0) }
+    }
+
+    /// Raise the anomaly flag for `place` (watchdog verdicts land here).
+    pub fn raise_anomaly(&self, place: u32) {
+        self.anomaly_mask.fetch_or(1u64 << place.min(63), Ordering::Relaxed);
+    }
+
+    /// Clear the anomaly flag for `place` (e.g. after operator review).
+    pub fn clear_anomaly(&self, place: u32) {
+        self.anomaly_mask.fetch_and(!(1u64 << place.min(63)), Ordering::Relaxed);
+    }
+
+    /// The raw anomaly bitmask (bit *n* → place *n*, saturating at 63).
+    pub fn anomaly_mask(&self) -> u64 {
+        self.anomaly_mask.load(Ordering::Relaxed)
     }
 
     /// Is heartbeat collection active?
@@ -163,6 +188,7 @@ impl HealthBoard {
             mailbox_depth: enqueued.saturating_sub(dequeued),
             dispatched: h.dispatched.load(Ordering::Relaxed),
             completed: h.completed.load(Ordering::Relaxed),
+            anomalous: self.anomaly_mask() & (1u64 << place.min(63)) != 0,
             last_activity_age_nanos: self
                 .now_nanos()
                 .saturating_sub(h.last_activity.load(Ordering::Relaxed)),
@@ -183,6 +209,8 @@ pub struct HealthSnapshot {
     pub dispatched: u64,
     /// Dispatched tasks that have finished running.
     pub completed: u64,
+    /// Whether the performance watchdog has flagged this place.
+    pub anomalous: bool,
     /// Nanoseconds since the dispatcher last showed signs of life (since
     /// startup if it never has).
     pub last_activity_age_nanos: u64,
@@ -253,6 +281,19 @@ pub fn render_health(out: &mut String, snaps: &[HealthSnapshot]) {
     }
     family_header(
         out,
+        "gml_place_anomaly",
+        "gauge",
+        "1 while the performance watchdog has this place flagged as anomalous.",
+    );
+    for h in snaps {
+        out.push_str(&format!(
+            "gml_place_anomaly{{place=\"{}\"}} {}\n",
+            h.place,
+            u64::from(h.anomalous)
+        ));
+    }
+    family_header(
+        out,
         "gml_place_last_activity_age_seconds",
         "gauge",
         "Seconds since the place's dispatcher last moved an envelope.",
@@ -263,6 +304,22 @@ pub fn render_health(out: &mut String, snaps: &[HealthSnapshot]) {
             h.place,
             h.last_activity_age_nanos as f64 / 1e9
         ));
+    }
+}
+
+/// Render per-place trace-ring overflow counters. A nonzero value means the
+/// seqlock ring wrapped and the oldest events were overwritten — consumers
+/// of the trace (critical-path analysis, forensics tails) saw an incomplete
+/// record for the early part of the run.
+pub fn render_dropped(out: &mut String, dropped: &[u64]) {
+    family_header(
+        out,
+        "gml_trace_dropped_total",
+        "counter",
+        "Trace events lost to ring wraparound, per place.",
+    );
+    for (place, d) in dropped.iter().enumerate() {
+        out.push_str(&format!("gml_trace_dropped_total{{place=\"{place}\"}} {d}\n"));
     }
 }
 
@@ -452,6 +509,30 @@ mod tests {
         assert!(out.contains("gml_place_up{place=\"1\"} 0"));
         assert!(out.contains("gml_place_mailbox_depth{place=\"0\"} 1"));
         assert!(out.contains("gml_place_last_activity_age_seconds{place=\"1\"}"));
+    }
+
+    #[test]
+    fn anomaly_flags_survive_snapshots_and_render() {
+        let board = HealthBoard::new(false); // flags work with monitoring off
+        let h = PlaceHealth::new();
+        assert!(!board.snapshot(2, true, &h).anomalous);
+        board.raise_anomaly(2);
+        assert!(board.snapshot(2, true, &h).anomalous);
+        assert_eq!(board.anomaly_mask(), 1 << 2);
+        let mut out = String::new();
+        render_health(&mut out, &[board.snapshot(2, true, &h)]);
+        assert!(out.contains("gml_place_anomaly{place=\"2\"} 1"));
+        board.clear_anomaly(2);
+        assert!(!board.snapshot(2, true, &h).anomalous);
+    }
+
+    #[test]
+    fn render_dropped_emits_per_place_counters() {
+        let mut out = String::new();
+        render_dropped(&mut out, &[0, 17, 0]);
+        assert!(out.contains("# TYPE gml_trace_dropped_total counter"));
+        assert!(out.contains("gml_trace_dropped_total{place=\"0\"} 0"));
+        assert!(out.contains("gml_trace_dropped_total{place=\"1\"} 17"));
     }
 
     #[test]

@@ -18,12 +18,14 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::error::{ApgasError, DeadPlaceException, Result};
 use crate::finish::{self, CtlMsg, FinishScope, LedgerEntry};
+use crate::monitor::watchdog::Watchdog;
 use crate::monitor::{self, HealthBoard, HealthSnapshot, MonitorServer, PlaceHealth};
 use crate::place::{Place, PlaceGroup};
 use crate::plh::PlhRegistry;
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use crate::thread_cache::ThreadCache;
-use crate::trace::{SpanGuard, SpanKind, Tracer};
+use crate::trace::critical_path::IterProfile;
+use crate::trace::{SpanGuard, SpanKind, TraceCtx, Tracer};
 
 /// Configuration for a [`Runtime`].
 #[derive(Clone, Copy, Debug)]
@@ -116,6 +118,8 @@ pub(crate) struct RtInner {
     pub(crate) tracer: Tracer,
     /// Heartbeat switchboard; a single branch per update when disabled.
     health: HealthBoard,
+    /// Online anomaly detection: iteration-time EWMA + backlog trends.
+    watchdog: Arc<Watchdog>,
     /// The Prometheus scrape server, when monitoring is enabled.
     monitor: Mutex<Option<MonitorServer>>,
     /// Extra Prometheus collectors (e.g. the snapshot-store inventory),
@@ -313,11 +317,21 @@ impl Ctx {
         RuntimeStats::bump(&self.rt.stats.at_calls);
         RuntimeStats::bump(&self.rt.stats.tasks_spawned);
         let _span = self.rt.tracer.span(self.here.id(), SpanKind::At, p.id() as u64);
+        // Capture the causal context *inside* the At span so the receiving
+        // place's body span parents to it and the Chrome export can draw a
+        // sender→receiver flow arrow.
+        let tctx = TraceCtx::capture(&self.rt.tracer, self.here.id());
         let (tx, rx) = bounded::<std::result::Result<R, String>>(1);
         self.rt.send(
             p,
             Envelope::Task {
                 run: Box::new(move |ctx| {
+                    let _adopt = tctx.adopt();
+                    let _span = ctx.rt.tracer.span(
+                        ctx.here.id(),
+                        SpanKind::AtRemote,
+                        tctx.origin as u64,
+                    );
                     let res =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
                     if ctx.rt.is_alive(ctx.here) {
@@ -447,9 +461,10 @@ impl Ctx {
         self.rt.tracer.span_labeled(self.here.id(), kind, label, arg)
     }
 
-    /// Record an instant trace event at this place.
+    /// Record an instant trace event at this place; returns its span id
+    /// (0 when tracing is off), usable as a causal parent.
     #[inline]
-    pub fn trace_instant(&self, kind: SpanKind, arg: u64) {
+    pub fn trace_instant(&self, kind: SpanKind, arg: u64) -> u64 {
         self.rt.tracer.instant(self.here.id(), kind, arg)
     }
 
@@ -479,6 +494,41 @@ impl Ctx {
     {
         self.rt.collectors.lock().push(Box::new(f));
     }
+
+    /// The runtime's performance watchdog (always present; it only does
+    /// work when fed via [`Self::observe_iteration`]).
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.rt.watchdog
+    }
+
+    /// Feed one executor-iteration profile to the watchdog and fold its
+    /// verdicts into the [`HealthBoard`] anomaly flags: a wall-time
+    /// regression flags the iteration's dominant place, a growing mailbox
+    /// backlog flags the congested place. Returns whether the iteration
+    /// itself regressed.
+    pub fn observe_iteration(&self, profile: &IterProfile) -> bool {
+        let regressed = self.rt.watchdog.observe_iteration(profile);
+        if regressed {
+            self.rt.health.raise_anomaly(profile.dominant_place);
+        }
+        if self.rt.health.is_on() {
+            if let Some(p) = self.rt.watchdog.observe_backlog(&self.rt.health_snapshots()) {
+                self.rt.health.raise_anomaly(p);
+            }
+        }
+        regressed
+    }
+
+    /// A point-in-time copy of every place's heartbeat gauges (including
+    /// watchdog anomaly flags). All-zero counters when monitoring is off.
+    pub fn health_snapshots(&self) -> Vec<HealthSnapshot> {
+        self.rt.health_snapshots()
+    }
+
+    /// The watchdog anomaly bitmask (bit *n* → place *n*).
+    pub fn anomaly_mask(&self) -> u64 {
+        self.rt.health.anomaly_mask()
+    }
 }
 
 fn kill_place_inner(rt: &Arc<RtInner>, p: Place) -> Result<()> {
@@ -497,12 +547,19 @@ fn kill_place_inner(rt: &Arc<RtInner>, p: Place) -> Result<()> {
         .ok_or_else(|| ApgasError::Unsupported(format!("no such place {p}")))?;
     if st.alive.swap(false, Ordering::AcqRel) {
         RuntimeStats::bump(&rt.stats.failures);
-        // Shown on the victim's track: the fail-stop instant.
-        rt.tracer.instant(p.id(), SpanKind::KillPlace, p.id() as u64);
+        // Shown on the victim's track: the fail-stop instant. Its id
+        // parents place zero's detection instant, so the export draws a
+        // kill → detection flow arrow.
+        let kill = rt.tracer.instant(p.id(), SpanKind::KillPlace, p.id() as u64);
+        let tctx = if kill != 0 {
+            TraceCtx { parent: kill, origin: p.id() }
+        } else {
+            TraceCtx::NONE
+        };
         // The place's memory is gone.
         rt.plh.clear_place(p);
         // Tell the place-zero registry so open finishes settle their counts.
-        rt.send_ctl(CtlMsg::PlaceDied { place: p });
+        rt.send_ctl(CtlMsg::PlaceDied { place: p, tctx });
     }
     Ok(())
 }
@@ -535,6 +592,7 @@ impl Runtime {
             stats: RuntimeStats::default(),
             tracer,
             health: HealthBoard::new(monitor_port.is_some()),
+            watchdog: Arc::new(Watchdog::from_env()),
             monitor: Mutex::new(None),
             collectors: Mutex::new(Vec::new()),
             next_finish_id: AtomicU64::new(1),
@@ -544,6 +602,16 @@ impl Runtime {
         });
         for _ in 0..cfg.total_places() {
             inner.start_place();
+        }
+        // Probe the GML_TRACE_OUT destination up front (creating missing
+        // parent directories) so an unwritable path is reported before the
+        // run, not at export time when the data is already collected.
+        if inner.tracer.is_on() {
+            if let Ok(path) = std::env::var("GML_TRACE_OUT") {
+                if !path.is_empty() {
+                    crate::trace::prepare_out_path(std::path::Path::new(&path));
+                }
+            }
         }
         // Surface compute-pool jobs as `pool.run` spans on this runtime's
         // tracer. The observer holds only a Weak handle: after shutdown it
@@ -569,6 +637,8 @@ impl Runtime {
                 monitor::render_health(&mut out, &rt.health_snapshots());
                 monitor::render_metrics(&mut out, &rt.tracer.metrics().snapshots());
                 monitor::render_pool(&mut out);
+                monitor::render_dropped(&mut out, &rt.tracer.dropped());
+                rt.watchdog.render(&mut out);
                 for collect in rt.collectors.lock().iter() {
                     out.push_str(&collect());
                 }
@@ -607,6 +677,16 @@ impl Runtime {
         &self.inner.tracer
     }
 
+    /// The runtime's performance watchdog.
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.inner.watchdog
+    }
+
+    /// The watchdog anomaly bitmask (bit *n* → place *n*).
+    pub fn anomaly_mask(&self) -> u64 {
+        self.inner.health.anomaly_mask()
+    }
+
     /// Local address of the Prometheus scrape endpoint, when monitoring is
     /// enabled ([`RuntimeConfig::monitor_port`] / `GML_MONITOR_PORT`).
     pub fn monitor_addr(&self) -> Option<std::net::SocketAddr> {
@@ -624,8 +704,13 @@ impl Runtime {
         if !self.inner.stopping.swap(true, Ordering::AcqRel) && self.inner.tracer.is_on() {
             if let Ok(path) = std::env::var("GML_TRACE_OUT") {
                 if !path.is_empty() {
-                    if let Err(e) = self.write_chrome_trace(std::path::Path::new(&path)) {
-                        eprintln!("GML_TRACE_OUT: failed to write {path}: {e}");
+                    // Re-create any parent directories removed since the
+                    // startup probe; only then attempt the export.
+                    let p = std::path::Path::new(&path);
+                    if crate::trace::prepare_out_path(p) {
+                        if let Err(e) = self.write_chrome_trace(p) {
+                            eprintln!("GML_TRACE_OUT: failed to write {path}: {e}");
+                        }
                     }
                 }
             }
@@ -691,10 +776,33 @@ fn dispatch_loop(rt: Arc<RtInner>, place: Place, rx: Receiver<Envelope>, health:
             }
             Envelope::FinishCtl(msg) => {
                 debug_assert_eq!(place, Place::ZERO, "finish bookkeeping only at place zero");
-                if let CtlMsg::PlaceDied { place: dead } = &msg {
-                    // Failure *detection*: the registry learns of the death
-                    // here, on place zero's track.
-                    rt.tracer.instant(Place::ZERO.id(), SpanKind::PlaceDied, dead.id() as u64);
+                // Stamp the bookkeeping's arrival on place zero's track,
+                // parented to the sending activity, so the export shows
+                // ctl traffic flowing into the resilient-finish funnel.
+                match &msg {
+                    CtlMsg::PlaceDied { place: dead, tctx } => {
+                        // Failure *detection*: the registry learns of the
+                        // death here, on place zero's track.
+                        let _adopt = tctx.adopt();
+                        rt.tracer.instant(
+                            Place::ZERO.id(),
+                            SpanKind::PlaceDied,
+                            dead.id() as u64,
+                        );
+                    }
+                    CtlMsg::Spawn { dst, tctx, .. } => {
+                        let _adopt = tctx.adopt();
+                        rt.tracer.instant(
+                            Place::ZERO.id(),
+                            SpanKind::CtlSpawn,
+                            dst.id() as u64,
+                        );
+                    }
+                    CtlMsg::Term { fid, tctx, .. } => {
+                        let _adopt = tctx.adopt();
+                        rt.tracer.instant(Place::ZERO.id(), SpanKind::CtlTerm, *fid);
+                    }
+                    CtlMsg::Wait { .. } => {}
                 }
                 let rt2 = Arc::clone(&rt);
                 rt.finish_svc.handle(move |p| rt2.is_alive(p), msg);

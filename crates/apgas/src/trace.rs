@@ -92,10 +92,17 @@ pub enum SpanKind {
     /// One deferred checkpoint ship: a batched backup transfer executed in
     /// the background after the synchronous capture phase returned.
     CkptShip,
+    /// The receiving-place body of a `Ctx::at` closure: what the remote
+    /// place actually executed while the sender's [`SpanKind::At`] span was
+    /// blocked on the round trip. Parented on the sender's `At` span.
+    AtRemote,
+    /// The receiving-place body of an `async_at` task. Parented on the
+    /// sender's [`SpanKind::AsyncAt`] dispatch instant.
+    AsyncTask,
 }
 
 /// Number of span kinds (size of per-kind arrays).
-pub const SPAN_KIND_COUNT: usize = 21;
+pub const SPAN_KIND_COUNT: usize = 23;
 
 impl SpanKind {
     /// Every kind, in discriminant order.
@@ -121,6 +128,8 @@ impl SpanKind {
         SpanKind::PoolRun,
         SpanKind::StoreSaveBatch,
         SpanKind::CkptShip,
+        SpanKind::AtRemote,
+        SpanKind::AsyncTask,
     ];
 
     /// Dotted display name (`"exec.restore"`, `"serial.encode"`, …).
@@ -147,6 +156,8 @@ impl SpanKind {
             SpanKind::PoolRun => "pool.run",
             SpanKind::StoreSaveBatch => "store.save_batch",
             SpanKind::CkptShip => "ckpt.ship",
+            SpanKind::AtRemote => "apgas.at_remote",
+            SpanKind::AsyncTask => "apgas.async_task",
         }
     }
 
@@ -196,6 +207,96 @@ pub struct TraceEvent {
     /// Free argument: payload bytes for data-plane spans, an id or
     /// iteration number for control-plane spans.
     pub arg: u64,
+    /// Process-unique identity of this span/instant (0 only for legacy or
+    /// synthesized events). Begin and End of the same span share one id.
+    pub span_id: u64,
+    /// The causal parent's [`span_id`](Self::span_id): the enclosing span on
+    /// the same thread, or — for a receiving-place span — the *sender's*
+    /// span carried across the place crossing. 0 means "root".
+    pub parent_id: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Span identity and causal context propagation.
+// ---------------------------------------------------------------------------
+
+/// Process-global span-id allocator. Ids are unique across every tracer,
+/// place, and thread in the process; 0 is reserved for "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh, process-unique span id.
+#[inline]
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The innermost live span on this thread — the causal parent of any
+    /// event this thread emits next. Crossing helpers ([`TraceCtx`])
+    /// transplant it into the receiving task's thread.
+    static CURRENT_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The current thread's innermost live span id (0 when outside every span).
+#[inline]
+pub fn current_span_id() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
+}
+
+/// The causal trace context carried across a place crossing: the sender-side
+/// span the receiving place's work should be parented on, plus the place it
+/// was captured at. This is the framed header the serialization plane ships
+/// with `at`/`async_at`/ctl messages and store save/fetch traffic (see
+/// `impl Serial for TraceCtx` in [`crate::serial`] for the wire format).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The sender-side span id receiver spans adopt as their parent
+    /// (0 = no causal parent / tracing off).
+    pub parent: u64,
+    /// The place the context was captured at.
+    pub origin: u32,
+}
+
+impl TraceCtx {
+    /// An empty context: no parent, origin place 0.
+    pub const NONE: TraceCtx = TraceCtx { parent: 0, origin: 0 };
+
+    /// Capture the current thread's causal context at `origin`. When the
+    /// tracer is off this is a single branch returning [`TraceCtx::NONE`],
+    /// so disabled runs capture (and later adopt) nothing.
+    #[inline]
+    pub fn capture(tracer: &Tracer, origin: u32) -> TraceCtx {
+        if !tracer.is_on() {
+            return TraceCtx::NONE;
+        }
+        TraceCtx { parent: current_span_id(), origin }
+    }
+
+    /// Install this context as the receiving thread's causal parent for the
+    /// guard's lifetime; the previous parent is restored on drop. A `NONE`
+    /// context installs nothing (zero TLS traffic on untraced runs).
+    #[inline]
+    pub fn adopt(self) -> AdoptGuard {
+        if self.parent == 0 {
+            return AdoptGuard { prev: None };
+        }
+        let prev = CURRENT_SPAN.with(|c| c.replace(self.parent));
+        AdoptGuard { prev: Some(prev) }
+    }
+}
+
+/// RAII guard for [`TraceCtx::adopt`]: restores the thread's previous causal
+/// parent when dropped.
+pub struct AdoptGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            CURRENT_SPAN.with(|c| c.set(prev));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -284,9 +385,14 @@ const SEQ_BUSY: u64 = 1 << 63;
 
 struct Slot {
     seq: AtomicU64,
-    // t_nanos, dur_nanos, meta (place<<32 | label<<16 | kind<<8 | phase), arg
-    words: [AtomicU64; 4],
+    // t_nanos, dur_nanos, meta (place<<32 | label<<16 | kind<<8 | phase),
+    // arg, span_id, parent_id
+    words: [AtomicU64; 6],
 }
+
+/// One packed ring record: `(t_nanos, dur_nanos, meta, arg, span_id,
+/// parent_id)` — the drain-side twin of [`Slot::words`].
+pub type PackedEvent = (u64, u64, u64, u64, u64, u64);
 
 /// A fixed-capacity, lock-free, overwrite-oldest ring of packed events.
 ///
@@ -323,22 +429,34 @@ impl EventRing {
         self.head.load(Ordering::Acquire)
     }
 
+    /// Events lost to ring wraparound so far: everything pushed beyond the
+    /// retained window has been overwritten. Feeds the
+    /// `gml_trace_dropped_total` Prometheus family and lets the
+    /// critical-path analyzer flag drop-affected iterations as incomplete
+    /// instead of reporting a bogus path.
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.slots.len() as u64)
+    }
+
     /// Append one packed event, overwriting the oldest if full.
     #[inline]
-    pub fn push(&self, t_nanos: u64, dur_nanos: u64, meta: u64, arg: u64) {
+    #[allow(clippy::too_many_arguments)] // packed-word fan-in, not an API
+    pub fn push(&self, t_nanos: u64, dur_nanos: u64, meta: u64, arg: u64, span: u64, parent: u64) {
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket & self.mask) as usize];
         slot.seq.store(ticket | SEQ_BUSY, Ordering::Release);
         slot.words[0].store(t_nanos, Ordering::Relaxed);
         slot.words[1].store(dur_nanos, Ordering::Relaxed);
         slot.words[2].store(meta, Ordering::Relaxed);
-        slot.words[3].store(arg, Ordering::Release);
+        slot.words[3].store(arg, Ordering::Relaxed);
+        slot.words[4].store(span, Ordering::Relaxed);
+        slot.words[5].store(parent, Ordering::Release);
         slot.seq.store(ticket, Ordering::Release);
     }
 
     /// Copy out the retained window, oldest first. Torn slots (concurrently
     /// overwritten during the copy) are skipped.
-    pub fn drain(&self) -> Vec<(u64, u64, u64, u64)> {
+    pub fn drain(&self) -> Vec<PackedEvent> {
         let head = self.head.load(Ordering::Acquire);
         let start = head.saturating_sub(self.slots.len() as u64);
         let mut out = Vec::with_capacity((head - start) as usize);
@@ -351,8 +469,10 @@ impl EventRing {
             let d = slot.words[1].load(Ordering::Acquire);
             let m = slot.words[2].load(Ordering::Acquire);
             let a = slot.words[3].load(Ordering::Acquire);
+            let s = slot.words[4].load(Ordering::Acquire);
+            let p = slot.words[5].load(Ordering::Acquire);
             if slot.seq.load(Ordering::Acquire) == ticket {
-                out.push((t, d, m, a));
+                out.push((t, d, m, a, s, p));
             }
         }
         out
@@ -465,31 +585,59 @@ impl Tracer {
         self.rings.read().get(place as usize).cloned()
     }
 
+    /// Per-place counts of events lost to ring wraparound (index = place).
+    pub fn dropped(&self) -> Vec<u64> {
+        self.rings.read().iter().map(|r| r.dropped()).collect()
+    }
+
+    /// Total events lost to ring wraparound across all places.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped().iter().sum()
+    }
+
     #[inline]
     #[allow(clippy::too_many_arguments)] // internal POD fan-in, not an API
-    fn emit(&self, place: u32, phase: Phase, kind: SpanKind, label: u16, arg: u64, t: u64, dur: u64) {
+    fn emit(
+        &self,
+        place: u32,
+        phase: Phase,
+        kind: SpanKind,
+        label: u16,
+        arg: u64,
+        t: u64,
+        dur: u64,
+        span: u64,
+        parent: u64,
+    ) {
         if let Some(ring) = self.ring(place) {
-            ring.push(t, dur, pack_meta(place, label, kind, phase), arg);
+            ring.push(t, dur, pack_meta(place, label, kind, phase), arg, span, parent);
         }
     }
 
-    /// Record an instant event (no duration).
+    /// Record an instant event (no duration). Returns the instant's
+    /// process-unique span id (0 when tracing is off) so a dispatch site can
+    /// hand it to the receiving place as the causal parent.
     #[inline]
-    pub fn instant(&self, place: u32, kind: SpanKind, arg: u64) {
+    pub fn instant(&self, place: u32, kind: SpanKind, arg: u64) -> u64 {
         if !self.is_on() {
-            return;
+            return 0;
         }
-        self.emit(place, Phase::Instant, kind, 0, arg, self.now_nanos(), 0);
+        let span = next_span_id();
+        self.emit(place, Phase::Instant, kind, 0, arg, self.now_nanos(), 0, span, current_span_id());
+        span
     }
 
-    /// Record an instant event with a static label.
+    /// Record an instant event with a static label. Returns the instant's
+    /// span id (0 when tracing is off), as [`instant`](Self::instant) does.
     #[inline]
-    pub fn instant_labeled(&self, place: u32, kind: SpanKind, label: &'static str, arg: u64) {
+    pub fn instant_labeled(&self, place: u32, kind: SpanKind, label: &'static str, arg: u64) -> u64 {
         if !self.is_on() {
-            return;
+            return 0;
         }
         let id = self.labels.intern(label);
-        self.emit(place, Phase::Instant, kind, id, arg, self.now_nanos(), 0);
+        let span = next_span_id();
+        self.emit(place, Phase::Instant, kind, id, arg, self.now_nanos(), 0, span, current_span_id());
+        span
     }
 
     /// Begin a span; the returned guard emits the end event (and feeds the
@@ -510,12 +658,26 @@ impl Tracer {
         arg: u64,
     ) -> SpanGuard<'_> {
         if !self.is_on() {
-            return SpanGuard { tracer: None, place, kind, label: 0, arg, t0: 0 };
+            return SpanGuard {
+                tracer: None,
+                place,
+                kind,
+                label: 0,
+                arg,
+                t0: 0,
+                span_id: 0,
+                parent_id: 0,
+                prev: 0,
+            };
         }
         let label = self.labels.intern(label);
         let t0 = self.now_nanos();
-        self.emit(place, Phase::Begin, kind, label, arg, t0, 0);
-        SpanGuard { tracer: Some(self), place, kind, label, arg, t0 }
+        let span_id = next_span_id();
+        // This span becomes the thread's innermost live span: its children
+        // (including work adopted at other places) parent on it.
+        let prev = CURRENT_SPAN.with(|c| c.replace(span_id));
+        self.emit(place, Phase::Begin, kind, label, arg, t0, 0, span_id, prev);
+        SpanGuard { tracer: Some(self), place, kind, label, arg, t0, span_id, parent_id: prev, prev }
     }
 
     /// Record a complete span whose duration was measured externally (the
@@ -529,8 +691,10 @@ impl Tracer {
         let dur_nanos = dur.as_nanos() as u64;
         let end = self.now_nanos();
         let begin = end.saturating_sub(dur_nanos);
-        self.emit(place, Phase::Begin, kind, 0, arg, begin, 0);
-        self.emit(place, Phase::End, kind, 0, arg, end, dur_nanos);
+        let span = next_span_id();
+        let parent = current_span_id();
+        self.emit(place, Phase::Begin, kind, 0, arg, begin, 0, span, parent);
+        self.emit(place, Phase::End, kind, 0, arg, end, dur_nanos, span, parent);
         self.metrics.kind(kind).record(dur_nanos);
     }
 
@@ -539,7 +703,7 @@ impl Tracer {
         let rings: Vec<Arc<EventRing>> = self.rings.read().clone();
         let mut out = Vec::new();
         for ring in rings {
-            for (t, d, m, a) in ring.drain() {
+            for (t, d, m, a, s, p) in ring.drain() {
                 let (place, label, kind, phase) = unpack_meta(m);
                 if let (Some(kind), Some(phase)) = (kind, phase) {
                     out.push(TraceEvent {
@@ -550,6 +714,8 @@ impl Tracer {
                         kind,
                         label: self.labels.get(label),
                         arg: a,
+                        span_id: s,
+                        parent_id: p,
                     });
                 }
             }
@@ -560,7 +726,10 @@ impl Tracer {
 
     /// Export the retained events as a Chrome `trace_event` JSON document
     /// (one thread track per place; span ends become complete `"X"` events
-    /// so rendering is robust to interleaved same-place spans).
+    /// so rendering is robust to interleaved same-place spans). Cross-place
+    /// parent links become `flow` events (`"s"` at the sender span, `"f"`
+    /// with `"bp":"e"` at the receiver span), so the viewer draws an arrow
+    /// from every `at`/`async_at` dispatch to the work it caused.
     pub fn chrome_json(&self) -> String {
         let events = self.events();
         let mut out = String::with_capacity(events.len() * 96 + 256);
@@ -577,6 +746,20 @@ impl Tracer {
                 "{{\"ph\":\"M\",\"pid\":0,\"tid\":{p},\"name\":\"thread_name\",\
                  \"args\":{{\"name\":\"place {p}\"}}}}"
             ));
+        }
+        // Span id → (place, begin ts) of the *drawn* event (End slices and
+        // instants), for resolving cross-place flow arrows.
+        let mut drawn: std::collections::HashMap<u64, (u32, u64)> = std::collections::HashMap::new();
+        for e in &events {
+            match e.phase {
+                Phase::End => {
+                    drawn.insert(e.span_id, (e.place, e.t_nanos.saturating_sub(e.dur_nanos)));
+                }
+                Phase::Instant => {
+                    drawn.entry(e.span_id).or_insert((e.place, e.t_nanos));
+                }
+                Phase::Begin => {}
+            }
         }
         for e in &events {
             let (ph, ts, dur) = match e.phase {
@@ -605,13 +788,80 @@ impl Tracer {
                 out.push_str(",\"s\":\"t\"");
             }
             out.push_str(&format!(
-                ",\"args\":{{\"arg\":{},\"label\":\"{}\"}}}}",
+                ",\"args\":{{\"arg\":{},\"label\":\"{}\",\"span\":{},\"parent\":{}}}}}",
                 e.arg,
-                escape_json(e.label)
+                escape_json(e.label),
+                e.span_id,
+                e.parent_id,
             ));
+            // Cross-place causality: if this drawn event's parent was drawn
+            // at another place, emit a flow pair (id = the child span id)
+            // linking sender → receiver.
+            if e.parent_id != 0 {
+                if let Some(&(pplace, pts)) = drawn.get(&e.parent_id) {
+                    if pplace != e.place {
+                        out.push_str(&format!(
+                            ",{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\
+                             \"ts\":{:.3},\"pid\":0,\"tid\":{}}}",
+                            e.kind.name(),
+                            e.span_id,
+                            pts as f64 / 1e3,
+                            pplace
+                        ));
+                        out.push_str(&format!(
+                            ",{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                             \"id\":{},\"ts\":{:.3},\"pid\":0,\"tid\":{}}}",
+                            e.kind.name(),
+                            e.span_id,
+                            ts as f64 / 1e3,
+                            e.place
+                        ));
+                    }
+                }
+            }
         }
         out.push_str("]}");
         out
+    }
+}
+
+/// Count the cross-place flow pairs ([`"ph":"s"`] starts) a Chrome export
+/// holds. `trace_smoke` uses this to assert a multi-place run's export links
+/// sender spans to receiver spans.
+pub fn count_flow_events(chrome_json: &str) -> usize {
+    chrome_json.matches("\"ph\":\"s\"").count()
+}
+
+/// Prepare a trace export destination: create any missing parent
+/// directories and probe writability, warning on stderr (in the loud
+/// [`env_parsed`](crate::monitor::env_parsed) style) when the path cannot
+/// be used. Returns whether an export to `path` can be expected to
+/// succeed. Called at runtime startup so a bad `GML_TRACE_OUT` is
+/// reported *before* the run, not after its data is already collected.
+pub fn prepare_out_path(path: &std::path::Path) -> bool {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!(
+                    "GML_TRACE_OUT: cannot create parent directory {}: {e}; \
+                     trace export will be skipped",
+                    parent.display()
+                );
+                return false;
+            }
+        }
+    }
+    // Probe writability without clobbering existing content; the export
+    // itself rewrites the file from scratch.
+    match std::fs::OpenOptions::new().append(true).create(true).open(path) {
+        Ok(_) => true,
+        Err(e) => {
+            eprintln!(
+                "GML_TRACE_OUT: {} is not writable: {e}; trace export will be skipped",
+                path.display()
+            );
+            false
+        }
     }
 }
 
@@ -645,12 +895,23 @@ pub struct SpanGuard<'a> {
     label: u16,
     arg: u64,
     t0: u64,
+    span_id: u64,
+    parent_id: u64,
+    /// The thread's previous innermost span, restored on drop.
+    prev: u64,
 }
 
 impl SpanGuard<'_> {
     /// Update the span's argument (e.g. bytes moved, discovered mid-span).
     pub fn set_arg(&mut self, arg: u64) {
         self.arg = arg;
+    }
+
+    /// This span's process-unique id (0 when tracing is off). While the
+    /// guard lives, this is also the thread's current span — the causal
+    /// parent a [`TraceCtx::capture`] inside the span will carry.
+    pub fn id(&self) -> u64 {
+        self.span_id
     }
 }
 
@@ -659,8 +920,19 @@ impl Drop for SpanGuard<'_> {
         if let Some(tr) = self.tracer {
             let t1 = tr.now_nanos();
             let dur = t1.saturating_sub(self.t0);
-            tr.emit(self.place, Phase::End, self.kind, self.label, self.arg, t1, dur);
+            tr.emit(
+                self.place,
+                Phase::End,
+                self.kind,
+                self.label,
+                self.arg,
+                t1,
+                dur,
+                self.span_id,
+                self.parent_id,
+            );
             tr.metrics.kind(self.kind).record(dur);
+            CURRENT_SPAN.with(|c| c.set(self.prev));
         }
     }
 }
@@ -830,6 +1102,12 @@ fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+// The per-iteration critical-path analyzer lives in its own file but is
+// addressed as `trace::critical_path`, mirroring how it consumes this
+// module's events.
+#[path = "critical_path.rs"]
+pub mod critical_path;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -838,12 +1116,14 @@ mod tests {
     fn ring_basic_push_drain() {
         let r = EventRing::new(16);
         for k in 0..5u64 {
-            r.push(k, 0, pack_meta(0, 0, SpanKind::Encode, Phase::Instant), k * 10);
+            r.push(k, 0, pack_meta(0, 0, SpanKind::Encode, Phase::Instant), k * 10, k + 1, 0);
         }
         let got = r.drain();
         assert_eq!(got.len(), 5);
         assert_eq!(got[0].0, 0);
         assert_eq!(got[4].3, 40);
+        assert_eq!(got[4].4, 5, "span id survives the round trip");
+        assert_eq!(r.dropped(), 0, "nothing wrapped yet");
     }
 
     #[test]
@@ -851,9 +1131,10 @@ mod tests {
         let r = EventRing::new(16); // exact power of two
         assert_eq!(r.capacity(), 16);
         for k in 0..40u64 {
-            r.push(k, 0, pack_meta(0, 0, SpanKind::At, Phase::Instant), k);
+            r.push(k, 0, pack_meta(0, 0, SpanKind::At, Phase::Instant), k, 0, 0);
         }
         assert_eq!(r.pushed(), 40);
+        assert_eq!(r.dropped(), 24, "wrap loss is counted, not silent");
         let got = r.drain();
         // The newest `capacity` events survive, oldest first.
         assert_eq!(got.len(), 16);
@@ -879,16 +1160,18 @@ mod tests {
             let r = Arc::clone(&r);
             handles.push(std::thread::spawn(move || {
                 for k in 0..1000u64 {
-                    // Writer-tagged payload: arg == t_nanos lets the reader
-                    // verify slot integrity.
+                    // Writer-tagged payload: arg == t_nanos == span_id lets
+                    // the reader verify slot integrity across all words.
                     let v = t * 1_000_000 + k;
-                    r.push(v, 0, pack_meta(t as u32, 0, SpanKind::At, Phase::Instant), v);
+                    r.push(v, 0, pack_meta(t as u32, 0, SpanKind::At, Phase::Instant), v, v, v);
                 }
             }));
         }
         for _ in 0..50 {
             for e in r.drain() {
                 assert_eq!(e.0, e.3, "torn slot surfaced to a reader");
+                assert_eq!(e.0, e.4, "torn span word surfaced to a reader");
+                assert_eq!(e.0, e.5, "torn parent word surfaced to a reader");
             }
         }
         for h in handles {
@@ -896,6 +1179,7 @@ mod tests {
         }
         for e in r.drain() {
             assert_eq!(e.0, e.3);
+            assert_eq!(e.0, e.4);
         }
     }
 
@@ -977,6 +1261,132 @@ mod tests {
         assert!(validate_json("{} extra").is_err());
         assert!(validate_json("{'a':1}").is_err());
         assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nest_as_parents() {
+        let tr = Tracer::enabled(256);
+        tr.ensure_place(1);
+        let (outer_id, inner_id);
+        {
+            let outer = tr.span(0, SpanKind::Step, 1);
+            outer_id = outer.id();
+            assert_ne!(outer_id, 0);
+            assert_eq!(current_span_id(), outer_id, "guard installs itself as current");
+            {
+                let inner = tr.span(0, SpanKind::Checkpoint, 2);
+                inner_id = inner.id();
+                assert_ne!(inner_id, outer_id);
+                assert_eq!(current_span_id(), inner_id);
+            }
+            assert_eq!(current_span_id(), outer_id, "inner drop restores the parent");
+        }
+        assert_eq!(current_span_id(), 0, "outer drop restores the root");
+        let ev = tr.events();
+        let inner_end = ev
+            .iter()
+            .find(|e| e.kind == SpanKind::Checkpoint && e.phase == Phase::End)
+            .unwrap();
+        assert_eq!(inner_end.span_id, inner_id);
+        assert_eq!(inner_end.parent_id, outer_id, "nesting is recorded as parentage");
+        let outer_end =
+            ev.iter().find(|e| e.kind == SpanKind::Step && e.phase == Phase::End).unwrap();
+        assert_eq!(outer_end.parent_id, 0, "top-level span is a root");
+    }
+
+    #[test]
+    fn trace_ctx_carries_parent_across_threads() {
+        let tr = Arc::new(Tracer::enabled(256));
+        tr.ensure_place(2);
+        let ctx = {
+            let _g = tr.span(0, SpanKind::At, 9);
+            TraceCtx::capture(&tr, 0)
+        };
+        assert_ne!(ctx.parent, 0);
+        // Simulate the receiving place's dispatcher thread adopting the
+        // context before running the task body.
+        let tr2 = Arc::clone(&tr);
+        std::thread::spawn(move || {
+            let _adopt = ctx.adopt();
+            let _g = tr2.span(1, SpanKind::AtRemote, 0);
+        })
+        .join()
+        .unwrap();
+        let ev = tr.events();
+        let remote =
+            ev.iter().find(|e| e.kind == SpanKind::AtRemote && e.phase == Phase::End).unwrap();
+        assert_eq!(remote.parent_id, ctx.parent, "receiver span parents on the sender span");
+        assert_eq!(current_span_id(), 0, "adoption never leaks into other threads");
+    }
+
+    #[test]
+    fn disabled_tracer_captures_no_context() {
+        let tr = Tracer::disabled();
+        let ctx = TraceCtx::capture(&tr, 3);
+        assert_eq!(ctx, TraceCtx::NONE);
+        let _adopt = ctx.adopt(); // must be inert
+        assert_eq!(current_span_id(), 0);
+    }
+
+    #[test]
+    fn chrome_json_links_cross_place_spans_with_flow_events() {
+        let tr = Arc::new(Tracer::enabled(256));
+        tr.ensure_place(2);
+        let ctx = {
+            let _g = tr.span(0, SpanKind::At, 0);
+            TraceCtx::capture(&tr, 0)
+        };
+        let tr2 = Arc::clone(&tr);
+        std::thread::spawn(move || {
+            let _adopt = ctx.adopt();
+            let _g = tr2.span(1, SpanKind::AtRemote, 0);
+        })
+        .join()
+        .unwrap();
+        let json = tr.chrome_json();
+        validate_chrome_trace(&json).expect("flow-bearing export stays valid JSON");
+        assert_eq!(count_flow_events(&json), 1, "one cross-place edge, one flow pair");
+        assert!(json.contains("\"ph\":\"f\""), "flow finish present");
+        assert!(json.contains("\"bp\":\"e\""), "flow binds to the enclosing slice");
+        // Same-place nesting must NOT produce flows.
+        let tr3 = Tracer::enabled(256);
+        tr3.ensure_place(1);
+        {
+            let _a = tr3.span(0, SpanKind::Step, 0);
+            let _b = tr3.span(0, SpanKind::Checkpoint, 0);
+        }
+        assert_eq!(count_flow_events(&tr3.chrome_json()), 0);
+    }
+
+    #[test]
+    fn tracer_reports_per_place_drops() {
+        let tr = Tracer::enabled(16);
+        tr.ensure_place(2);
+        for i in 0..40 {
+            tr.instant(0, SpanKind::At, i);
+        }
+        tr.instant(1, SpanKind::At, 0);
+        let dropped = tr.dropped();
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(dropped[0], 24, "place 0 wrapped");
+        assert_eq!(dropped[1], 0, "place 1 did not");
+        assert_eq!(tr.dropped_total(), 24);
+    }
+
+    #[test]
+    fn prepare_out_path_creates_parents_and_rejects_directories() {
+        let base = std::env::temp_dir().join(format!(
+            "gml_trace_out_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let nested = base.join("a/b/c/trace.json");
+        assert!(prepare_out_path(&nested), "missing parents should be created");
+        assert!(nested.parent().unwrap().is_dir());
+        // A directory at the target path is not a writable file.
+        assert!(!prepare_out_path(&base.join("a/b")));
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! current directory, so successive commits can be compared without
 //! scraping bench stdout.
 //!
-//! The kernel file records the worker count the run used (`GML_WORKERS` or
-//! auto-sized) — speedups are only comparable at equal width.
+//! Every file is stamped with host metadata (resolved worker count, cpu
+//! count, the raw `GML_WORKERS` setting) — speedups are only comparable at
+//! equal width, and `bench_regress` enforces that before diffing.
 //!
 //! Usage: `cargo run --release -p gml-bench --bin bench_json`
 
@@ -352,6 +353,22 @@ fn write_file(path: &str, json: &str) {
     println!("wrote {path}");
 }
 
+/// Host-metadata stamp shared by every output file: numbers are only
+/// comparable between runs at equal worker width on similar hardware, and
+/// `bench_regress` refuses to diff files whose stamps disagree.
+fn host_meta_json() -> String {
+    let gml_workers = match std::env::var("GML_WORKERS") {
+        Ok(v) if !v.is_empty() => format!("\"{v}\""),
+        _ => "null".to_string(),
+    };
+    format!(
+        "  \"workers\": {},\n  \"available_parallelism\": {},\n  \"gml_workers_env\": {},\n",
+        pool::workers(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        gml_workers,
+    )
+}
+
 fn main() {
     let mut c = Criterion::default();
     run(&mut c);
@@ -362,7 +379,7 @@ fn main() {
         .cloned()
         .partition(|r| r.name.starts_with("serial_throughput/"));
 
-    let mut json = format!("{{\n{}", benchmarks_json(&serial));
+    let mut json = format!("{{\n{}{}", host_meta_json(), benchmarks_json(&serial));
     // Derived speedups of the bulk fast path over the element-wise codec.
     push_speedup(
         &mut json,
@@ -383,12 +400,7 @@ fn main() {
 
     // Kernel pool results: record the worker width the numbers were taken
     // at — a 1-core container honestly reports ~1.0x.
-    let mut json = format!(
-        "{{\n  \"workers\": {},\n  \"available_parallelism\": {},\n{}",
-        pool::workers(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        benchmarks_json(&kernel)
-    );
+    let mut json = format!("{{\n{}{}", host_meta_json(), benchmarks_json(&kernel));
     // The spmv names embed the realized nnz — match on the stable parts.
     let spmv_pooled = kernel.iter().find(|r| r.name.contains("spmv") && r.name.ends_with("_pooled"));
     let spmv_serial = kernel.iter().find(|r| r.name.contains("spmv") && r.name.ends_with("_serial"));
@@ -443,12 +455,7 @@ fn main() {
     // threads need a spare core to overlap with compute, so a 1-core
     // container honestly reports ~1.0x.
     let ckpt = run_checkpoint();
-    let mut json = format!(
-        "{{\n  \"workers\": {},\n  \"available_parallelism\": {},\n{}",
-        pool::workers(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        benchmarks_json(&ckpt.results)
-    );
+    let mut json = format!("{{\n{}{}", host_meta_json(), benchmarks_json(&ckpt.results));
     push_speedup(
         &mut json,
         &ckpt.results,

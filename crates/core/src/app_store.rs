@@ -654,7 +654,7 @@ mod tests {
             let g: PlaceGroup =
                 [Place::new(1), Place::new(2), Place::new(3)].into_iter().collect();
             let mut store = AppResilientStore::make(ctx).unwrap();
-            let mut v = DupVector::make(ctx, 2, &g).unwrap();
+            let v = DupVector::make(ctx, 2, &g).unwrap();
             v.init(ctx, |_| 5.0).unwrap();
             store.set_overlap(true);
 

@@ -19,13 +19,16 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use apgas::prelude::*;
-use apgas::trace::Phase;
+use apgas::trace::{critical_path, Phase};
 
 use crate::snapshot::Snapshot;
 use crate::store::{PlaceInventory, ResilientStore, SnapshotAudit};
 
 /// How many trailing trace events per place a bundle retains.
 const TRACE_TAIL_PER_PLACE: usize = 64;
+
+/// How many trailing per-iteration critical-path rows a bundle retains.
+const PATH_ROWS: usize = 8;
 
 /// Why the executor restored the way it did: the configured mode, what
 /// actually happened (fallbacks included), and the inputs to that decision.
@@ -82,6 +85,10 @@ pub struct PostMortem {
     /// The last [`TRACE_TAIL_PER_PLACE`] trace events of each place, in
     /// global time order (empty when tracing is off).
     pub trace_tail: Vec<TraceEvent>,
+    /// The last [`PATH_ROWS`] per-iteration critical-path profiles the
+    /// tracer could still reconstruct at capture time (empty when tracing is
+    /// off). Shows where the pre-failure iterations spent their time.
+    pub path_rows: Vec<IterProfile>,
 }
 
 impl PostMortem {
@@ -94,6 +101,11 @@ impl PostMortem {
         decision: RestoreDecision,
         seq: u64,
     ) -> Self {
+        let events = ctx.tracer().events();
+        let mut path_rows = critical_path::analyze(&events, &ctx.tracer().dropped());
+        if path_rows.len() > PATH_ROWS {
+            path_rows.drain(..path_rows.len() - PATH_ROWS);
+        }
         PostMortem {
             seq,
             captured_at_nanos: ctx.tracer().now_nanos(),
@@ -102,7 +114,8 @@ impl PostMortem {
             ledger: ctx.finish_ledger(),
             store: store.inventory(ctx),
             snapshots: committed.iter().map(|s| store.audit_snapshot(ctx, s)).collect(),
-            trace_tail: trace_tail(&ctx.tracer().events(), TRACE_TAIL_PER_PLACE),
+            trace_tail: trace_tail(&events, TRACE_TAIL_PER_PLACE),
+            path_rows,
         }
     }
 
@@ -191,13 +204,37 @@ impl PostMortem {
             };
             s.push_str(&format!(
                 "{{\"t_nanos\":{},\"dur_nanos\":{},\"place\":{},\"phase\":\"{phase}\",\
-                 \"kind\":\"{}\",\"label\":\"{}\",\"arg\":{}}}",
+                 \"kind\":\"{}\",\"label\":\"{}\",\"arg\":{},\"span_id\":{},\
+                 \"parent_id\":{}}}",
                 e.t_nanos,
                 e.dur_nanos,
                 e.place,
                 esc(e.kind.name()),
                 esc(e.label),
                 e.arg,
+                e.span_id,
+                e.parent_id,
+            ));
+        }
+        s.push_str("],\"path_rows\":[");
+        for (i, p) in self.path_rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"iteration\":{},\"wall_nanos\":{},\"critical_path_nanos\":{},\
+                 \"compute_nanos\":{},\"ship_nanos\":{},\"ctl_nanos\":{},\"idle_nanos\":{},\
+                 \"dominant_place\":{},\"straggler_ratio\":{:.4},\"complete\":{}}}",
+                p.iteration,
+                p.wall_nanos,
+                p.critical_path_nanos,
+                p.compute_nanos,
+                p.ship_nanos,
+                p.ctl_nanos,
+                p.idle_nanos,
+                p.dominant_place,
+                p.straggler_ratio,
+                p.complete,
             ));
         }
         s.push_str("]}");
@@ -316,6 +353,8 @@ mod tests {
             kind: SpanKind::Step,
             label: "",
             arg: t,
+            span_id: t + 1,
+            parent_id: 0,
         }
     }
 
@@ -330,6 +369,7 @@ mod tests {
             store: vec![],
             snapshots: vec![],
             trace_tail: vec![],
+            path_rows: vec![],
         };
         pm.validate().unwrap();
         let json = pm.to_json();
@@ -370,6 +410,18 @@ mod tests {
                 bytes: 256,
             }],
             trace_tail: vec![event(1, 0), event(2, 1)],
+            path_rows: vec![IterProfile {
+                iteration: 9,
+                wall_nanos: 100,
+                critical_path_nanos: 80,
+                compute_nanos: 60,
+                ship_nanos: 15,
+                ctl_nanos: 5,
+                idle_nanos: 20,
+                dominant_place: 1,
+                straggler_ratio: 1.25,
+                complete: true,
+            }],
         };
         pm.validate().unwrap();
         let json = pm.to_json();
@@ -377,6 +429,9 @@ mod tests {
         assert!(json.contains("\"invariant_ok\":false"));
         assert!(json.contains("\"kind\":\"exec.step\""));
         assert!(json.contains("\"phase\":\"instant\""));
+        assert!(json.contains("\"span_id\":2"), "trace tail carries span identity");
+        assert!(json.contains("\"iteration\":9"));
+        assert!(json.contains("\"straggler_ratio\":1.2500"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::time::{Duration, Instant};
 
 use apgas::prelude::*;
+use apgas::trace::critical_path;
 
 use crate::app_store::AppResilientStore;
 use crate::error::{GmlError, GmlResult};
@@ -260,6 +261,7 @@ impl ResilientExecutor {
                 ship: None,
                 restore: None,
                 delta: Default::default(),
+                path: None,
             };
             // Periodic coordinated checkpoint (also re-taken right after a
             // restore, re-establishing full snapshot redundancy).
@@ -316,6 +318,22 @@ impl ResilientExecutor {
                 app.step(ctx, iteration)
             };
             row.step = t.elapsed();
+            // With tracing on, reconstruct this pass's cross-place critical
+            // path from the rings (the Step span just closed) and feed the
+            // watchdog so regressions and stragglers are flagged online.
+            if ctx.tracer().is_on() {
+                let events = ctx.tracer().events();
+                let dropped = ctx.tracer().dropped();
+                let profiles = critical_path::analyze(&events, &dropped);
+                // Re-executed iterations share a number after rollback;
+                // the latest window is this pass's.
+                if let Some(p) =
+                    profiles.iter().rev().find(|p| p.iteration == row.iteration)
+                {
+                    row.path = Some(*p);
+                    ctx.observe_iteration(p);
+                }
+            }
             match result {
                 Ok(()) => {
                     stats.step_time += t.elapsed();

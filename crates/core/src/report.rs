@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use apgas::metrics::fmt_nanos;
 use apgas::stats::StatsSnapshot;
+use apgas::IterProfile;
 
 use crate::forensics::PostMortem;
 
@@ -59,6 +60,10 @@ pub struct IterRow {
     pub restore: Option<RestoreCost>,
     /// Runtime counter deltas consumed by this pass.
     pub delta: StatsSnapshot,
+    /// Cross-place critical-path profile of this pass's step window,
+    /// reconstructed from the trace rings. `None` when tracing is off or
+    /// the pass had no step.
+    pub path: Option<IterProfile>,
 }
 
 /// The full per-iteration cost breakdown of one executor run.
@@ -104,6 +109,18 @@ impl CostReport {
     /// Total restores across all rows.
     pub fn restores(&self) -> u64 {
         self.rows.iter().filter(|r| r.restore.is_some()).count() as u64
+    }
+
+    /// Do the critical-path profiles telescope with the iteration totals:
+    /// path ≤ wall, breakdown parts ≤ path, idle = wall − path? Vacuously
+    /// true when no row carries a profile. Asserted by tests and the CI
+    /// trace smoke.
+    pub fn paths_consistent(&self) -> bool {
+        self.rows.iter().filter_map(|r| r.path.as_ref()).all(|p| {
+            p.critical_path_nanos <= p.wall_nanos
+                && p.compute_nanos + p.ship_nanos + p.ctl_nanos <= p.critical_path_nanos
+                && p.idle_nanos == p.wall_nanos - p.critical_path_nanos
+        })
     }
 
     /// Render the Table-III-style per-iteration cost table plus a totals
@@ -165,6 +182,39 @@ impl CostReport {
             fmt_bytes(t.bytes_shipped),
             fmt_bytes(t.bytes_received),
         ));
+        if self.rows.iter().any(|r| r.path.is_some()) {
+            out.push_str(&self.render_paths());
+        }
+        out
+    }
+
+    /// Render the per-iteration critical-path table (only rows that carry a
+    /// profile). `path` is the dominant place's busy coverage within the
+    /// step window; `compute/ship/ctl` decompose it with overlap removed;
+    /// `idle` is the window time no place was working the path;
+    /// `straggler` is slowest/median per-place compute. A trailing `!` on
+    /// the iter column marks a profile degraded by trace-ring drops.
+    pub fn render_paths(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path:\n{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6} {:>9}\n",
+            "iter", "wall", "path", "compute", "ship", "ctl", "idle", "place", "straggler"
+        ));
+        for r in &self.rows {
+            let Some(p) = &r.path else { continue };
+            out.push_str(&format!(
+                "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6} {:>9.2}\n",
+                format!("{}{}", p.iteration, if p.complete { "" } else { "!" }),
+                fmt_nanos(p.wall_nanos),
+                fmt_nanos(p.critical_path_nanos),
+                fmt_nanos(p.compute_nanos),
+                fmt_nanos(p.ship_nanos),
+                fmt_nanos(p.ctl_nanos),
+                fmt_nanos(p.idle_nanos),
+                p.dominant_place,
+                p.straggler_ratio,
+            ));
+        }
         out
     }
 }
@@ -200,6 +250,7 @@ mod tests {
                 ctl_spawns: ctl,
                 ..Default::default()
             },
+            path: None,
         }
     }
 
@@ -240,6 +291,37 @@ mod tests {
         assert!(text.contains("capture"), "two-phase capture column present");
         assert!(text.contains("ship(t)"), "two-phase ship-time column present");
         assert_eq!(report.restores(), 1);
+    }
+
+    #[test]
+    fn render_paths_table_and_consistency() {
+        let mut r = row(3, 0, 0, 0);
+        r.path = Some(IterProfile {
+            iteration: 3,
+            wall_nanos: 1_000_000,
+            critical_path_nanos: 700_000,
+            compute_nanos: 500_000,
+            ship_nanos: 150_000,
+            ctl_nanos: 50_000,
+            idle_nanos: 300_000,
+            dominant_place: 2,
+            straggler_ratio: 1.75,
+            complete: true,
+        });
+        let report = CostReport { totals: r.delta, rows: vec![r], bundles: vec![] };
+        assert!(report.paths_consistent());
+        let text = report.render();
+        assert!(text.contains("critical path:"));
+        assert!(text.contains("straggler"));
+        assert!(text.contains("1.75"));
+        // Inconsistent profile is caught.
+        let mut bad = report.clone();
+        bad.rows[0].path.as_mut().unwrap().critical_path_nanos = 2_000_000;
+        assert!(!bad.paths_consistent());
+        // Drop-degraded profiles are marked.
+        let mut dropped = report;
+        dropped.rows[0].path.as_mut().unwrap().complete = false;
+        assert!(dropped.render().contains("3!"));
     }
 
     #[test]

@@ -106,6 +106,52 @@ macro_rules! float_strategy {
 
 float_strategy!(f32, f64);
 
+// Tuples of strategies are themselves strategies, generating each component
+// in order — mirrors upstream proptest's tuple composition.
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Collection strategies (upstream `proptest::collection` subset).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, min..max)`: a vector of `element`-generated values
+    /// whose length is drawn uniformly from `min..max`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.new_value(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
 /// `any::<T>()` strategy: the full value domain of `T`.
 pub struct Any<T> {
     _marker: std::marker::PhantomData<T>,
@@ -155,6 +201,7 @@ impl Arbitrary for f64 {
 
 /// Everything a test file needs via `use proptest::prelude::*`.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{any, Any, Arbitrary, ProptestConfig, Strategy, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
@@ -283,6 +330,20 @@ mod tests {
         #[test]
         fn default_config_works(n in 0u32..10) {
             prop_assert!(n < 10);
+        }
+    }
+
+    proptest! {
+        /// Tuple and collection strategies compose.
+        #[test]
+        fn vec_of_tuples_in_bounds(
+            v in prop::collection::vec((0u32..4, 1u64..100), 1..16),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 16);
+            for &(a, b) in &v {
+                prop_assert!(a < 4);
+                prop_assert!((1..100).contains(&b));
+            }
         }
     }
 }
