@@ -73,6 +73,15 @@ cargo run --release -p gml-bench --bin checkpoint_parity -- per_pair \
 diff "$CKPT_DIR/batched.txt" "$CKPT_DIR/per_pair.txt" \
     || { echo "checkpoint parity: batched and per-pair transports diverge"; exit 1; }
 
+echo "== mem overhead (profiled cost ceiling + compiled-out no-op path) =="
+# The memory plane's two-sided cost contract: with the default features the
+# ledger's charge/discharge pair must stay within a small fixed ceiling and
+# the counting allocator must observe traffic (mem_overhead asserts both);
+# with mem-profile off, every ledger path must compile to a no-op and the
+# whole apgas suite must still pass.
+cargo run --release -p gml-bench --bin mem_overhead
+cargo test -q -p apgas --no-default-features --features trace > /dev/null
+
 echo "== bench regress (fresh bench_json vs committed baselines) =="
 # Re-runs the JSON benchmarks into a scratch dir and diffs every benchmark
 # minimum and derived speedup against the committed BENCH_*.json (per-key

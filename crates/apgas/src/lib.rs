@@ -44,6 +44,7 @@
 //! ```
 
 pub mod error;
+pub mod mem;
 pub mod metrics;
 pub mod monitor;
 pub mod place;
@@ -58,6 +59,7 @@ pub mod trace;
 
 pub use error::{ApgasError, DeadPlaceException, Result};
 pub use finish::{FinishScope, LedgerEntry};
+pub use mem::{MemReport, MemScope, MemTag};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
 pub use monitor::watchdog::{Watchdog, WatchdogReport};
 pub use monitor::{HealthBoard, HealthSnapshot, MonitorServer, PlaceHealth};
@@ -73,6 +75,7 @@ pub use trace::{SpanGuard, SpanKind, TraceCtx, TraceEvent, Tracer};
 pub mod prelude {
     pub use crate::error::{ApgasError, DeadPlaceException, Result as ApgasResult};
     pub use crate::finish::{FinishScope, LedgerEntry};
+    pub use crate::mem::{self, MemReport, MemScope, MemTag};
     pub use crate::metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
     pub use crate::monitor::watchdog::{Watchdog, WatchdogReport};
     pub use crate::monitor::{HealthSnapshot, MonitorServer};

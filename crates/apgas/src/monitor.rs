@@ -373,6 +373,93 @@ pub fn render_pool(out: &mut String) {
     }
 }
 
+/// Render the memory plane: the per-tag byte ledger plus the counting
+/// allocator's process-wide heap gauges. With `mem-profile` compiled out
+/// every sample renders as 0.
+pub fn render_mem(out: &mut String) {
+    let r = crate::mem::report();
+    family_header(
+        out,
+        "gml_mem_tag_bytes",
+        "gauge",
+        "Bytes currently charged to each subsystem ledger tag.",
+    );
+    for t in &r.tags {
+        out.push_str(&format!("gml_mem_tag_bytes{{tag=\"{}\"}} {}\n", t.tag.label(), t.current));
+    }
+    family_header(
+        out,
+        "gml_mem_tag_high_water_bytes",
+        "gauge",
+        "High-water mark of bytes charged to each subsystem ledger tag.",
+    );
+    for t in &r.tags {
+        out.push_str(&format!(
+            "gml_mem_tag_high_water_bytes{{tag=\"{}\"}} {}\n",
+            t.tag.label(),
+            t.high_water
+        ));
+    }
+    family_header(
+        out,
+        "gml_mem_tag_charges_total",
+        "counter",
+        "Cumulative charge operations against each subsystem ledger tag.",
+    );
+    for t in &r.tags {
+        out.push_str(&format!(
+            "gml_mem_tag_charges_total{{tag=\"{}\"}} {}\n",
+            t.tag.label(),
+            t.charges
+        ));
+    }
+    family_header(out, "gml_mem_heap_bytes", "gauge", "Live heap bytes (counting allocator).");
+    out.push_str(&format!("gml_mem_heap_bytes {}\n", r.heap_bytes));
+    family_header(
+        out,
+        "gml_mem_heap_peak_bytes",
+        "gauge",
+        "Peak live heap bytes since process start.",
+    );
+    out.push_str(&format!("gml_mem_heap_peak_bytes {}\n", r.heap_peak_bytes));
+    family_header(
+        out,
+        "gml_mem_heap_allocs_total",
+        "counter",
+        "Heap allocations since process start.",
+    );
+    out.push_str(&format!("gml_mem_heap_allocs_total {}\n", r.heap_allocs));
+}
+
+/// Render the serial-arena (encode-buffer pool) reuse counters, aggregated
+/// across every thread.
+pub fn render_arena(out: &mut String) {
+    let s = bytes::global_pool_stats();
+    let counters: [(&str, u64, &str); 3] = [
+        ("gml_arena_hits_total", s.hits, "Encode-buffer requests served from the arena pool."),
+        ("gml_arena_misses_total", s.misses, "Encode-buffer requests that hit the allocator."),
+        ("gml_arena_recycled_total", s.recycled, "Encode buffers parked back into the pool."),
+    ];
+    for (name, v, help) in counters {
+        family_header(out, name, "counter", help);
+        out.push_str(&format!("{name} {v}\n"));
+    }
+    family_header(
+        out,
+        "gml_arena_parked_bytes",
+        "gauge",
+        "Capacity currently parked in arena free lists, all threads.",
+    );
+    out.push_str(&format!("gml_arena_parked_bytes {}\n", s.parked_bytes));
+    family_header(
+        out,
+        "gml_arena_parked_high_water_bytes",
+        "gauge",
+        "High-water mark of parked arena capacity.",
+    );
+    out.push_str(&format!("gml_arena_parked_high_water_bytes {}\n", s.parked_bytes_high_water));
+}
+
 /// The hand-rolled HTTP/1.0 scrape server.
 ///
 /// One accept loop on a dedicated thread; each connection gets the full
@@ -533,6 +620,38 @@ mod tests {
         assert!(out.contains("# TYPE gml_trace_dropped_total counter"));
         assert!(out.contains("gml_trace_dropped_total{place=\"0\"} 0"));
         assert!(out.contains("gml_trace_dropped_total{place=\"1\"} 17"));
+    }
+
+    #[test]
+    fn render_mem_emits_every_tag_and_heap_gauges() {
+        let mut out = String::new();
+        render_mem(&mut out);
+        assert!(out.contains("# TYPE gml_mem_tag_bytes gauge"));
+        for tag in crate::mem::TAGS {
+            assert!(
+                out.contains(&format!("gml_mem_tag_bytes{{tag=\"{}\"}}", tag.label())),
+                "missing tag {}",
+                tag.label()
+            );
+            assert!(out
+                .contains(&format!("gml_mem_tag_high_water_bytes{{tag=\"{}\"}}", tag.label())));
+        }
+        assert!(out.contains("gml_mem_heap_bytes "));
+        assert!(out.contains("gml_mem_heap_peak_bytes "));
+        assert!(out.contains("gml_mem_heap_allocs_total "));
+    }
+
+    #[test]
+    fn render_arena_emits_pool_counters() {
+        let mut out = String::new();
+        render_arena(&mut out);
+        for family in
+            ["gml_arena_hits_total", "gml_arena_misses_total", "gml_arena_recycled_total"]
+        {
+            assert!(out.contains(&format!("# TYPE {family} counter")), "{family} missing");
+        }
+        assert!(out.contains("gml_arena_parked_bytes "));
+        assert!(out.contains("gml_arena_parked_high_water_bytes "));
     }
 
     #[test]

@@ -155,7 +155,16 @@ impl RtInner {
             return Err(DeadPlaceException::new(p, "send to dead place"));
         }
         self.health.on_enqueue(&st.health);
-        st.tx.send(env).map_err(|_| DeadPlaceException::new(p, "runtime shut down"))
+        // Mailbox ledger: envelope-header bytes queued but not yet drained
+        // (closure captures are opaque to the runtime and not charged; the
+        // dispatcher discharges after recv). A failed send discharges
+        // immediately, and envelopes stranded behind `Stop` at shutdown are
+        // a bounded, documented residue.
+        crate::mem::charge(crate::mem::MemTag::Mailbox, std::mem::size_of::<Envelope>());
+        st.tx.send(env).map_err(|_| {
+            crate::mem::discharge(crate::mem::MemTag::Mailbox, std::mem::size_of::<Envelope>());
+            DeadPlaceException::new(p, "runtime shut down")
+        })
     }
 
     /// Freeze every place's heartbeat gauges (liveness read from the same
@@ -516,6 +525,13 @@ impl Ctx {
                 self.rt.health.raise_anomaly(p);
             }
         }
+        // Memory is process-wide (places share one address space here), so
+        // a pressure alarm flags place zero, the coordinator. With
+        // `mem-profile` compiled out the heap level reads 0 and a
+        // configured budget simply never trips.
+        if self.rt.watchdog.observe_memory(crate::mem::heap_bytes()) {
+            self.rt.health.raise_anomaly(0);
+        }
         regressed
     }
 
@@ -637,6 +653,8 @@ impl Runtime {
                 monitor::render_health(&mut out, &rt.health_snapshots());
                 monitor::render_metrics(&mut out, &rt.tracer.metrics().snapshots());
                 monitor::render_pool(&mut out);
+                monitor::render_mem(&mut out);
+                monitor::render_arena(&mut out);
                 monitor::render_dropped(&mut out, &rt.tracer.dropped());
                 rt.watchdog.render(&mut out);
                 for collect in rt.collectors.lock().iter() {
@@ -754,6 +772,7 @@ impl Drop for Runtime {
 fn dispatch_loop(rt: Arc<RtInner>, place: Place, rx: Receiver<Envelope>, health: Arc<PlaceHealth>) {
     while let Ok(env) = rx.recv() {
         rt.health.on_dequeue(&health);
+        crate::mem::discharge(crate::mem::MemTag::Mailbox, std::mem::size_of::<Envelope>());
         match env {
             Envelope::Stop => break,
             Envelope::Task { run } => {

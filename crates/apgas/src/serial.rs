@@ -468,6 +468,15 @@ pub mod arena {
         bytes::pool_stats()
     }
 
+    /// Process-wide arena reuse counters plus the current/high-water parked
+    /// capacity, aggregated over every thread. This is what the monitor's
+    /// `gml_arena_*` families and the memory ledger's `serial_arena` tag
+    /// read — the thread-local [`reuse_stats`] view can't see reuse
+    /// happening inside pool worker threads.
+    pub fn global_reuse_stats() -> bytes::GlobalPoolStats {
+        bytes::global_pool_stats()
+    }
+
     /// Reset this thread's arena reuse counters (parked buffers are kept).
     pub fn reset_reuse_stats() {
         bytes::reset_pool_stats()

@@ -416,6 +416,7 @@ impl EventRing {
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        crate::mem::charge(crate::mem::MemTag::TraceRing, cap * std::mem::size_of::<Slot>());
         EventRing { slots, mask: cap as u64 - 1, head: AtomicU64::new(0) }
     }
 
@@ -423,6 +424,18 @@ impl EventRing {
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }
+}
+
+impl Drop for EventRing {
+    fn drop(&mut self) {
+        crate::mem::discharge(
+            crate::mem::MemTag::TraceRing,
+            self.slots.len() * std::mem::size_of::<Slot>(),
+        );
+    }
+}
+
+impl EventRing {
 
     /// Total events ever pushed (≥ what a drain can return once wrapped).
     pub fn pushed(&self) -> u64 {

@@ -24,6 +24,13 @@
 //! | `GML_WATCHDOG_WARMUP` | `3` | iterations observed before flagging |
 //! | `GML_WATCHDOG_BACKLOG_MIN` | `8` | mailbox depth below which growth is ignored |
 //! | `GML_WATCHDOG_BACKLOG_RUNS` | `3` | consecutive growth observations before an alarm |
+//! | `GML_MEM_BUDGET` | `0` (off) | process heap budget in bytes for memory-pressure alarms |
+//!
+//! With a nonzero `GML_MEM_BUDGET`, [`Watchdog::observe_memory`] samples
+//! the live heap level once per executor iteration and raises a
+//! `memory_pressure` anomaly when the level crosses 90% of the budget, or
+//! when the EWMA'd per-iteration growth rate projects the budget being
+//! crossed within the next 8 iterations.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -44,6 +51,12 @@ struct WatchState {
     backlog: Vec<(u64, u32)>,
     /// The most recent profile, for gauge rendering and report columns.
     last: Option<IterProfile>,
+    /// Heap level at the previous memory observation, bytes.
+    last_resident: u64,
+    /// EWMA of per-observation heap growth, bytes (can be negative).
+    mem_growth_ewma: f64,
+    /// Memory observations so far.
+    mem_observed: u64,
 }
 
 /// The watchdog proper. One per runtime, shared via `Arc`.
@@ -53,11 +66,15 @@ pub struct Watchdog {
     warmup: u64,
     backlog_min: u64,
     backlog_runs: u32,
+    /// Process heap budget in bytes; 0 disables memory-pressure alarms.
+    mem_budget: u64,
     state: Mutex<WatchState>,
     /// Iterations flagged as wall-time regressions.
     regressions: AtomicU64,
     /// Backlog-growth alarms raised (one per offending observation run).
     backlog_alarms: AtomicU64,
+    /// Memory-pressure alarms raised.
+    mem_alarms: AtomicU64,
 }
 
 /// A frozen view of the watchdog's verdicts, for end-of-run printing.
@@ -69,6 +86,8 @@ pub struct WatchdogReport {
     pub regressions: u64,
     /// Mailbox-backlog growth alarms raised.
     pub backlog_alarms: u64,
+    /// Memory-pressure alarms raised.
+    pub mem_alarms: u64,
     /// Current EWMA of iteration wall time, nanoseconds.
     pub ewma_nanos: u64,
     /// The last iteration profile observed, if any.
@@ -90,10 +109,19 @@ impl Watchdog {
             warmup,
             backlog_min: 8,
             backlog_runs: 3,
+            mem_budget: 0,
             state: Mutex::new(WatchState::default()),
             regressions: AtomicU64::new(0),
             backlog_alarms: AtomicU64::new(0),
+            mem_alarms: AtomicU64::new(0),
         }
+    }
+
+    /// Set the process heap budget in bytes (0 disables memory-pressure
+    /// alarms). Builder-style, for tests and simulations.
+    pub fn with_mem_budget(mut self, budget: u64) -> Self {
+        self.mem_budget = budget;
+        self
     }
 
     /// Build a watchdog from the `GML_WATCHDOG_*` environment knobs.
@@ -105,6 +133,7 @@ impl Watchdog {
         );
         w.backlog_min = env_parsed("GML_WATCHDOG_BACKLOG_MIN", 8u64);
         w.backlog_runs = env_parsed("GML_WATCHDOG_BACKLOG_RUNS", 3u32);
+        w.mem_budget = env_parsed("GML_MEM_BUDGET", 0u64);
         w
     }
 
@@ -162,6 +191,36 @@ impl Watchdog {
         flagged
     }
 
+    /// Feed one live-heap sample (bytes). Returns `true` when the sample
+    /// signals memory pressure against the configured budget: the level
+    /// crossed 90% of the budget, or the EWMA'd growth trend projects the
+    /// budget being crossed within the next 8 observations. With no budget
+    /// (`mem_budget == 0`) this never alarms; the growth EWMA is still
+    /// maintained so enabling a budget mid-run has a warm baseline.
+    pub fn observe_memory(&self, resident: u64) -> bool {
+        let mut st = self.state.lock();
+        let growth = resident as f64 - st.last_resident as f64;
+        st.mem_growth_ewma = if st.mem_observed == 0 {
+            0.0 // the first sample has no predecessor: no growth signal yet
+        } else {
+            self.alpha * growth + (1.0 - self.alpha) * st.mem_growth_ewma
+        };
+        st.last_resident = resident;
+        st.mem_observed += 1;
+        let trend = st.mem_growth_ewma;
+        drop(st);
+        if self.mem_budget == 0 {
+            return false;
+        }
+        let budget = self.mem_budget as f64;
+        let pressed =
+            resident as f64 > 0.9 * budget || resident as f64 + 8.0 * trend.max(0.0) > budget;
+        if pressed {
+            self.mem_alarms.fetch_add(1, Ordering::Relaxed);
+        }
+        pressed
+    }
+
     /// Freeze the watchdog's verdicts.
     pub fn report(&self) -> WatchdogReport {
         let st = self.state.lock();
@@ -169,6 +228,7 @@ impl Watchdog {
             observed: st.observed,
             regressions: self.regressions.load(Ordering::Relaxed),
             backlog_alarms: self.backlog_alarms.load(Ordering::Relaxed),
+            mem_alarms: self.mem_alarms.load(Ordering::Relaxed),
             ewma_nanos: st.ewma_nanos as u64,
             last: st.last,
         }
@@ -217,6 +277,10 @@ impl Watchdog {
         out.push_str(&format!(
             "gml_watchdog_anomalies_total{{kind=\"backlog_growth\"}} {}\n",
             r.backlog_alarms
+        ));
+        out.push_str(&format!(
+            "gml_watchdog_anomalies_total{{kind=\"memory_pressure\"}} {}\n",
+            r.mem_alarms
         ));
     }
 }
@@ -303,5 +367,45 @@ mod tests {
         assert!(out.contains("gml_straggler_ratio 1.5000"));
         assert!(out.contains("gml_watchdog_anomalies_total{kind=\"iter_regression\"} 0"));
         assert!(out.contains("gml_watchdog_anomalies_total{kind=\"backlog_growth\"} 0"));
+        assert!(out.contains("gml_watchdog_anomalies_total{kind=\"memory_pressure\"} 0"));
+    }
+
+    #[test]
+    fn no_budget_never_raises_memory_pressure() {
+        let w = Watchdog::new(0.2, 2.0, 3);
+        for level in [1u64 << 30, 2 << 30, 3 << 30] {
+            assert!(!w.observe_memory(level));
+        }
+        assert_eq!(w.report().mem_alarms, 0);
+    }
+
+    #[test]
+    fn budget_fraction_threshold_alarms() {
+        let w = Watchdog::new(0.2, 2.0, 3).with_mem_budget(1000);
+        assert!(!w.observe_memory(100));
+        assert!(!w.observe_memory(120)); // gentle growth, far from the wall
+        assert!(w.observe_memory(950), "past 90% of budget must alarm");
+        assert!(w.report().mem_alarms >= 1);
+    }
+
+    #[test]
+    fn growth_trend_projection_alarms_before_the_wall() {
+        let w = Watchdog::new(0.5, 2.0, 3).with_mem_budget(1_000_000);
+        // Steady level far below budget: no alarm.
+        assert!(!w.observe_memory(100_000));
+        assert!(!w.observe_memory(100_000));
+        // Sustained +100k/iteration growth: the 8-step projection crosses
+        // the budget while the level itself is still under half of it.
+        let mut alarmed = false;
+        for step in 1..=4u64 {
+            alarmed |= w.observe_memory(100_000 + step * 100_000);
+        }
+        assert!(alarmed, "growth trend must project over the budget");
+        // Shrinking levels (negative trend) with plenty of headroom: quiet.
+        let w2 = Watchdog::new(0.5, 2.0, 3).with_mem_budget(1_000_000);
+        assert!(!w2.observe_memory(500_000));
+        assert!(!w2.observe_memory(400_000));
+        assert!(!w2.observe_memory(300_000));
+        assert_eq!(w2.report().mem_alarms, 0);
     }
 }

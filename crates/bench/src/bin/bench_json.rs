@@ -11,6 +11,7 @@
 //!
 //! Usage: `cargo run --release -p gml-bench --bin bench_json`
 
+use apgas::mem::{self, MemTag};
 use apgas::place::PlaceGroup;
 use apgas::pool;
 use apgas::runtime::{Ctx, Runtime, RuntimeConfig};
@@ -204,6 +205,13 @@ struct CkptNumbers {
     /// Encode-arena reuse counters over the sampled checkpoints.
     pool_hits: u64,
     pool_misses: u64,
+    /// Memory-ledger high-water marks at the end of the checkpoint phase.
+    /// Process-global and cumulative over the whole `bench_json` run (the
+    /// checkpoint phase runs last), so they bound the run's footprint; all
+    /// zero with the `mem-profile` feature off.
+    mem_store_high_water: u64,
+    mem_arena_parked_high_water: u64,
+    mem_heap_peak: u64,
 }
 
 /// Minimal iterative app for the overlap measurement: scale a 16-block-per-
@@ -318,7 +326,16 @@ fn run_checkpoint() -> CkptNumbers {
             }));
         }
 
-        CkptNumbers { results, capture_ns, ship_ns, pool_hits: pool.hits, pool_misses: pool.misses }
+        CkptNumbers {
+            results,
+            capture_ns,
+            ship_ns,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            mem_store_high_water: mem::high_water(MemTag::StoreShard),
+            mem_arena_parked_high_water: mem::high_water(MemTag::SerialArena),
+            mem_heap_peak: mem::heap_peak_bytes(),
+        }
     })
     .unwrap()
 }
@@ -484,6 +501,14 @@ fn main() {
     json.push_str(&format!(
         ",\n  \"encode_arena_hits\": {},\n  \"encode_arena_misses\": {}",
         ckpt.pool_hits, ckpt.pool_misses
+    ));
+    // Memory footprint keys: the regress gate diffs these with the same
+    // per-file tolerance machinery as the timing minimums, so a checkpoint
+    // path that starts holding substantially more memory fails CI exactly
+    // like one that got slower.
+    json.push_str(&format!(
+        ",\n  \"mem_store_high_water_bytes\": {},\n  \"mem_arena_parked_high_water_bytes\": {},\n  \"mem_heap_peak_bytes\": {}",
+        ckpt.mem_store_high_water, ckpt.mem_arena_parked_high_water, ckpt.mem_heap_peak
     ));
     json.push_str("\n}\n");
     write_file("BENCH_checkpoint_throughput.json", &json);

@@ -15,6 +15,13 @@
 //! also fails: it means the committed baseline is stale and must be
 //! regenerated). Default 0.25 (±25%); override with `GML_BENCH_TOLERANCE`
 //! (e.g. `0.4`, or `40%`).
+//!
+//! The memory-footprint keys `bench_json` emits (`mem_store_high_water_bytes`,
+//! `mem_arena_parked_high_water_bytes`, `mem_heap_peak_bytes`) are plain
+//! top-level numerics, so they ride the same tolerance machinery as the
+//! timing minimums with no special casing here: a checkpoint path that
+//! starts retaining substantially more memory fails this gate exactly like
+//! one that got slower. They are deliberately NOT in [`SKIP_KEYS`].
 
 use std::collections::BTreeMap;
 

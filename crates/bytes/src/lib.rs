@@ -19,6 +19,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -36,10 +37,66 @@ const POOL_MAX_CAPACITY: usize = 16 << 20;
 const POOL_MAX_BUFFERS: usize = 32;
 
 thread_local! {
-    static FREE_LIST: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static FREE_LIST: RefCell<FreeList> = const { RefCell::new(FreeList(Vec::new())) };
     static POOL_HITS: Cell<u64> = const { Cell::new(0) };
     static POOL_MISSES: Cell<u64> = const { Cell::new(0) };
     static POOL_RECYCLED: Cell<u64> = const { Cell::new(0) };
+}
+
+// Process-wide mirrors of the per-thread reuse counters, plus a live
+// parked-bytes level. The thread-local `pool_stats()` view only sees the
+// calling thread; a metrics scrape thread (or a memory ledger) needs the
+// whole process. Relaxed ordering: these are monitoring counters, not
+// synchronization.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_RECYCLED: AtomicU64 = AtomicU64::new(0);
+static PARKED_BYTES: AtomicU64 = AtomicU64::new(0);
+static PARKED_BYTES_HIGH: AtomicU64 = AtomicU64::new(0);
+
+/// The per-thread park list. The wrapper exists so a dying thread's parked
+/// capacity is subtracted from the process-wide level instead of leaking
+/// into it forever.
+struct FreeList(Vec<Vec<u8>>);
+
+impl Drop for FreeList {
+    fn drop(&mut self) {
+        let held: u64 = self.0.iter().map(|b| b.capacity() as u64).sum();
+        saturating_sub(&PARKED_BYTES, held);
+    }
+}
+
+fn saturating_sub(counter: &AtomicU64, n: u64) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(n))
+    });
+}
+
+/// Process-wide pool reuse counters and the current/high-water parked-bytes
+/// level, aggregated over every thread since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GlobalPoolStats {
+    /// Pool-eligible allocations served from a parked buffer (no malloc).
+    pub hits: u64,
+    /// Pool-eligible allocations that had to hit the allocator.
+    pub misses: u64,
+    /// Retired buffers returned to a park list.
+    pub recycled: u64,
+    /// Bytes of capacity currently parked across all threads' free lists.
+    pub parked_bytes: u64,
+    /// High-water mark of `parked_bytes`.
+    pub parked_bytes_high_water: u64,
+}
+
+/// Snapshot the process-wide pool counters (all threads).
+pub fn global_pool_stats() -> GlobalPoolStats {
+    GlobalPoolStats {
+        hits: GLOBAL_HITS.load(Ordering::Relaxed),
+        misses: GLOBAL_MISSES.load(Ordering::Relaxed),
+        recycled: GLOBAL_RECYCLED.load(Ordering::Relaxed),
+        parked_bytes: PARKED_BYTES.load(Ordering::Relaxed),
+        parked_bytes_high_water: PARKED_BYTES_HIGH.load(Ordering::Relaxed),
+    }
 }
 
 /// Reuse counters for this thread's buffer pool. Hits/misses count only
@@ -63,7 +120,7 @@ pub fn pool_stats() -> PoolStats {
         hits: POOL_HITS.with(Cell::get),
         misses: POOL_MISSES.with(Cell::get),
         recycled: POOL_RECYCLED.with(Cell::get),
-        parked: FREE_LIST.with(|fl| fl.borrow().len()) as u64,
+        parked: FREE_LIST.with(|fl| fl.borrow().0.len()) as u64,
     }
 }
 
@@ -79,13 +136,20 @@ fn pool_take(min_capacity: usize) -> Option<Vec<u8>> {
         return None;
     }
     let took = FREE_LIST.with(|fl| {
-        let mut fl = fl.borrow_mut();
+        let fl = &mut fl.borrow_mut().0;
         let idx = fl.iter().position(|b| b.capacity() >= min_capacity)?;
         Some(fl.swap_remove(idx))
     });
     match &took {
-        Some(_) => POOL_HITS.with(|c| c.set(c.get() + 1)),
-        None => POOL_MISSES.with(|c| c.set(c.get() + 1)),
+        Some(buf) => {
+            POOL_HITS.with(|c| c.set(c.get() + 1));
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+            saturating_sub(&PARKED_BYTES, buf.capacity() as u64);
+        }
+        None => {
+            POOL_MISSES.with(|c| c.set(c.get() + 1));
+            GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+        }
     }
     took
 }
@@ -97,10 +161,13 @@ fn pool_put(mut buf: Vec<u8>) {
     }
     buf.clear();
     FREE_LIST.with(|fl| {
-        let mut fl = fl.borrow_mut();
+        let fl = &mut fl.borrow_mut().0;
         if fl.len() < POOL_MAX_BUFFERS {
             fl.push(buf);
             POOL_RECYCLED.with(|c| c.set(c.get() + 1));
+            GLOBAL_RECYCLED.fetch_add(1, Ordering::Relaxed);
+            let now = PARKED_BYTES.fetch_add(cap as u64, Ordering::Relaxed) + cap as u64;
+            PARKED_BYTES_HIGH.fetch_max(now, Ordering::Relaxed);
         }
     });
 }
@@ -108,7 +175,7 @@ fn pool_put(mut buf: Vec<u8>) {
 /// Number of buffers currently parked in this thread's free list (for tests).
 #[doc(hidden)]
 pub fn pooled_buffer_count() -> usize {
-    FREE_LIST.with(|fl| fl.borrow().len())
+    FREE_LIST.with(|fl| fl.borrow().0.len())
 }
 
 // ---------------------------------------------------------------------------
@@ -576,6 +643,28 @@ mod tests {
         // Tiny buffers bypass the pool entirely: no counter movement.
         drop(BytesMut::with_capacity(16).freeze());
         assert_eq!(pool_stats().hits + pool_stats().misses, 2);
+    }
+
+    #[test]
+    fn global_stats_track_parked_bytes_across_threads() {
+        // The process-wide counters are cumulative and shared with every
+        // other test thread, so assert deltas from a fresh worker thread.
+        let before = global_pool_stats();
+        std::thread::spawn(|| {
+            let b = BytesMut::with_capacity(8192);
+            drop(b.freeze()); // parked: level rises on this thread
+            let during = global_pool_stats();
+            assert!(during.recycled > 0);
+            assert!(during.parked_bytes_high_water >= 8192);
+            let again = BytesMut::with_capacity(4096); // unparked: level falls
+            assert!(again.capacity() >= 8192);
+        })
+        .join()
+        .unwrap();
+        let after = global_pool_stats();
+        assert!(after.hits >= before.hits + 1);
+        assert!(after.misses >= before.misses + 1);
+        assert!(after.recycled >= before.recycled + 1);
     }
 
     #[test]

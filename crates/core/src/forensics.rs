@@ -89,6 +89,12 @@ pub struct PostMortem {
     /// tracer could still reconstruct at capture time (empty when tracing is
     /// off). Shows where the pre-failure iterations spent their time.
     pub path_rows: Vec<IterProfile>,
+    /// Memory-ledger snapshot at capture time (all zeroes with the
+    /// `mem-profile` feature off): per-tag levels plus the process-wide
+    /// allocator counters. A restore is exactly when the memory map is
+    /// interesting — surviving replicas inflate the store tag, rollback
+    /// frees application matrices.
+    pub mem: MemReport,
 }
 
 impl PostMortem {
@@ -116,6 +122,7 @@ impl PostMortem {
             snapshots: committed.iter().map(|s| store.audit_snapshot(ctx, s)).collect(),
             trace_tail: trace_tail(&events, TRACE_TAIL_PER_PLACE),
             path_rows,
+            mem: apgas::mem::report(),
         }
     }
 
@@ -237,7 +244,25 @@ impl PostMortem {
                 p.complete,
             ));
         }
-        s.push_str("]}");
+        s.push_str("],\"mem\":{");
+        let m = &self.mem;
+        s.push_str(&format!(
+            "\"heap_bytes\":{},\"heap_peak_bytes\":{},\"heap_allocs\":{},\"tags\":[",
+            m.heap_bytes, m.heap_peak_bytes, m.heap_allocs
+        ));
+        for (i, t) in m.tags.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"tag\":\"{}\",\"current\":{},\"high_water\":{},\"charges\":{}}}",
+                esc(t.tag.label()),
+                t.current,
+                t.high_water,
+                t.charges,
+            ));
+        }
+        s.push_str("]}}");
         s
     }
 
@@ -370,12 +395,15 @@ mod tests {
             snapshots: vec![],
             trace_tail: vec![],
             path_rows: vec![],
+            mem: MemReport::default(),
         };
         pm.validate().unwrap();
         let json = pm.to_json();
         assert!(json.contains("\"configured_mode\":\"replace_redundant\""));
         assert!(json.contains("\"effective_label\":\"shrink\""));
         assert!(json.contains("\\\"left\\\""), "quotes in the reason are escaped");
+        assert!(json.contains("\"mem\":{"), "bundle carries a memory map");
+        assert!(json.contains("\"tag\":\"store_shard\""), "every ledger tag is listed");
     }
 
     #[test]
@@ -422,6 +450,7 @@ mod tests {
                 straggler_ratio: 1.25,
                 complete: true,
             }],
+            mem: apgas::mem::report(),
         };
         pm.validate().unwrap();
         let json = pm.to_json();

@@ -262,6 +262,8 @@ impl ResilientExecutor {
                 restore: None,
                 delta: Default::default(),
                 path: None,
+                resident: 0,
+                ckpt_bytes: 0,
             };
             // Periodic coordinated checkpoint (also re-taken right after a
             // restore, re-establishing full snapshot redundancy).
@@ -376,6 +378,11 @@ impl ResilientExecutor {
         let now = ctx.stats();
         row.delta = now.since(prev_snap);
         *prev_snap = now;
+        // Memory levels are read at the same shared boundary as the counter
+        // snapshot, so consecutive rows telescope: each row's level is the
+        // next row's starting point. Both are 0 with `mem-profile` off.
+        row.resident = apgas::mem::heap_bytes();
+        row.ckpt_bytes = apgas::mem::current(apgas::mem::MemTag::StoreShard);
         rows.push(row);
     }
 

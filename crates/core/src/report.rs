@@ -58,6 +58,15 @@ pub struct IterRow {
     pub ship: Option<Duration>,
     /// The recovery performed this pass, if any.
     pub restore: Option<RestoreCost>,
+    /// Live heap bytes at the pass's close boundary (counting allocator).
+    /// Levels, not deltas — read at the same boundary as `delta`'s
+    /// snapshots, so consecutive rows telescope by construction. Zero when
+    /// `mem-profile` is compiled out.
+    pub resident: u64,
+    /// Store-ledger bytes (owner + backup snapshot payloads) at the pass's
+    /// close boundary. Reconciles with `ResilientStore::inventory` at every
+    /// commit point. Zero when `mem-profile` is compiled out.
+    pub ckpt_bytes: u64,
     /// Runtime counter deltas consumed by this pass.
     pub delta: StatsSnapshot,
     /// Cross-place critical-path profile of this pass's step window,
@@ -130,13 +139,15 @@ impl CostReport {
     /// pass (under overlap it belongs to the previous checkpoint and ran
     /// concurrently with compute); `ctl` counts place-zero bookkeeping
     /// messages; `enc+dec` is codec wall time; `ship / recv` are payload
-    /// bytes.
+    /// bytes. `resident / ckptmem` are memory *levels* at the pass's close
+    /// boundary (live heap, store-ledger bytes) rather than deltas; both
+    /// read 0 with `mem-profile` compiled out.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>5} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10}\n",
+            "{:>5} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
             "iter", "step", "ckpt", "capture", "ship(t)", "restore", "ctl", "enc+dec", "ship",
-            "recv"
+            "recv", "resident", "ckptmem"
         ));
         for r in &self.rows {
             let opt = |d: Option<Duration>| {
@@ -154,7 +165,7 @@ impl CostReport {
                 })
                 .unwrap_or_else(|| "-".into());
             out.push_str(&format!(
-                "{:>5} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10}\n",
+                "{:>5} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
                 r.iteration,
                 fmt_nanos(r.step.as_nanos() as u64),
                 opt(r.checkpoint),
@@ -165,12 +176,14 @@ impl CostReport {
                 fmt_nanos(r.delta.encode_nanos + r.delta.decode_nanos),
                 fmt_bytes(r.delta.bytes_shipped),
                 fmt_bytes(r.delta.bytes_received),
+                fmt_bytes(r.resident),
+                fmt_bytes(r.ckpt_bytes),
             ));
         }
         let t = &self.totals;
         out.push_str(&format!(
             "total: {} rows, {} restores, ctl {} (spawn {} term {} wait {}), \
-             encode {} decode {}, shipped {} received {}\n",
+             encode {} decode {}, shipped {} received {}, peak resident {}\n",
             self.rows.len(),
             self.restores(),
             t.ctl_total(),
@@ -181,6 +194,7 @@ impl CostReport {
             fmt_nanos(t.decode_nanos),
             fmt_bytes(t.bytes_shipped),
             fmt_bytes(t.bytes_received),
+            fmt_bytes(self.rows.iter().map(|r| r.resident).max().unwrap_or(0)),
         ));
         if self.rows.iter().any(|r| r.path.is_some()) {
             out.push_str(&self.render_paths());
@@ -244,6 +258,8 @@ mod tests {
             capture: None,
             ship: None,
             restore: None,
+            resident: 0,
+            ckpt_bytes: 0,
             delta: StatsSnapshot {
                 bytes_shipped: shipped,
                 bytes_received: received,
@@ -291,6 +307,20 @@ mod tests {
         assert!(text.contains("capture"), "two-phase capture column present");
         assert!(text.contains("ship(t)"), "two-phase ship-time column present");
         assert_eq!(report.restores(), 1);
+    }
+
+    #[test]
+    fn render_includes_memory_level_columns() {
+        let mut r = row(0, 0, 0, 0);
+        r.resident = 3 << 20;
+        r.ckpt_bytes = 2048;
+        let report = CostReport { totals: r.delta, rows: vec![r], bundles: vec![] };
+        let text = report.render();
+        assert!(text.contains("resident"), "memory column header present");
+        assert!(text.contains("ckptmem"), "store-ledger column header present");
+        assert!(text.contains("3.0MB"), "resident level rendered");
+        assert!(text.contains("2.0KB"), "ckpt bytes rendered");
+        assert!(text.contains("peak resident 3.0MB"), "totals line carries the peak");
     }
 
     #[test]

@@ -23,6 +23,13 @@ use parking_lot::Mutex;
 use crate::error::{GmlError, GmlResult};
 
 /// Per-place storage shard: `(snapshot id, key) → serialized payload`.
+///
+/// Every payload byte held here is charged to the memory ledger's
+/// [`StoreShard`](apgas::mem::MemTag::StoreShard) tag — *logical* payload bytes, the
+/// same quantity [`ResilientStore::inventory`] reports, so the two
+/// reconcile exactly at any quiescent point. (Owner copies may share the
+/// encoder's allocation by refcount; the ledger counts held bytes, not
+/// unique heap blocks — the allocator-level view is `mem::heap_bytes`.)
 pub(crate) struct PlaceStore {
     map: Mutex<HashMap<(u64, u64), Bytes>>,
 }
@@ -33,7 +40,12 @@ impl PlaceStore {
     }
 
     fn insert(&self, snap_id: u64, key: u64, value: Bytes) {
-        self.map.lock().insert((snap_id, key), value);
+        let added = value.len();
+        let replaced = self.map.lock().insert((snap_id, key), value);
+        mem::charge(MemTag::StoreShard, added);
+        if let Some(old) = replaced {
+            mem::discharge(MemTag::StoreShard, old.len());
+        }
     }
 
     fn get(&self, snap_id: u64, key: u64) -> Option<Bytes> {
@@ -41,7 +53,15 @@ impl PlaceStore {
     }
 
     fn remove_snapshot(&self, snap_id: u64) {
-        self.map.lock().retain(|(sid, _), _| *sid != snap_id);
+        let mut freed = 0usize;
+        self.map.lock().retain(|(sid, _), v| {
+            let keep = *sid != snap_id;
+            if !keep {
+                freed += v.len();
+            }
+            keep
+        });
+        mem::discharge(MemTag::StoreShard, freed);
     }
 
     fn len(&self) -> usize {
@@ -63,6 +83,16 @@ impl PlaceStore {
             bytes += v.len() as u64;
         }
         (map.len(), snaps.len(), bytes)
+    }
+}
+
+impl Drop for PlaceStore {
+    /// A killed place drops its whole shard (`clear_place` wipes the
+    /// place-local map), so the remaining charge is discharged here —
+    /// keeping the ledger equal to the *live* inventory across failures.
+    fn drop(&mut self) {
+        let held: usize = self.map.lock().values().map(Bytes::len).sum();
+        mem::discharge(MemTag::StoreShard, held);
     }
 }
 
@@ -587,15 +617,32 @@ impl ResilientStore {
     }
 
     /// Register a Prometheus collector reporting this store's per-place
-    /// inventory (`gml_store_*` gauges) on every scrape of the runtime's
-    /// monitor endpoint. No-op when monitoring is disabled.
+    /// inventory (`gml_store_*` gauges) plus the data-plane pool counters
+    /// the runtime can't see from `apgas` (`gml_tile_*`, the kernel
+    /// scratch-buffer pool in `gml-matrix`) on every scrape of the
+    /// runtime's monitor endpoint. No-op when monitoring is disabled.
     pub fn register_monitor(&self, ctx: &Ctx) {
         if ctx.monitor_addr().is_none() {
             return;
         }
         let store = self.clone();
         let cx = ctx.clone();
-        ctx.add_monitor_collector(move || render_inventory(&store.inventory(&cx)));
+        ctx.add_monitor_collector(move || {
+            let mut out = render_inventory(&store.inventory(&cx));
+            render_tile_stats(&mut out);
+            out
+        });
+    }
+}
+
+/// Render the process-wide tile-pool rent counters (`gml_tile_*` families).
+pub fn render_tile_stats(out: &mut String) {
+    let s = gml_matrix::tile::stats();
+    for (name, v, help) in [
+        ("gml_tile_hits_total", s.hits, "Tile scratch rents served from parked capacity."),
+        ("gml_tile_misses_total", s.misses, "Tile scratch rents that had to allocate."),
+    ] {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
     }
 }
 
@@ -992,6 +1039,38 @@ mod tests {
             }
             assert_eq!(ctx.stats().bytes_shipped - before, 256, "ship ran");
             assert_eq!(store.entries_at(ctx, Place::new(1)).unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn tile_families_render_as_counters() {
+        let mut out = String::new();
+        render_tile_stats(&mut out);
+        assert!(out.contains("# TYPE gml_tile_hits_total counter"));
+        assert!(out.contains("gml_tile_misses_total "));
+    }
+
+    #[test]
+    fn ledger_reconciles_with_inventory_through_save_delete_and_kill() {
+        // The StoreShard ledger tag must equal the summed inventory payload
+        // bytes at every quiescent point — including after a kill drops a
+        // whole shard. Guarded on mem profiling being compiled in; other
+        // tests' stores run concurrently, so compare *deltas* of this
+        // store's inventory against ledger movement bounds rather than
+        // absolute equality (the absolute check lives in tests/mem_plane.rs,
+        // which serializes).
+        if !mem::enabled() {
+            return;
+        }
+        with_store(3, 0, |ctx, store| {
+            let sid = store.fresh_snap_id();
+            store.save_pair(ctx, sid, 0, Bytes::from(vec![1u8; 4096]), Place::new(1)).unwrap();
+            let inv: u64 = store.inventory(ctx).iter().map(|i| i.bytes).sum();
+            assert_eq!(inv, 2 * 4096, "owner + backup copies");
+            assert!(mem::current(MemTag::StoreShard) >= inv);
+            store.delete_snapshot(ctx, sid).unwrap();
+            let inv_after: u64 = store.inventory(ctx).iter().map(|i| i.bytes).sum();
+            assert_eq!(inv_after, 0);
         });
     }
 

@@ -59,7 +59,7 @@ pub mod grid;
 mod microkernel;
 pub mod sparse_csc;
 pub mod sparse_csr;
-mod tile;
+pub mod tile;
 pub mod vector;
 
 pub use block::{BlockData, BlockSet, MatrixBlock};

@@ -8,9 +8,19 @@
 //! `f64` storage. Renting is `clear` + `resize(len, 0.0)`: steady-state
 //! iterative solvers hit the parked capacity every iteration and pay only
 //! the zero-fill (which doubles as tile padding), never an allocation.
+//!
+//! The free lists stay thread-local (no cross-thread synchronization on
+//! the rent path), but the hit/miss counters are **process-wide** atomics:
+//! most rents happen inside `gml-worker-{i}` pool threads, so per-thread
+//! counters read from the caller would always show zero. [`stats`] is the
+//! aggregated view the `gml_tile_*` monitor families export; parked
+//! capacity is charged to the memory ledger's `tile_freelist` tag.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use apgas::mem::{self, MemTag};
 
 use crate::microkernel::{MR, NR};
 
@@ -21,9 +31,41 @@ const MAX_PARKED: usize = 4;
 const MAX_PARK_CAP: usize = 8 << 20;
 
 thread_local! {
-    static FREE: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
-    static HITS: Cell<u64> = const { Cell::new(0) };
-    static MISSES: Cell<u64> = const { Cell::new(0) };
+    static FREE: RefCell<FreeList> = const { RefCell::new(FreeList(Vec::new())) };
+}
+
+// Process-wide rent counters: rents happen on whatever thread runs the
+// kernel chunk (usually a pool worker), so thread-local counters would be
+// invisible to monitoring and tests running on the submitting thread.
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// One thread's park list; the wrapper discharges the parked capacity from
+/// the memory ledger when the thread (and its list) dies.
+struct FreeList(Vec<Vec<f64>>);
+
+impl Drop for FreeList {
+    fn drop(&mut self) {
+        let held: usize = self.0.iter().map(|b| b.capacity() * 8).sum();
+        mem::discharge(MemTag::TileFreelist, held);
+    }
+}
+
+/// Process-wide tile-pool rent counters, aggregated over every thread
+/// since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TileStats {
+    /// Rents served from parked capacity (no allocation).
+    pub hits: u64,
+    /// Rents that had to allocate (cold start, or a larger size).
+    pub misses: u64,
+}
+
+/// Snapshot the process-wide tile-pool rent counters. Cumulative and
+/// cross-thread: a caller observing a kernel's reuse sees pool-worker
+/// rents too, not just its own thread's.
+pub fn stats() -> TileStats {
+    TileStats { hits: HITS.load(Ordering::Relaxed), misses: MISSES.load(Ordering::Relaxed) }
 }
 
 /// A zero-filled `f64` scratch buffer rented from the thread-local pool;
@@ -34,21 +76,17 @@ pub(crate) struct TileBuf {
 
 /// Rent a zero-filled buffer of exactly `len` doubles.
 pub(crate) fn rent(len: usize) -> TileBuf {
-    let mut data = FREE.with(|fl| fl.borrow_mut().pop()).unwrap_or_default();
+    let mut data = FREE.with(|fl| fl.borrow_mut().0.pop()).unwrap_or_default();
+    // Unparked capacity leaves the freelist's ledger charge.
+    mem::discharge(MemTag::TileFreelist, data.capacity() * 8);
     if data.capacity() >= len && len > 0 {
-        HITS.with(|h| h.set(h.get() + 1));
+        HITS.fetch_add(1, Ordering::Relaxed);
     } else {
-        MISSES.with(|m| m.set(m.get() + 1));
+        MISSES.fetch_add(1, Ordering::Relaxed);
     }
     data.clear();
     data.resize(len, 0.0);
     TileBuf { data }
-}
-
-/// `(hits, misses)` rent counters for this thread (reuse diagnostics).
-#[cfg(test)]
-pub(crate) fn reuse_stats() -> (u64, u64) {
-    (HITS.with(Cell::get), MISSES.with(Cell::get))
 }
 
 impl Drop for TileBuf {
@@ -58,8 +96,9 @@ impl Drop for TileBuf {
             return;
         }
         FREE.with(|fl| {
-            let mut fl = fl.borrow_mut();
+            let fl = &mut fl.borrow_mut().0;
             if fl.len() < MAX_PARKED {
+                mem::charge(MemTag::TileFreelist, data.capacity() * 8);
                 fl.push(data);
             }
         });
@@ -179,14 +218,16 @@ mod tests {
     #[test]
     fn rent_reuses_parked_capacity() {
         // Warm the pool, then check repeated rents of the same size hit.
+        // stats() is process-wide (other test threads rent concurrently),
+        // so assert only on the monotone delta this thread contributes.
         drop(rent(1000));
-        let (h0, _) = reuse_stats();
+        let h0 = stats().hits;
         for _ in 0..5 {
             let buf = rent(1000);
             assert_eq!(buf.len(), 1000);
             assert!(buf.iter().all(|&v| v == 0.0), "rented buffers are zeroed");
         }
-        let (h1, _) = reuse_stats();
+        let h1 = stats().hits;
         assert!(h1 >= h0 + 5, "parked buffer must be reused: {h0} -> {h1}");
     }
 

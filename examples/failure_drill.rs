@@ -155,6 +155,10 @@ fn main() {
         })
         .expect("init");
         let reference = m.gather_dense(ctx).expect("gather");
+        // Charge the gathered reference copy to the ledger's app_matrix tag
+        // for as long as it lives — it shows up in the monitor's
+        // `gml_mem_tag_bytes{tag="app_matrix"}` gauge and in post-mortems.
+        let _ref_mem = MemScope::new(MemTag::AppMatrix, reference.len() * 8);
         layout_report("initial layout", &m);
 
         let snap = m.make_snapshot(ctx, &store).expect("snapshot");
@@ -221,6 +225,24 @@ fn main() {
             );
         }
         assert_eq!(report.bundles.len() as u64, stats.restores, "one bundle per restore");
+
+        // Memory plane: the ledger's store_shard tag is charged on insert
+        // and discharged on evict/kill, so at this settle point it equals
+        // the summed live inventory of both stores — byte for byte.
+        if mem::enabled() {
+            let inv: u64 = store.inventory(ctx).iter().map(|p| p.bytes).sum::<u64>()
+                + app_store.store().inventory(ctx).iter().map(|p| p.bytes).sum::<u64>();
+            let ledger = mem::current(MemTag::StoreShard);
+            println!("--- memory plane ---");
+            println!(
+                "  store ledger {} | live inventory {} | heap {} (peak {})",
+                fmt_bytes(ledger),
+                fmt_bytes(inv),
+                fmt_bytes(mem::heap_bytes()),
+                fmt_bytes(mem::heap_peak_bytes()),
+            );
+            assert_eq!(ledger, inv, "store ledger must reconcile with live inventory");
+        }
 
         // The watchdog sampled every pass online; the artificial straggler
         // above must have tripped the iteration-regression anomaly.

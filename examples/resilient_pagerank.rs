@@ -142,6 +142,22 @@ fn main() {
                 );
             }
             assert_eq!(report.bundles.len() as u64, stats.restores, "one bundle per restore");
+            // Memory plane: this run's store is the only live one in the
+            // process, so the ledger's store_shard tag must reconcile
+            // exactly with the summed live inventory at this settle point.
+            if mem::enabled() {
+                let inv: u64 =
+                    store.store().inventory(ctx).iter().map(|p| p.bytes).sum();
+                let ledger = mem::current(MemTag::StoreShard);
+                println!(
+                    "  memory: store ledger {} | live inventory {} | heap {} (peak {})",
+                    fmt_bytes(ledger),
+                    fmt_bytes(inv),
+                    fmt_bytes(mem::heap_bytes()),
+                    fmt_bytes(mem::heap_peak_bytes()),
+                );
+                assert_eq!(ledger, inv, "store ledger must reconcile with live inventory");
+            }
             // With tracing on, the report above includes the per-iteration
             // critical-path table; the watchdog sampled the same profiles
             // online — print what it saw.

@@ -1,0 +1,141 @@
+//! Memory-observability drills: the `GML_MEM_BUDGET` watchdog pressure
+//! alarm, and the store ledger tag reconciling byte-for-byte with the
+//! resilient store's live inventory through save / delete / restore / kill
+//! cycles.
+//!
+//! The ledger and the allocator counters are process-global, so the tests
+//! here serialize on one mutex and this binary keeps the whole process to
+//! itself (integration tests each run as their own process).
+
+use std::sync::Mutex;
+
+use apgas::runtime::{Runtime, RuntimeConfig};
+use resilient_gml::prelude::*;
+
+/// Serializes the tests: both read process-global state (env knobs, the
+/// memory ledger), so they must not interleave.
+static PROCESS_STATE: Mutex<()> = Mutex::new(());
+
+/// A synthetic one-iteration profile to feed the watchdog: the memory
+/// observation rides on the same per-iteration hook as the wall-time
+/// regression check.
+fn profile(iteration: u64) -> IterProfile {
+    IterProfile {
+        iteration,
+        wall_nanos: 1_000_000,
+        critical_path_nanos: 800_000,
+        compute_nanos: 700_000,
+        ship_nanos: 50_000,
+        ctl_nanos: 50_000,
+        idle_nanos: 200_000,
+        dominant_place: 1,
+        straggler_ratio: 1.0,
+        complete: true,
+    }
+}
+
+/// Drill: with a tiny `GML_MEM_BUDGET`, the first observed iteration must
+/// trip the watchdog's memory-pressure anomaly (the process heap is far
+/// above any 1 KiB budget) and flag place zero on the health board.
+#[test]
+fn tiny_mem_budget_trips_memory_pressure_anomaly() {
+    let _guard = PROCESS_STATE.lock().unwrap();
+    if !mem::enabled() {
+        return; // heap_bytes() reads 0 with mem-profile off: budget never trips
+    }
+    std::env::set_var("GML_MEM_BUDGET", "1024");
+    Runtime::run(RuntimeConfig::new(2).resilient(true), |ctx| {
+        assert_eq!(ctx.anomaly_mask(), 0, "board starts clean");
+        ctx.observe_iteration(&profile(0));
+        ctx.observe_iteration(&profile(1));
+        let wd = ctx.watchdog().report();
+        assert!(
+            wd.mem_alarms >= 1,
+            "heap {} must press a 1 KiB budget (alarms: {})",
+            mem::heap_bytes(),
+            wd.mem_alarms
+        );
+        assert_ne!(
+            ctx.anomaly_mask() & 1,
+            0,
+            "memory pressure flags place zero on the health board"
+        );
+    })
+    .unwrap();
+    std::env::remove_var("GML_MEM_BUDGET");
+}
+
+/// With no budget configured, the same observations raise nothing.
+#[test]
+fn unset_mem_budget_stays_quiet() {
+    let _guard = PROCESS_STATE.lock().unwrap();
+    std::env::remove_var("GML_MEM_BUDGET");
+    Runtime::run(RuntimeConfig::new(2).resilient(true), |ctx| {
+        ctx.observe_iteration(&profile(0));
+        ctx.observe_iteration(&profile(1));
+        assert_eq!(ctx.watchdog().report().mem_alarms, 0);
+        assert_eq!(ctx.anomaly_mask(), 0);
+    })
+    .unwrap();
+}
+
+/// Sum of live-place payload bytes, as the store reports them.
+fn inventory_bytes(ctx: &Ctx, store: &AppResilientStore) -> u64 {
+    store.store().inventory(ctx).iter().map(|p| p.bytes).sum()
+}
+
+/// Reconciliation: the ledger's `store_shard` tag is charged at insert and
+/// discharged at evict / failure, so it must equal the summed live
+/// inventory at every settle point — after a commit, after the watermark
+/// delete of an old snapshot, after a restore, and after a place is killed
+/// (the dead shard's bytes leave both sides).
+#[test]
+fn store_ledger_reconciles_with_inventory_through_lifecycle() {
+    let _guard = PROCESS_STATE.lock().unwrap();
+    if !mem::enabled() {
+        return;
+    }
+    Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+        let world = ctx.world();
+        let mut dv = DistVector::make(ctx, 4_096, &world).unwrap();
+        dv.init(ctx, |i| i as f64 * 0.25).unwrap();
+        let mut store = AppResilientStore::make(ctx).unwrap();
+
+        let reconcile = |ctx: &Ctx, store: &AppResilientStore, when: &str| {
+            let inv = inventory_bytes(ctx, store);
+            let ledger = mem::current(MemTag::StoreShard);
+            assert_eq!(ledger, inv, "ledger != inventory {when}");
+        };
+
+        // First committed snapshot: owner + backup copies both charged.
+        store.set_current_iteration(0);
+        store.start_new_snapshot();
+        store.save(ctx, &dv).unwrap();
+        store.commit(ctx).unwrap();
+        let after_first = inventory_bytes(ctx, &store);
+        assert!(after_first > 0, "snapshot must occupy the store");
+        reconcile(ctx, &store, "after first commit");
+
+        // Second snapshot: the commit's watermark delete evicts the first,
+        // discharging exactly what it charged.
+        dv.scale(ctx, 2.0).unwrap();
+        store.set_current_iteration(1);
+        store.start_new_snapshot();
+        store.save(ctx, &dv).unwrap();
+        store.commit(ctx).unwrap();
+        reconcile(ctx, &store, "after second commit (old snapshot evicted)");
+
+        // Restore re-reads without moving ownership: levels unchanged.
+        store.restore(ctx, &mut [&mut dv]).unwrap();
+        reconcile(ctx, &store, "after restore");
+
+        // Kill a place: its shard dies with it, and the ledger must drop
+        // by the dead shard's share while inventory reports it as zero.
+        let before_kill = inventory_bytes(ctx, &store);
+        ctx.kill_place(Place::new(2)).unwrap();
+        let after_kill = inventory_bytes(ctx, &store);
+        assert!(after_kill < before_kill, "dead shard leaves the inventory");
+        reconcile(ctx, &store, "after killing place 2");
+    })
+    .unwrap();
+}
