@@ -29,6 +29,27 @@ echo "== forensics smoke =="
 # built-in JSON parser — one bundle per restore, in memory and on disk.
 cargo run --release -p gml-bench --bin forensics_smoke
 
+echo "== task resilience (chaos drill + replica vote parity) =="
+# The combined chaos drill: one executor run absorbs a task panic (replayed
+# by policy), a timed-out straggler (abandoned, replayed elsewhere), and a
+# silent checksum flip (detected before commit, restored under the
+# silent_error mode), then reconciles the memory ledger. Runs in tier-1
+# already; re-run by name so a failure is attributed loudly here.
+cargo test -q --test failure_semantics \
+    chaos_drill_replay_timeout_and_silent_error_in_one_run -- --exact > /dev/null
+# Replica vote parity: failure_drill replays a faulting task and ends with a
+# replicated digest vote over its final matrix state. The voted digest must
+# be identical whether one replica computes it or three majority-vote on it
+# — any divergence means replication changed the answer it was guarding.
+TASK_DIR="$(mktemp -d -t gml_task_parity_XXXXXX)"
+trap 'rm -f "$TRACE_JSON"; rm -rf "$TASK_DIR"' EXIT
+for R in 1 3; do
+    GML_TASK_REPLICAS=$R cargo run --release --example failure_drill 2> /dev/null \
+        | grep '^final_state_digest' > "$TASK_DIR/r$R.txt"
+done
+diff "$TASK_DIR/r1.txt" "$TASK_DIR/r3.txt" \
+    || { echo "task parity: replicas=1 vs replicas=3 digests differ"; exit 1; }
+
 echo "== kernel parity (GML_WORKERS=1 vs 4 vs 8) =="
 # The pool's determinism guarantee, enforced: the same kernels on the same
 # seeded inputs must be bit-identical at every worker count. kernel_parity
@@ -37,7 +58,7 @@ echo "== kernel parity (GML_WORKERS=1 vs 4 vs 8) =="
 # The kernel property tests (which include in-process serial_scope parity)
 # and the blocked-vs-reference suite run at all three widths too.
 PARITY_DIR="$(mktemp -d -t gml_parity_XXXXXX)"
-trap 'rm -f "$TRACE_JSON"; rm -rf "$PARITY_DIR"' EXIT
+trap 'rm -f "$TRACE_JSON"; rm -rf "$TASK_DIR" "$PARITY_DIR"' EXIT
 for W in 1 4 8; do
     GML_WORKERS=$W cargo run --release -p gml-bench --bin kernel_parity \
         | grep -v '^workers' > "$PARITY_DIR/w$W.txt"
@@ -65,7 +86,7 @@ echo "== checkpoint parity (save_batch vs save_pair) =="
 # snapshot counts, payload bytes) and an FNV hash per restored object; the
 # two dumps must diff clean bit-for-bit.
 CKPT_DIR="$(mktemp -d -t gml_ckpt_parity_XXXXXX)"
-trap 'rm -f "$TRACE_JSON"; rm -rf "$PARITY_DIR" "$CKPT_DIR"' EXIT
+trap 'rm -f "$TRACE_JSON"; rm -rf "$TASK_DIR" "$PARITY_DIR" "$CKPT_DIR"' EXIT
 cargo run --release -p gml-bench --bin checkpoint_parity -- batched \
     | grep -v '^mode' > "$CKPT_DIR/batched.txt"
 cargo run --release -p gml-bench --bin checkpoint_parity -- per_pair \
@@ -90,7 +111,7 @@ echo "== bench regress (fresh bench_json vs committed baselines) =="
 # width than this host are skipped — regenerate baselines with bench_json
 # at the repo root when a perf change is intentional.
 BENCH_DIR="$(mktemp -d -t gml_bench_regress_XXXXXX)"
-trap 'rm -f "$TRACE_JSON"; rm -rf "$PARITY_DIR" "$CKPT_DIR" "$BENCH_DIR"' EXIT
+trap 'rm -f "$TRACE_JSON"; rm -rf "$TASK_DIR" "$PARITY_DIR" "$CKPT_DIR" "$BENCH_DIR"' EXIT
 ( cd "$BENCH_DIR" && "$OLDPWD/target/release/bench_json" > /dev/null )
 cargo run --release -p gml-bench --bin bench_regress -- . "$BENCH_DIR"
 

@@ -60,7 +60,11 @@ pub fn classify(kind: SpanKind) -> CostClass {
         | SpanKind::Restore
         | SpanKind::KillPlace
         | SpanKind::PlaceDied
-        | SpanKind::SpawnPlace => CostClass::Structural,
+        | SpanKind::SpawnPlace
+        // Replay/vote overhead is resilience bookkeeping, not application
+        // compute: the replayed body's own spans carry the compute cost.
+        | SpanKind::TaskReplay
+        | SpanKind::TaskVote => CostClass::Structural,
     }
 }
 

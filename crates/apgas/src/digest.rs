@@ -1,0 +1,116 @@
+//! FNV-1a content digests, shared by every output-validation surface.
+//!
+//! The task-resilience layer votes on replica outputs, the executor's
+//! `ChecksummedStep` hook compares kernel outputs across a commit boundary,
+//! and the parity gates in `crates/bench` compare runs across worker counts
+//! — all of them need the same cheap, deterministic, dependency-free digest.
+//! FNV-1a over the little-endian byte pattern is exact (no float rounding:
+//! `f64::to_bits` hashes the representation, so `0.0` and `-0.0` differ and
+//! NaN payloads are preserved) and stable across platforms of either
+//! endianness.
+//!
+//! This is an *error-detection* checksum, not a cryptographic hash: it
+//! catches bit flips and divergent computations, not adversaries.
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x100000001b3;
+
+/// A running FNV-1a digest, for feeding heterogeneous data incrementally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh digest at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold an `f64` slice in by bit pattern (little-endian), matching
+    /// [`fnv1a_f64s`].
+    pub fn write_f64s(&mut self, values: &[f64]) {
+        for v in values {
+            self.write(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Fold a `u64` in (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest value so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over raw bytes.
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// One-shot FNV-1a over an `f64` slice by bit pattern — byte-for-byte the
+/// digest the parity gates (`kernel_parity`, `checkpoint_parity`) have
+/// always printed, now shared instead of copied.
+pub fn fnv1a_f64s(values: &[f64]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_f64s(values);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a_bytes(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_bytes(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn f64_digest_is_bit_exact() {
+        // Same bytes, same digest — incremental and one-shot agree.
+        let vals = [1.0, -0.0, f64::NAN, 3.5e-12];
+        let mut inc = Fnv1a::new();
+        for v in vals {
+            inc.write_f64s(&[v]);
+        }
+        assert_eq!(inc.finish(), fnv1a_f64s(&vals));
+        // Bit-pattern hashing distinguishes 0.0 from -0.0.
+        assert_ne!(fnv1a_f64s(&[0.0]), fnv1a_f64s(&[-0.0]));
+        // A single flipped mantissa bit changes the digest.
+        let flipped = f64::from_bits(1.0f64.to_bits() ^ 1);
+        assert_ne!(fnv1a_f64s(&[1.0]), fnv1a_f64s(&[flipped]));
+    }
+
+    #[test]
+    fn u64_and_byte_feeds_compose() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102030405060708);
+        let mut b = Fnv1a::new();
+        b.write(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

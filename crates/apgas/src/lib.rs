@@ -43,6 +43,7 @@
 //! assert_eq!(sum, 1 + 2 + 3 + 4);
 //! ```
 
+pub mod digest;
 pub mod error;
 pub mod mem;
 pub mod metrics;
@@ -57,8 +58,9 @@ pub mod runtime;
 pub mod stats;
 pub mod trace;
 
+pub use digest::{fnv1a_bytes, fnv1a_f64s, Fnv1a};
 pub use error::{ApgasError, DeadPlaceException, Result};
-pub use finish::{FinishScope, LedgerEntry};
+pub use finish::{FinishScope, LedgerEntry, TaskPolicy};
 pub use mem::{MemReport, MemScope, MemTag};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
 pub use monitor::watchdog::{Watchdog, WatchdogReport};
@@ -73,8 +75,9 @@ pub use trace::{SpanGuard, SpanKind, TraceCtx, TraceEvent, Tracer};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::digest::{fnv1a_bytes, fnv1a_f64s, Fnv1a};
     pub use crate::error::{ApgasError, DeadPlaceException, Result as ApgasResult};
-    pub use crate::finish::{FinishScope, LedgerEntry};
+    pub use crate::finish::{FinishScope, LedgerEntry, TaskPolicy};
     pub use crate::mem::{self, MemReport, MemScope, MemTag};
     pub use crate::metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
     pub use crate::monitor::watchdog::{Watchdog, WatchdogReport};

@@ -51,6 +51,32 @@ where
     }
 }
 
+/// Parse a float-valued environment variable with range validation, falling
+/// back to `default` — loudly — on any value that is unparsable, non-finite,
+/// or outside `[min, max]`. [`env_parsed`] alone is not enough for floats:
+/// `f64::from_str` happily accepts `"nan"`, `"inf"`, and wildly out-of-range
+/// values, which then silently poison downstream math (an EWMA fed a NaN
+/// alpha never recovers — `NaN.clamp(..)` is still NaN).
+pub fn env_parsed_float(name: &str, default: f64, min: f64, max: f64) -> f64 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() && v >= min && v <= max => v,
+            Ok(v) => {
+                eprintln!(
+                    "{name}: value {v} outside valid range [{min}, {max}]; \
+                     using default {default}"
+                );
+                default
+            }
+            Err(_) => {
+                eprintln!("{name}: unparsable value {raw:?}; using default {default}");
+                default
+            }
+        },
+    }
+}
+
 /// Read `GML_MONITOR_PORT`: unset → monitoring disabled; a valid port
 /// (including `0` for an ephemeral bind) → enabled; an unparsable value →
 /// disabled, with a one-line stderr warning naming the variable.
@@ -236,7 +262,7 @@ fn family_header(out: &mut String, name: &str, kind: &str, help: &str) {
 
 /// Render the flat runtime counters as `gml_*_total` counter families.
 pub fn render_stats(out: &mut String, s: &StatsSnapshot) {
-    let counters: [(&str, u64, &str); 11] = [
+    let counters: [(&str, u64, &str); 14] = [
         ("gml_tasks_spawned_total", s.tasks_spawned, "Tasks spawned via at/async_at."),
         ("gml_at_calls_total", s.at_calls, "Synchronous at() round trips."),
         ("gml_ctl_spawns_total", s.ctl_spawns, "Resilient-finish spawn records at place zero."),
@@ -248,6 +274,13 @@ pub fn render_stats(out: &mut String, s: &StatsSnapshot) {
         ("gml_decode_nanos_total", s.decode_nanos, "Wall nanoseconds spent decoding payloads."),
         ("gml_failures_total", s.failures, "Fail-stop place failures injected."),
         ("gml_places_spawned_total", s.places_spawned, "Places created elastically at runtime."),
+        ("gml_task_replays_total", s.task_replays, "Task bodies replayed after a panic or timeout."),
+        ("gml_task_timeouts_total", s.task_timeouts, "Task attempts abandoned on a policy deadline."),
+        (
+            "gml_task_vote_mismatches_total",
+            s.task_vote_mismatches,
+            "Replica digest votes with at least one dissenting replica.",
+        ),
     ];
     for (name, v, help) in counters {
         family_header(out, name, "counter", help);
@@ -311,16 +344,19 @@ pub fn render_health(out: &mut String, snaps: &[HealthSnapshot]) {
 /// seqlock ring wrapped and the oldest events were overwritten — consumers
 /// of the trace (critical-path analysis, forensics tails) saw an incomplete
 /// record for the early part of the run.
-pub fn render_dropped(out: &mut String, dropped: &[u64]) {
+pub fn render_dropped(out: &mut String, dropped: &[u64], flow_dropped: u64) {
     family_header(
         out,
         "gml_trace_dropped_total",
         "counter",
-        "Trace events lost to ring wraparound, per place.",
+        "Trace events lost to ring wraparound, per place; the kind=\"flow_half\" \
+         series counts flow arrows suppressed at Chrome export because their \
+         start span had been overwritten.",
     );
     for (place, d) in dropped.iter().enumerate() {
         out.push_str(&format!("gml_trace_dropped_total{{place=\"{place}\"}} {d}\n"));
     }
+    out.push_str(&format!("gml_trace_dropped_total{{kind=\"flow_half\"}} {flow_dropped}\n"));
 }
 
 /// Render span-latency histogram summaries: one `gml_span_latency_nanos`
@@ -616,10 +652,11 @@ mod tests {
     #[test]
     fn render_dropped_emits_per_place_counters() {
         let mut out = String::new();
-        render_dropped(&mut out, &[0, 17, 0]);
+        render_dropped(&mut out, &[0, 17, 0], 3);
         assert!(out.contains("# TYPE gml_trace_dropped_total counter"));
         assert!(out.contains("gml_trace_dropped_total{place=\"0\"} 0"));
         assert!(out.contains("gml_trace_dropped_total{place=\"1\"} 17"));
+        assert!(out.contains("gml_trace_dropped_total{kind=\"flow_half\"} 3"));
     }
 
     #[test]
@@ -658,8 +695,14 @@ mod tests {
     fn render_stats_emits_every_counter() {
         let mut out = String::new();
         render_stats(&mut out, &StatsSnapshot::default());
-        for family in ["gml_tasks_spawned_total", "gml_failures_total", "gml_bytes_shipped_total"]
-        {
+        for family in [
+            "gml_tasks_spawned_total",
+            "gml_failures_total",
+            "gml_bytes_shipped_total",
+            "gml_task_replays_total",
+            "gml_task_timeouts_total",
+            "gml_task_vote_mismatches_total",
+        ] {
             assert!(out.contains(&format!("# TYPE {family} counter")), "{family} missing");
             assert!(out.contains(&format!("{family} 0")), "{family} sample missing");
         }
@@ -704,6 +747,34 @@ mod tests {
         assert_eq!("64k".trim().parse::<usize>().ok(), None);
         // Unset variable falls straight through to the default.
         assert_eq!(env_parsed("GML_TEST_UNSET_VAR_XYZ", 7usize), 7);
+    }
+
+    #[test]
+    fn env_parsed_float_rejects_nonfinite_and_out_of_range() {
+        // Unset → default.
+        assert_eq!(env_parsed_float("GML_TEST_UNSET_FLOAT_XYZ", 0.2, 0.01, 1.0), 0.2);
+        // Var names are unique to this test, so concurrent tests never read
+        // them and set_var is race-free in practice.
+        let var = "GML_TEST_FLOAT_VALIDATION_XYZ";
+        // These all *parse* as f64 — that is exactly the silent-poison
+        // hazard — and must be rejected by the finite/range check.
+        for bad in ["nan", "inf", "-inf", "-3", "1.5e300", "0.0"] {
+            std::env::set_var(var, bad);
+            assert_eq!(
+                env_parsed_float(var, 0.2, 0.01, 1.0),
+                0.2,
+                "{bad} must fall back to the default for an alpha knob"
+            );
+        }
+        // Unparsable text takes the other warn path, same fallback.
+        std::env::set_var(var, "fast");
+        assert_eq!(env_parsed_float(var, 0.2, 0.01, 1.0), 0.2);
+        // In-range values pass through exactly.
+        for (good, want) in [("0.5", 0.5), ("1", 1.0), ("0.01", 0.01)] {
+            std::env::set_var(var, good);
+            assert_eq!(env_parsed_float(var, 0.2, 0.01, 1.0), want);
+        }
+        std::env::remove_var(var);
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub struct RuntimeStats {
     pub failures: AtomicU64,
     /// Places created elastically after startup.
     pub places_spawned: AtomicU64,
+    /// Task bodies re-executed by the task-resilience layer after a panic or
+    /// timeout (each replay attempt beyond the first counts once).
+    pub task_replays: AtomicU64,
+    /// Task attempts abandoned because they exceeded the policy deadline.
+    pub task_timeouts: AtomicU64,
+    /// Replicated-task digest votes where at least one replica disagreed
+    /// with the majority — each is a silent error caught by replication.
+    pub task_vote_mismatches: AtomicU64,
 }
 
 /// A point-in-time copy of [`RuntimeStats`].
@@ -70,6 +78,12 @@ pub struct StatsSnapshot {
     pub failures: u64,
     /// Places created elastically after startup.
     pub places_spawned: u64,
+    /// Task bodies replayed after a panic or timeout.
+    pub task_replays: u64,
+    /// Task attempts abandoned on a policy deadline.
+    pub task_timeouts: u64,
+    /// Replica digest votes with at least one dissenter.
+    pub task_vote_mismatches: u64,
 }
 
 impl StatsSnapshot {
@@ -92,6 +106,11 @@ impl StatsSnapshot {
             decode_nanos: self.decode_nanos.saturating_sub(earlier.decode_nanos),
             failures: self.failures.saturating_sub(earlier.failures),
             places_spawned: self.places_spawned.saturating_sub(earlier.places_spawned),
+            task_replays: self.task_replays.saturating_sub(earlier.task_replays),
+            task_timeouts: self.task_timeouts.saturating_sub(earlier.task_timeouts),
+            task_vote_mismatches: self
+                .task_vote_mismatches
+                .saturating_sub(earlier.task_vote_mismatches),
         }
     }
 }
@@ -111,6 +130,9 @@ impl RuntimeStats {
             decode_nanos: self.decode_nanos.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             places_spawned: self.places_spawned.load(Ordering::Relaxed),
+            task_replays: self.task_replays.load(Ordering::Relaxed),
+            task_timeouts: self.task_timeouts.load(Ordering::Relaxed),
+            task_vote_mismatches: self.task_vote_mismatches.load(Ordering::Relaxed),
         }
     }
 
@@ -157,6 +179,9 @@ mod tests {
             decode_nanos: 40,
             failures: 1,
             places_spawned: 0,
+            task_replays: 2,
+            task_timeouts: 1,
+            task_vote_mismatches: 0,
         };
         let later = StatsSnapshot {
             tasks_spawned: 25,
@@ -170,6 +195,9 @@ mod tests {
             decode_nanos: 60,
             failures: 2,
             places_spawned: 1,
+            task_replays: 5,
+            task_timeouts: 2,
+            task_vote_mismatches: 1,
         };
         let d = later.since(&earlier);
         assert_eq!(d.tasks_spawned, 15);
@@ -183,6 +211,9 @@ mod tests {
         assert_eq!(d.decode_nanos, 20);
         assert_eq!(d.failures, 1);
         assert_eq!(d.places_spawned, 1);
+        assert_eq!(d.task_replays, 3);
+        assert_eq!(d.task_timeouts, 1);
+        assert_eq!(d.task_vote_mismatches, 1);
         assert_eq!(d.ctl_total(), 11, "ctl_total sums the three ctl deltas");
     }
 
@@ -203,6 +234,9 @@ mod tests {
             decode_nanos: 7,
             failures: 3,
             places_spawned: 2,
+            task_replays: 4,
+            task_timeouts: 2,
+            task_vote_mismatches: 1,
         };
         let after_reset = StatsSnapshot { tasks_spawned: 5, decode_nanos: 9, ..Default::default() };
         let d = after_reset.since(&before_reset);

@@ -99,10 +99,16 @@ pub enum SpanKind {
     /// The receiving-place body of an `async_at` task. Parented on the
     /// sender's [`SpanKind::AsyncAt`] dispatch instant.
     AsyncTask,
+    /// One re-execution of a task body by the task-resilience layer after a
+    /// panic or timeout; the numeric argument is the attempt ordinal.
+    TaskReplay,
+    /// A majority vote over replica digests of a replicated task; the
+    /// numeric argument is the number of replicas polled.
+    TaskVote,
 }
 
 /// Number of span kinds (size of per-kind arrays).
-pub const SPAN_KIND_COUNT: usize = 23;
+pub const SPAN_KIND_COUNT: usize = 25;
 
 impl SpanKind {
     /// Every kind, in discriminant order.
@@ -130,6 +136,8 @@ impl SpanKind {
         SpanKind::CkptShip,
         SpanKind::AtRemote,
         SpanKind::AsyncTask,
+        SpanKind::TaskReplay,
+        SpanKind::TaskVote,
     ];
 
     /// Dotted display name (`"exec.restore"`, `"serial.encode"`, …).
@@ -158,6 +166,8 @@ impl SpanKind {
             SpanKind::CkptShip => "ckpt.ship",
             SpanKind::AtRemote => "apgas.at_remote",
             SpanKind::AsyncTask => "apgas.async_task",
+            SpanKind::TaskReplay => "task.replay",
+            SpanKind::TaskVote => "task.vote",
         }
     }
 
@@ -530,6 +540,12 @@ pub struct Tracer {
     rings: RwLock<Vec<Arc<EventRing>>>,
     labels: LabelTable,
     metrics: MetricsRegistry,
+    /// Flow halves dropped at export time: drawn events whose causal parent
+    /// was overwritten in a ring before export, so the viewer would have
+    /// shown an arrow from nowhere. Counted per [`chrome_json`] call.
+    ///
+    /// [`chrome_json`]: Tracer::chrome_json
+    flow_dropped: AtomicU64,
 }
 
 impl Tracer {
@@ -542,6 +558,7 @@ impl Tracer {
             rings: RwLock::new(Vec::new()),
             labels: LabelTable::default(),
             metrics: MetricsRegistry::new(),
+            flow_dropped: AtomicU64::new(0),
         }
     }
 
@@ -606,6 +623,13 @@ impl Tracer {
     /// Total events lost to ring wraparound across all places.
     pub fn dropped_total(&self) -> u64 {
         self.dropped().iter().sum()
+    }
+
+    /// Flow halves dropped at Chrome-export time because the matching start
+    /// span had been overwritten in a ring (cumulative across exports).
+    /// Without this suppression the export would draw arrows from nowhere.
+    pub fn flow_dropped(&self) -> u64 {
+        self.flow_dropped.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -761,8 +785,11 @@ impl Tracer {
             ));
         }
         // Span id → (place, begin ts) of the *drawn* event (End slices and
-        // instants), for resolving cross-place flow arrows.
+        // instants), for resolving cross-place flow arrows. `known` also
+        // remembers Begin-only (still-open) spans: a parent found there was
+        // not lost, merely unfinished, so its flows are not "dropped".
         let mut drawn: std::collections::HashMap<u64, (u32, u64)> = std::collections::HashMap::new();
+        let known: std::collections::HashSet<u64> = events.iter().map(|e| e.span_id).collect();
         for e in &events {
             match e.phase {
                 Phase::End => {
@@ -809,10 +836,13 @@ impl Tracer {
             ));
             // Cross-place causality: if this drawn event's parent was drawn
             // at another place, emit a flow pair (id = the child span id)
-            // linking sender → receiver.
+            // linking sender → receiver. A parent absent from the drained
+            // events entirely was overwritten in its ring — emitting the
+            // finish half alone would draw an arrow from nowhere, so the
+            // flow is dropped and counted instead.
             if e.parent_id != 0 {
-                if let Some(&(pplace, pts)) = drawn.get(&e.parent_id) {
-                    if pplace != e.place {
+                match drawn.get(&e.parent_id) {
+                    Some(&(pplace, pts)) if pplace != e.place => {
                         out.push_str(&format!(
                             ",{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\
                              \"ts\":{:.3},\"pid\":0,\"tid\":{}}}",
@@ -830,6 +860,11 @@ impl Tracer {
                             e.place
                         ));
                     }
+                    Some(_) => {} // same-place nesting: no arrow to draw
+                    None if !known.contains(&e.parent_id) => {
+                        self.flow_dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {} // parent span still open (Begin retained): not lost
                 }
             }
         }

@@ -124,11 +124,15 @@ impl Watchdog {
         self
     }
 
-    /// Build a watchdog from the `GML_WATCHDOG_*` environment knobs.
+    /// Build a watchdog from the `GML_WATCHDOG_*` environment knobs. The
+    /// float knobs go through the validated parse: `f64::from_str` accepts
+    /// `nan`/`inf`/out-of-range values that [`Watchdog::new`]'s clamps would
+    /// otherwise swallow silently (and `NaN.clamp(..)` stays NaN, poisoning
+    /// the EWMA forever).
     pub fn from_env() -> Self {
         let mut w = Watchdog::new(
-            env_parsed("GML_WATCHDOG_ALPHA", 0.2f64),
-            env_parsed("GML_WATCHDOG_FACTOR", 2.0f64),
+            crate::monitor::env_parsed_float("GML_WATCHDOG_ALPHA", 0.2, 0.01, 1.0),
+            crate::monitor::env_parsed_float("GML_WATCHDOG_FACTOR", 2.0, 1.0, 1e6),
             env_parsed("GML_WATCHDOG_WARMUP", 3u64),
         );
         w.backlog_min = env_parsed("GML_WATCHDOG_BACKLOG_MIN", 8u64);
@@ -368,6 +372,28 @@ mod tests {
         assert!(out.contains("gml_watchdog_anomalies_total{kind=\"iter_regression\"} 0"));
         assert!(out.contains("gml_watchdog_anomalies_total{kind=\"backlog_growth\"} 0"));
         assert!(out.contains("gml_watchdog_anomalies_total{kind=\"memory_pressure\"} 0"));
+    }
+
+    #[test]
+    fn from_env_rejects_poisonous_float_knobs() {
+        // "nan" and "inf" PARSE as f64, and NaN survives Watchdog::new's
+        // clamp — the EWMA would be poisoned forever. from_env must route
+        // through the validated float parse and fall back to the defaults.
+        // Unique values are restored immediately; concurrent from_env
+        // callers would at worst see the (default-equal) fallback.
+        std::env::set_var("GML_WATCHDOG_ALPHA", "nan");
+        std::env::set_var("GML_WATCHDOG_FACTOR", "inf");
+        let w = Watchdog::from_env();
+        std::env::remove_var("GML_WATCHDOG_ALPHA");
+        std::env::remove_var("GML_WATCHDOG_FACTOR");
+        assert_eq!(w.alpha, 0.2, "nan alpha must fall back to the default");
+        assert_eq!(w.factor, 2.0, "inf factor must fall back to the default");
+        // The EWMA stays healthy: iterations are observed and flagged
+        // normally instead of vanishing into NaN comparisons.
+        for i in 0..5 {
+            assert!(!w.observe_iteration(&profile(i, 1_000_000)));
+        }
+        assert!(w.observe_iteration(&profile(5, 10_000_000)));
     }
 
     #[test]

@@ -118,23 +118,34 @@ fn tolerance() -> f64 {
     }
 }
 
-/// Compare one file pair at its effective tolerance; returns the number of
-/// violations.
-fn compare_file(name: &str, baseline_dir: &str, fresh_dir: &str, tol: f64) -> usize {
+/// What became of one file pair: either it was actually compared (with some
+/// number of violations), or it was skipped with a reason. The distinction
+/// matters in `main`: a run where *every* file was skipped compared nothing
+/// and must not report success.
+enum FileOutcome {
+    /// The pair was diffed; carries the violation count.
+    Compared(usize),
+    /// The pair was not diffed; carries the human-readable reason.
+    Skipped(String),
+}
+
+/// Compare one file pair at its effective tolerance.
+fn compare_file(name: &str, baseline_dir: &str, fresh_dir: &str, tol: f64) -> FileOutcome {
     let base_path = format!("{baseline_dir}/{name}");
     let fresh_path = format!("{fresh_dir}/{name}");
     let base_json = match std::fs::read_to_string(&base_path) {
         Ok(s) => s,
         Err(e) => {
-            println!("bench regress: no baseline {base_path} ({e}) — skipping");
-            return 0;
+            let reason = format!("no baseline {base_path} ({e})");
+            println!("bench regress: {name}: {reason} — skipping");
+            return FileOutcome::Skipped(reason);
         }
     };
     let fresh_json = match std::fs::read_to_string(&fresh_path) {
         Ok(s) => s,
         Err(e) => {
             println!("bench regress: FRESH RUN MISSING {fresh_path} ({e})");
-            return 1;
+            return FileOutcome::Compared(1);
         }
     };
     let base = parse_metrics(&base_json);
@@ -144,13 +155,14 @@ fn compare_file(name: &str, baseline_dir: &str, fresh_dir: &str, tol: f64) -> us
     for guard in ["workers", "available_parallelism"] {
         let (b, f) = (base.get(guard), fresh.get(guard));
         if b.is_some() && f.is_some() && b != f {
-            println!(
-                "bench regress: {name}: {guard} differs (baseline {:?}, fresh {:?}) — \
-                 skipping file, regenerate baselines on this host",
+            let reason = format!(
+                "{guard} differs (baseline {:?}, fresh {:?}); numbers taken at different \
+                 widths are not comparable — regenerate baselines on this host",
                 b.unwrap(),
                 f.unwrap()
             );
-            return 0;
+            println!("bench regress: {name}: {reason}");
+            return FileOutcome::Skipped(reason);
         }
     }
 
@@ -182,7 +194,7 @@ fn compare_file(name: &str, baseline_dir: &str, fresh_dir: &str, tol: f64) -> us
             println!("{key:<55} {:>14} — new key, not in baseline", "—");
         }
     }
-    violations
+    FileOutcome::Compared(violations)
 }
 
 fn main() {
@@ -196,8 +208,32 @@ fn main() {
     };
     let tol = tolerance();
     let mut violations = 0usize;
+    let mut compared = 0usize;
+    let mut skipped: Vec<(&str, String)> = Vec::new();
     for (name, factor) in FILES {
-        violations += compare_file(name, baseline_dir, fresh_dir, tol * factor);
+        match compare_file(name, baseline_dir, fresh_dir, tol * factor) {
+            FileOutcome::Compared(v) => {
+                compared += 1;
+                violations += v;
+            }
+            FileOutcome::Skipped(reason) => skipped.push((name, reason)),
+        }
+    }
+    // Recap every skip so a partially-degraded gate is visible at the end
+    // of the log, not just buried mid-scroll.
+    for (name, reason) in &skipped {
+        eprintln!("bench regress: skipped {name}: {reason}");
+    }
+    // A gate that skipped everything compared nothing: its "success" would
+    // be vacuous, and a stale or wrong-width baseline set would pass CI
+    // forever. Fail loudly instead.
+    if compared == 0 {
+        eprintln!(
+            "bench regress: all {} BENCH file(s) were skipped — nothing was compared; \
+             regenerate the committed baselines on this host",
+            skipped.len()
+        );
+        std::process::exit(1);
     }
     if violations > 0 {
         eprintln!(
@@ -208,7 +244,9 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "bench regress: all metrics within tolerance (base ±{:.0}%) of baselines",
-        tol * 100.0
+        "bench regress: all metrics within tolerance (base ±{:.0}%) of baselines \
+         ({compared} file(s) compared, {} skipped)",
+        tol * 100.0,
+        skipped.len()
     );
 }

@@ -9,6 +9,7 @@
 //!
 //! Usage: `cargo run --release -p gml-bench --bin checkpoint_parity -- {batched|per_pair}`
 
+use apgas::digest::fnv1a_f64s;
 use apgas::runtime::{Runtime, RuntimeConfig};
 use gml_core::{
     DistDenseMatrix, DistSparseMatrix, DistVector, DupDenseMatrix, DupVector, ResilientStore,
@@ -16,21 +17,11 @@ use gml_core::{
 };
 use gml_matrix::builder;
 
-/// FNV-1a over the raw bit patterns — byte-order-stable on one machine,
-/// which is all the two-process diff needs.
-fn fnv1a(values: &[f64]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for v in values {
-        for byte in v.to_bits().to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
-}
-
 fn report(name: &str, values: &[f64]) {
-    println!("{name} {:016x}", fnv1a(values));
+    // The shared bit-pattern digest (see `apgas::digest`) — one
+    // implementation for parity gates, replica votes, and checksummed
+    // steps, instead of a drifting local copy.
+    println!("{name} {:016x}", fnv1a_f64s(values));
 }
 
 /// Deterministic pseudo-random fill, identical in both processes.

@@ -8,24 +8,15 @@
 //!
 //! Usage: `GML_WORKERS=4 cargo run --release -p gml-bench --bin kernel_parity`
 
+use apgas::digest::fnv1a_f64s;
 use apgas::pool;
 use gml_matrix::{builder, DenseMatrix};
 
-/// FNV-1a over the raw bit patterns — byte-order-stable on one machine,
-/// which is all the two-process diff needs.
-fn fnv1a(values: &[f64]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for v in values {
-        for byte in v.to_bits().to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
-}
-
 fn report(name: &str, values: &[f64]) {
-    println!("{name} {:016x}", fnv1a(values));
+    // The shared bit-pattern digest (see `apgas::digest`) — the same
+    // function the task layer votes with, so a vote mismatch and a parity
+    // diff disagree about the exact same value.
+    println!("{name} {:016x}", fnv1a_f64s(values));
 }
 
 fn main() {

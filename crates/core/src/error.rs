@@ -16,6 +16,18 @@ pub enum GmlError {
     Shape(String),
     /// The executor exhausted its restore budget or had no places left.
     Unrecoverable(String),
+    /// A step's output digest no longer matches the digest recorded when
+    /// the step computed it — a silent data corruption (bit flip, divergent
+    /// replica) caught *before* the checkpoint commit. Recoverable: no
+    /// place died, but the state must be rolled back like one had.
+    SilentError {
+        /// Iteration at which the mismatch was detected.
+        iteration: u64,
+        /// Digest recorded when the step produced its output.
+        expected: u64,
+        /// Digest observed at the commit boundary.
+        observed: u64,
+    },
 }
 
 impl GmlError {
@@ -24,6 +36,7 @@ impl GmlError {
     pub fn is_recoverable(&self) -> bool {
         match self {
             GmlError::Apgas(e) => e.is_recoverable(),
+            GmlError::SilentError { .. } => true,
             _ => false,
         }
     }
@@ -54,6 +67,11 @@ impl fmt::Display for GmlError {
             GmlError::DataLoss(m) => write!(f, "snapshot data loss: {m}"),
             GmlError::Shape(m) => write!(f, "shape error: {m}"),
             GmlError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
+            GmlError::SilentError { iteration, expected, observed } => write!(
+                f,
+                "silent error at iteration {iteration}: output digest {observed:016x} \
+                 no longer matches recorded digest {expected:016x}"
+            ),
         }
     }
 }
@@ -83,6 +101,11 @@ mod tests {
         assert!(!GmlError::data_loss("gone").is_recoverable());
         assert!(!GmlError::shape("bad").is_recoverable());
         assert!(!GmlError::Unrecoverable("done".into()).is_recoverable());
+        // A detected silent error is recoverable (restore from snapshot)
+        // even though no place died.
+        let silent = GmlError::SilentError { iteration: 3, expected: 1, observed: 2 };
+        assert!(silent.is_recoverable());
+        assert!(silent.dead_places().is_empty());
     }
 
     #[test]

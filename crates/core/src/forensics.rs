@@ -56,6 +56,12 @@ pub struct RestoreDecision {
     /// Which restore attempt of this recovery succeeded (> 1 when another
     /// place died mid-restore).
     pub attempt: u32,
+    /// For a `silent_error` restore: the output digest recorded when the
+    /// step computed it. `None` for fail-stop (dead-place) restores.
+    pub expected_digest: Option<u64>,
+    /// For a `silent_error` restore: the mismatching digest observed at the
+    /// commit boundary. `None` for fail-stop restores.
+    pub observed_digest: Option<u64>,
 }
 
 /// A post-mortem bundle: everything worth knowing about the runtime at the
@@ -95,6 +101,13 @@ pub struct PostMortem {
     /// interesting — surviving replicas inflate the store tag, rollback
     /// frees application matrices.
     pub mem: MemReport,
+    /// Cumulative task replays at capture time — how often the task layer
+    /// re-executed a panicked or timed-out body before this restore.
+    pub task_replays: u64,
+    /// Cumulative task-attempt timeouts at capture time.
+    pub task_timeouts: u64,
+    /// Cumulative replica digest-vote mismatches at capture time.
+    pub task_vote_mismatches: u64,
 }
 
 impl PostMortem {
@@ -112,6 +125,7 @@ impl PostMortem {
         if path_rows.len() > PATH_ROWS {
             path_rows.drain(..path_rows.len() - PATH_ROWS);
         }
+        let rt_stats = ctx.stats();
         PostMortem {
             seq,
             captured_at_nanos: ctx.tracer().now_nanos(),
@@ -123,6 +137,9 @@ impl PostMortem {
             trace_tail: trace_tail(&events, TRACE_TAIL_PER_PLACE),
             path_rows,
             mem: apgas::mem::report(),
+            task_replays: rt_stats.task_replays,
+            task_timeouts: rt_stats.task_timeouts,
+            task_vote_mismatches: rt_stats.task_vote_mismatches,
         }
     }
 
@@ -130,14 +147,22 @@ impl PostMortem {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str(&format!(
-            "{{\"seq\":{},\"captured_at_nanos\":{},\"pool_workers\":{},\"decision\":{{",
-            self.seq, self.captured_at_nanos, self.pool_workers
+            "{{\"seq\":{},\"captured_at_nanos\":{},\"pool_workers\":{},\
+             \"task_replays\":{},\"task_timeouts\":{},\"task_vote_mismatches\":{},\
+             \"decision\":{{",
+            self.seq,
+            self.captured_at_nanos,
+            self.pool_workers,
+            self.task_replays,
+            self.task_timeouts,
+            self.task_vote_mismatches,
         ));
         let d = &self.decision;
         s.push_str(&format!(
             "\"configured_mode\":\"{}\",\"effective_label\":\"{}\",\"rebalance\":{},\
              \"reason\":\"{}\",\"dead_places\":{},\"live_spares\":{},\
-             \"places_spawned\":{},\"rolled_back_to\":{},\"attempt\":{}}}",
+             \"places_spawned\":{},\"rolled_back_to\":{},\"attempt\":{},\
+             \"expected_digest\":{},\"observed_digest\":{}}}",
             esc(d.configured_mode),
             esc(d.effective_label),
             d.rebalance,
@@ -147,6 +172,8 @@ impl PostMortem {
             json_u32s(&d.places_spawned),
             d.rolled_back_to,
             d.attempt,
+            json_digest(d.expected_digest),
+            json_digest(d.observed_digest),
         ));
         s.push_str(",\"ledger\":[");
         for (i, e) in self.ledger.iter().enumerate() {
@@ -328,6 +355,16 @@ fn trace_tail(events: &[TraceEvent], per_place: usize) -> Vec<TraceEvent> {
         .collect()
 }
 
+/// Render an optional digest as a JSON value: a fixed-width hex string (so
+/// the full 64 bits survive consumers that parse numbers as doubles) or
+/// `null` when the restore had no digest evidence (fail-stop).
+fn json_digest(d: Option<u64>) -> String {
+    match d {
+        Some(v) => format!("\"{v:016x}\""),
+        None => "null".into(),
+    }
+}
+
 fn json_u32s(v: &[u32]) -> String {
     let items: Vec<String> = v.iter().map(|n| n.to_string()).collect();
     format!("[{}]", items.join(","))
@@ -366,6 +403,8 @@ mod tests {
             places_spawned: vec![],
             rolled_back_to: 10,
             attempt: 1,
+            expected_digest: None,
+            observed_digest: None,
         }
     }
 
@@ -396,6 +435,9 @@ mod tests {
             trace_tail: vec![],
             path_rows: vec![],
             mem: MemReport::default(),
+            task_replays: 0,
+            task_timeouts: 0,
+            task_vote_mismatches: 0,
         };
         pm.validate().unwrap();
         let json = pm.to_json();
@@ -404,15 +446,21 @@ mod tests {
         assert!(json.contains("\\\"left\\\""), "quotes in the reason are escaped");
         assert!(json.contains("\"mem\":{"), "bundle carries a memory map");
         assert!(json.contains("\"tag\":\"store_shard\""), "every ledger tag is listed");
+        assert!(json.contains("\"expected_digest\":null"), "fail-stop restore: no digests");
+        assert!(json.contains("\"task_replays\":0"), "task-layer counters present");
     }
 
     #[test]
     fn populated_bundle_is_valid_json() {
+        let mut dec = decision();
+        dec.effective_label = "silent_error";
+        dec.expected_digest = Some(0x1234_5678_9abc_def0);
+        dec.observed_digest = Some(0x0fed_cba9_8765_4321);
         let pm = PostMortem {
             seq: 3,
             captured_at_nanos: 99,
             pool_workers: 4,
-            decision: decision(),
+            decision: dec,
             ledger: vec![LedgerEntry {
                 fid: 7,
                 pending: vec![(0, 1), (2, 3)],
@@ -451,10 +499,19 @@ mod tests {
                 complete: true,
             }],
             mem: apgas::mem::report(),
+            task_replays: 5,
+            task_timeouts: 2,
+            task_vote_mismatches: 1,
         };
         pm.validate().unwrap();
         let json = pm.to_json();
         assert!(json.contains("\"pending\":[[0,1],[2,3]]"));
+        assert!(json.contains("\"effective_label\":\"silent_error\""));
+        assert!(json.contains("\"expected_digest\":\"123456789abcdef0\""));
+        assert!(json.contains("\"observed_digest\":\"0fedcba987654321\""));
+        assert!(json.contains("\"task_replays\":5"));
+        assert!(json.contains("\"task_timeouts\":2"));
+        assert!(json.contains("\"task_vote_mismatches\":1"));
         assert!(json.contains("\"invariant_ok\":false"));
         assert!(json.contains("\"kind\":\"exec.step\""));
         assert!(json.contains("\"phase\":\"instant\""));

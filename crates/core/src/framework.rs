@@ -157,6 +157,29 @@ pub trait ResilientIterativeApp {
         snapshot_iteration: u64,
         rebalance: bool,
     ) -> GmlResult<()>;
+
+    /// Opt into executor-side silent-error detection: apps that also
+    /// implement [`ChecksummedStep`] override this to `Some(self)`;
+    /// injector wrappers forward to their inner app. The default (`None`)
+    /// keeps verification — and its cost — entirely off.
+    fn as_checksummed(&self) -> Option<&dyn ChecksummedStep> {
+        None
+    }
+}
+
+/// The silent-error detection hook: an app that can digest its
+/// state-carrying output lets the executor record the digest when `step`
+/// produces the data and re-derive it just before the next checkpoint
+/// `commit()`. A mismatch means the state mutated *between* compute and
+/// commit — a bit flip, a divergent replica, a buggy in-place kernel — and
+/// is treated exactly like a place death: the executor rolls back to the
+/// last committed snapshot (effective mode `silent_error`) instead of
+/// checkpointing the corrupted state.
+pub trait ChecksummedStep {
+    /// A digest of the application's current output state (e.g.
+    /// [`apgas::fnv1a_f64s`] over the result vector). Must be a pure
+    /// function of the data: same state, same digest.
+    fn output_digest(&self, ctx: &Ctx) -> GmlResult<u64>;
 }
 
 /// Wall-clock breakdown of one executor run — the raw material for the
@@ -182,6 +205,10 @@ pub struct RunStats {
     /// `step_time` — the overlap saving is roughly
     /// `ship_time - (checkpoint_time - capture_time)`.
     pub ship_time: Duration,
+    /// Wall time spent computing and comparing output digests for
+    /// silent-error detection (zero when the app opted out of
+    /// [`ChecksummedStep`]).
+    pub detect_time: Duration,
     /// Wall time spent restoring.
     pub restore_time: Duration,
     /// Wall time of the whole run.
@@ -250,6 +277,10 @@ impl ResilientExecutor {
         let mut prev_snap = first_snap;
         let mut rows: Vec<IterRow> = Vec::new();
         let mut bundles: Vec<PostMortem> = Vec::new();
+        // Silent-error screen: the digest recorded the last time a step
+        // produced output, as `(iteration, digest)`. Verified just before
+        // the next checkpoint commits; `None` when the app opted out.
+        let mut recorded: Option<(u64, u64)> = None;
         store.set_overlap(self.cfg.overlap_ship);
 
         while !app.is_finished(ctx, iteration) {
@@ -259,6 +290,7 @@ impl ResilientExecutor {
                 checkpoint: None,
                 capture: None,
                 ship: None,
+                detect: None,
                 restore: None,
                 delta: Default::default(),
                 path: None,
@@ -268,6 +300,37 @@ impl ResilientExecutor {
             // Periodic coordinated checkpoint (also re-taken right after a
             // restore, re-establishing full snapshot redundancy).
             if interval > 0 && iteration >= next_checkpoint {
+                // Re-derive the output digest and compare it against the
+                // one recorded when the step produced the data. A mismatch
+                // means the state mutated between compute and commit;
+                // rather than checkpoint the corrupted state, roll back to
+                // the last *committed* snapshot as if a place had died.
+                let trigger = match (app.as_checksummed(), recorded) {
+                    (Some(cs), Some((rec_iter, expected))) => {
+                        let t = Instant::now();
+                        let observed = cs.output_digest(ctx)?;
+                        let d = t.elapsed();
+                        row.detect = Some(row.detect.unwrap_or(Duration::ZERO) + d);
+                        stats.detect_time += d;
+                        (observed != expected).then_some(GmlError::SilentError {
+                            iteration: rec_iter,
+                            expected,
+                            observed,
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some(trigger) = trigger {
+                    recorded = None;
+                    let cost = self.recover(
+                        ctx, app, store, &mut group, &mut iteration, &mut restores_left,
+                        &mut stats, &mut bundles, &trigger,
+                    )?;
+                    row.restore = Some(cost);
+                    next_checkpoint = iteration;
+                    Self::close_row(ctx, &mut rows, row, &mut prev_snap);
+                    continue;
+                }
                 store.set_current_iteration(iteration);
                 let t = Instant::now();
                 let result = {
@@ -297,9 +360,10 @@ impl ResilientExecutor {
                     Err(e) if e.is_recoverable() => {
                         stats.checkpoint_time += t.elapsed();
                         store.cancel_snapshot(ctx);
+                        recorded = None;
                         let cost = self.recover(
                             ctx, app, store, &mut group, &mut iteration, &mut restores_left,
-                            &mut stats, &mut bundles,
+                            &mut stats, &mut bundles, &e,
                         )?;
                         row.restore = Some(cost);
                         next_checkpoint = iteration;
@@ -340,13 +404,25 @@ impl ResilientExecutor {
                 Ok(()) => {
                     stats.step_time += t.elapsed();
                     stats.iterations_run += 1;
+                    // Record the output digest the moment the step produced
+                    // it — the reference the pre-commit verification
+                    // compares against.
+                    if let Some(cs) = app.as_checksummed() {
+                        let td = Instant::now();
+                        let digest = cs.output_digest(ctx)?;
+                        let d = td.elapsed();
+                        row.detect = Some(row.detect.unwrap_or(Duration::ZERO) + d);
+                        stats.detect_time += d;
+                        recorded = Some((iteration, digest));
+                    }
                     iteration += 1;
                 }
                 Err(e) if e.is_recoverable() => {
                     stats.step_time += t.elapsed();
+                    recorded = None;
                     let cost = self.recover(
                         ctx, app, store, &mut group, &mut iteration, &mut restores_left,
-                        &mut stats, &mut bundles,
+                        &mut stats, &mut bundles, &e,
                     )?;
                     row.restore = Some(cost);
                     next_checkpoint = iteration;
@@ -388,7 +464,10 @@ impl ResilientExecutor {
 
     /// Pick a new group per the restore mode and roll the application back.
     /// Returns the wall time and effective shape of the recovery, and pushes
-    /// one flight-recorder [`PostMortem`] bundle when it succeeds.
+    /// one flight-recorder [`PostMortem`] bundle when it succeeds. `trigger`
+    /// is the error being recovered from: a dead-place error selects the
+    /// configured restore mode, a [`GmlError::SilentError`] restores on the
+    /// unchanged group under the `silent_error` effective mode.
     #[allow(clippy::too_many_arguments)]
     fn recover<A: ResilientIterativeApp>(
         &self,
@@ -400,6 +479,7 @@ impl ResilientExecutor {
         restores_left: &mut u32,
         stats: &mut RunStats,
         bundles: &mut Vec<PostMortem>,
+        trigger: &GmlError,
     ) -> GmlResult<RestoreCost> {
         let recover_t0 = Instant::now();
         // Settle any in-flight overlap-mode checkpoint before reading the
@@ -419,92 +499,115 @@ impl ResilientExecutor {
                 GmlError::Unrecoverable("place failure before any committed checkpoint".into())
             })?;
             let dead: Vec<Place> = group.iter().filter(|p| !ctx.is_alive(*p)).collect();
-            if dead.is_empty() {
-                return Err(GmlError::Unrecoverable(
-                    "recoverable error but no dead place observed".into(),
-                ));
-            }
             let spares = ctx.live_spares();
             let mut spawned: Vec<Place> = Vec::new();
             let survivors = group.len() - dead.len();
-            let (new_group, rebalance, label, reason) = match self.cfg.mode {
-                RestoreMode::Shrink => (
-                    group.without(&dead),
+            let mut digests: Option<(u64, u64)> = None;
+            let (new_group, rebalance, label, reason) = if dead.is_empty() {
+                // No place died. The only recoverable error without a corpse
+                // is a detected silent error: the places are fine but the
+                // data is not, so restore the committed snapshot on the
+                // *unchanged* group (no shrink, no substitution, no
+                // rebalance — the grid is intact, only its contents rolled
+                // back).
+                let GmlError::SilentError { iteration: det_iter, expected, observed } =
+                    trigger
+                else {
+                    return Err(GmlError::Unrecoverable(
+                        "recoverable error but no dead place observed".into(),
+                    ));
+                };
+                digests = Some((*expected, *observed));
+                (
+                    group.clone(),
                     false,
-                    RestoreMode::Shrink.label(),
+                    "silent_error",
                     format!(
-                        "configured shrink: continue on the {survivors} surviving place(s), \
-                         same data grid"
+                        "silent data corruption detected at iteration {det_iter}: recorded \
+                         digest {expected:016x}, observed {observed:016x}; no place died — \
+                         rolling back to the committed snapshot on the unchanged group"
                     ),
-                ),
-                RestoreMode::ShrinkRebalance => (
-                    group.without(&dead),
-                    true,
-                    RestoreMode::ShrinkRebalance.label(),
-                    format!(
-                        "configured shrink_rebalance: repartition the data grid over the \
-                         {survivors} surviving place(s)"
+                )
+            } else {
+                match self.cfg.mode {
+                    RestoreMode::Shrink => (
+                        group.without(&dead),
+                        false,
+                        RestoreMode::Shrink.label(),
+                        format!(
+                            "configured shrink: continue on the {survivors} surviving place(s), \
+                             same data grid"
+                        ),
                     ),
-                ),
-                RestoreMode::ReplaceRedundant => {
-                    match group.replace(&dead, &spares) {
-                        Some(g) => (
-                            g,
-                            false,
-                            RestoreMode::ReplaceRedundant.label(),
-                            format!(
-                                "configured replace_redundant: {} dead place(s) substituted \
-                                 from {} live spare(s)",
-                                dead.len(),
-                                spares.len()
-                            ),
+                    RestoreMode::ShrinkRebalance => (
+                        group.without(&dead),
+                        true,
+                        RestoreMode::ShrinkRebalance.label(),
+                        format!(
+                            "configured shrink_rebalance: repartition the data grid over the \
+                             {survivors} surviving place(s)"
                         ),
-                        // Spares exhausted: fall back to the user-chosen
-                        // shrink variant (the label reports what actually
-                        // happened, not what was configured).
-                        None => (
-                            group.without(&dead),
-                            self.cfg.fallback_rebalance,
-                            Self::fallback_label(self.cfg.fallback_rebalance),
-                            format!(
-                                "replace_redundant fell back: {} dead place(s) but only {} \
-                                 live spare(s); shrinking{}",
-                                dead.len(),
-                                spares.len(),
-                                if self.cfg.fallback_rebalance { " with rebalance" } else { "" }
+                    ),
+                    RestoreMode::ReplaceRedundant => {
+                        match group.replace(&dead, &spares) {
+                            Some(g) => (
+                                g,
+                                false,
+                                RestoreMode::ReplaceRedundant.label(),
+                                format!(
+                                    "configured replace_redundant: {} dead place(s) substituted \
+                                     from {} live spare(s)",
+                                    dead.len(),
+                                    spares.len()
+                                ),
                             ),
-                        ),
+                            // Spares exhausted: fall back to the user-chosen
+                            // shrink variant (the label reports what actually
+                            // happened, not what was configured).
+                            None => (
+                                group.without(&dead),
+                                self.cfg.fallback_rebalance,
+                                Self::fallback_label(self.cfg.fallback_rebalance),
+                                format!(
+                                    "replace_redundant fell back: {} dead place(s) but only {} \
+                                     live spare(s); shrinking{}",
+                                    dead.len(),
+                                    spares.len(),
+                                    if self.cfg.fallback_rebalance { " with rebalance" } else { "" }
+                                ),
+                            ),
+                        }
                     }
-                }
-                RestoreMode::ReplaceElastic => {
-                    // Create brand-new places on demand (Elastic X10).
-                    let mut fresh = Vec::with_capacity(dead.len());
-                    for _ in &dead {
-                        fresh.push(ctx.spawn_place()?);
-                    }
-                    spawned = fresh.clone();
-                    match group.replace(&dead, &fresh) {
-                        Some(g) => (
-                            g,
-                            false,
-                            RestoreMode::ReplaceElastic.label(),
-                            format!(
-                                "configured replace_elastic: spawned {} fresh place(s) to \
-                                 substitute for the dead ones",
-                                fresh.len()
+                    RestoreMode::ReplaceElastic => {
+                        // Create brand-new places on demand (Elastic X10).
+                        let mut fresh = Vec::with_capacity(dead.len());
+                        for _ in &dead {
+                            fresh.push(ctx.spawn_place()?);
+                        }
+                        spawned = fresh.clone();
+                        match group.replace(&dead, &fresh) {
+                            Some(g) => (
+                                g,
+                                false,
+                                RestoreMode::ReplaceElastic.label(),
+                                format!(
+                                    "configured replace_elastic: spawned {} fresh place(s) to \
+                                     substitute for the dead ones",
+                                    fresh.len()
+                                ),
                             ),
-                        ),
-                        None => (
-                            group.without(&dead),
-                            self.cfg.fallback_rebalance,
-                            Self::fallback_label(self.cfg.fallback_rebalance),
-                            format!(
-                                "replace_elastic fell back: could not substitute {} dead \
-                                 place(s); shrinking{}",
-                                dead.len(),
-                                if self.cfg.fallback_rebalance { " with rebalance" } else { "" }
+                            None => (
+                                group.without(&dead),
+                                self.cfg.fallback_rebalance,
+                                Self::fallback_label(self.cfg.fallback_rebalance),
+                                format!(
+                                    "replace_elastic fell back: could not substitute {} dead \
+                                     place(s); shrinking{}",
+                                    dead.len(),
+                                    if self.cfg.fallback_rebalance { " with rebalance" } else { "" }
+                                ),
                             ),
-                        ),
+                        }
                     }
                 }
             };
@@ -534,6 +637,8 @@ impl ResilientExecutor {
                         places_spawned: spawned.iter().map(|p| p.id()).collect(),
                         rolled_back_to: snapshot_iter,
                         attempt: attempts,
+                        expected_digest: digests.map(|(e, _)| e),
+                        observed_digest: digests.map(|(_, o)| o),
                     };
                     let bundle = PostMortem::capture(
                         ctx,
@@ -626,6 +731,10 @@ impl<A: ResilientIterativeApp> ResilientIterativeApp for FailureInjector<A> {
     ) -> GmlResult<()> {
         self.app.restore(ctx, new_places, store, snapshot_iteration, rebalance)
     }
+
+    fn as_checksummed(&self) -> Option<&dyn ChecksummedStep> {
+        self.app.as_checksummed()
+    }
 }
 
 /// Wraps an app to inject *random* fail-stop failures: each iteration, with
@@ -710,6 +819,10 @@ impl<A: ResilientIterativeApp> ResilientIterativeApp for ChaosInjector<A> {
     ) -> GmlResult<()> {
         self.app.restore(ctx, new_places, store, snapshot_iteration, rebalance)
     }
+
+    fn as_checksummed(&self) -> Option<&dyn ChecksummedStep> {
+        self.app.as_checksummed()
+    }
 }
 
 #[cfg(test)]
@@ -727,6 +840,9 @@ mod tests {
         total_iters: u64,
         kill_at: Option<(u64, Place)>,
         kill_during_checkpoint: Option<Place>,
+        checksummed: bool,
+        corrupt_at_digest_call: Option<u64>,
+        digest_calls: std::cell::Cell<u64>,
     }
 
     impl CounterApp {
@@ -775,6 +891,25 @@ mod tests {
             self.group = new_places.clone();
             Ok(())
         }
+
+        fn as_checksummed(&self) -> Option<&dyn ChecksummedStep> {
+            self.checksummed.then(|| self as &dyn ChecksummedStep)
+        }
+    }
+
+    impl ChecksummedStep for CounterApp {
+        fn output_digest(&self, ctx: &Ctx) -> GmlResult<u64> {
+            let n = self.digest_calls.get() + 1;
+            self.digest_calls.set(n);
+            if self.corrupt_at_digest_call == Some(n) {
+                // The injected silent error: flip the data *after* the step
+                // recorded its digest, so the pre-commit check mismatches.
+                self.v.apply(ctx, |x| {
+                    x.cell_add_scalar(0.5);
+                })?;
+            }
+            Ok(apgas::fnv1a_f64s(self.v.read_local(ctx)?.as_slice()))
+        }
     }
 
     fn counter_app(ctx: &Ctx, group: &PlaceGroup, total: u64) -> (CounterApp, AppResilientStore) {
@@ -787,6 +922,9 @@ mod tests {
                 total_iters: total,
                 kill_at: None,
                 kill_during_checkpoint: None,
+                checksummed: false,
+                corrupt_at_digest_call: None,
+                digest_calls: std::cell::Cell::new(0),
             },
             store,
         )
@@ -823,6 +961,60 @@ mod tests {
             // Iterations 10..15 re-ran: 30 + (15 - 10) = 35.
             assert_eq!(stats.iterations_run, 35);
             assert!(stats.restore_time > Duration::ZERO);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn silent_error_detected_before_commit_and_restored() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 10);
+            app.checksummed = true;
+            // Digest calls: one record after each step, one verify before
+            // each checkpoint. With interval 5 the verify at iteration 5 is
+            // call #6 — corrupt the data inside it, after step 4's record.
+            app.corrupt_at_digest_call = Some(6);
+            let exec = ResilientExecutor::new(ExecutorConfig::new(5, RestoreMode::Shrink));
+            let (final_group, stats, report) =
+                exec.run_reported(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 10.0, "rollback + re-execution is exact");
+            assert_eq!(final_group.len(), 3, "no place died; the group is unchanged");
+            assert_eq!(stats.restores, 1);
+            assert!(stats.detect_time > Duration::ZERO);
+            // Iterations 0..5 re-ran after rolling back to the snapshot
+            // from iteration 0: 10 + 5.
+            assert_eq!(stats.iterations_run, 15);
+            // The flight recorder labels the restore silent_error and
+            // carries the mismatching digest pair.
+            let pm = &report.bundles[0];
+            assert_eq!(pm.decision.effective_label, "silent_error");
+            assert!(pm.decision.dead_places.is_empty());
+            let expected = pm.decision.expected_digest.unwrap();
+            let observed = pm.decision.observed_digest.unwrap();
+            assert_ne!(expected, observed);
+            pm.validate().unwrap();
+            // The cost report renders the silent restore and stays
+            // telescoped.
+            assert!(report.render().contains("silent_error"));
+            assert!(report.consistent_with_totals());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn checksummed_run_without_corruption_is_free_of_restores() {
+        Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
+            let g = ctx.world();
+            let (mut app, mut store) = counter_app(ctx, &g, 12);
+            app.checksummed = true;
+            let exec = ResilientExecutor::new(ExecutorConfig::new(4, RestoreMode::Shrink));
+            let (_, stats, report) =
+                exec.run_reported(ctx, &mut app, &g, &mut store).unwrap();
+            assert_eq!(app.value(ctx), 12.0);
+            assert_eq!(stats.restores, 0, "matching digests never trigger a rollback");
+            assert!(stats.detect_time > Duration::ZERO, "verification cost is accounted");
+            assert!(report.rows.iter().any(|r| r.detect.is_some()));
         })
         .unwrap();
     }

@@ -42,8 +42,8 @@ pub use dup_vector::DupVector;
 pub use error::{GmlError, GmlResult};
 pub use forensics::{PostMortem, RestoreDecision};
 pub use framework::{
-    young_interval, ChaosInjector, ExecutorConfig, FailureInjector, ResilientExecutor,
-    ResilientIterativeApp, RestoreMode, RunStats,
+    young_interval, ChaosInjector, ChecksummedStep, ExecutorConfig, FailureInjector,
+    ResilientExecutor, ResilientIterativeApp, RestoreMode, RunStats,
 };
 pub use report::{fmt_bytes, CostReport, IterRow, RestoreCost};
 pub use snapshot::{Snapshot, Snapshottable};

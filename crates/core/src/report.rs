@@ -56,6 +56,11 @@ pub struct IterRow {
     /// next settle point, typically one checkpoint later; the time itself
     /// ran concurrently with the steps in between.
     pub ship: Option<Duration>,
+    /// Wall time this pass spent computing and comparing output digests for
+    /// silent-error detection (recording after the step plus verification
+    /// before the checkpoint commit). `None` when the app opted out of
+    /// checksummed steps.
+    pub detect: Option<Duration>,
     /// The recovery performed this pass, if any.
     pub restore: Option<RestoreCost>,
     /// Live heap bytes at the pass's close boundary (counting allocator).
@@ -104,6 +109,9 @@ impl CostReport {
             s.decode_nanos += r.delta.decode_nanos;
             s.failures += r.delta.failures;
             s.places_spawned += r.delta.places_spawned;
+            s.task_replays += r.delta.task_replays;
+            s.task_timeouts += r.delta.task_timeouts;
+            s.task_vote_mismatches += r.delta.task_vote_mismatches;
         }
         s
     }
@@ -137,7 +145,9 @@ impl CostReport {
     /// synchronous serialize-and-insert portion of the checkpoint and
     /// `ship(t)` the background backup-transfer busy time harvested this
     /// pass (under overlap it belongs to the previous checkpoint and ran
-    /// concurrently with compute); `ctl` counts place-zero bookkeeping
+    /// concurrently with compute); `detect(t)` is the wall time spent
+    /// computing and comparing output digests for silent-error detection
+    /// (`-` when the app opted out); `ctl` counts place-zero bookkeeping
     /// messages; `enc+dec` is codec wall time; `ship / recv` are payload
     /// bytes. `resident / ckptmem` are memory *levels* at the pass's close
     /// boundary (live heap, store-ledger bytes) rather than deltas; both
@@ -145,9 +155,10 @@ impl CostReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>5} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
-            "iter", "step", "ckpt", "capture", "ship(t)", "restore", "ctl", "enc+dec", "ship",
-            "recv", "resident", "ckptmem"
+            "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10} \
+             {:>9} {:>9}\n",
+            "iter", "step", "ckpt", "capture", "ship(t)", "detect(t)", "restore", "ctl",
+            "enc+dec", "ship", "recv", "resident", "ckptmem"
         ));
         for r in &self.rows {
             let opt = |d: Option<Duration>| {
@@ -165,12 +176,14 @@ impl CostReport {
                 })
                 .unwrap_or_else(|| "-".into());
             out.push_str(&format!(
-                "{:>5} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
+                "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10} \
+                 {:>9} {:>9}\n",
                 r.iteration,
                 fmt_nanos(r.step.as_nanos() as u64),
                 opt(r.checkpoint),
                 opt(r.capture),
                 opt(r.ship),
+                opt(r.detect),
                 restore,
                 r.delta.ctl_total(),
                 fmt_nanos(r.delta.encode_nanos + r.delta.decode_nanos),
@@ -181,9 +194,12 @@ impl CostReport {
             ));
         }
         let t = &self.totals;
+        let detect_total: Duration =
+            self.rows.iter().filter_map(|r| r.detect).sum();
         out.push_str(&format!(
             "total: {} rows, {} restores, ctl {} (spawn {} term {} wait {}), \
-             encode {} decode {}, shipped {} received {}, peak resident {}\n",
+             encode {} decode {}, shipped {} received {}, peak resident {}, \
+             detect {}, task replays {} timeouts {} vote mismatches {}\n",
             self.rows.len(),
             self.restores(),
             t.ctl_total(),
@@ -195,6 +211,10 @@ impl CostReport {
             fmt_bytes(t.bytes_shipped),
             fmt_bytes(t.bytes_received),
             fmt_bytes(self.rows.iter().map(|r| r.resident).max().unwrap_or(0)),
+            fmt_nanos(detect_total.as_nanos() as u64),
+            t.task_replays,
+            t.task_timeouts,
+            t.task_vote_mismatches,
         ));
         if self.rows.iter().any(|r| r.path.is_some()) {
             out.push_str(&self.render_paths());
@@ -257,6 +277,7 @@ mod tests {
             checkpoint: None,
             capture: None,
             ship: None,
+            detect: None,
             restore: None,
             resident: 0,
             ckpt_bytes: 0,
@@ -307,6 +328,27 @@ mod tests {
         assert!(text.contains("capture"), "two-phase capture column present");
         assert!(text.contains("ship(t)"), "two-phase ship-time column present");
         assert_eq!(report.restores(), 1);
+    }
+
+    #[test]
+    fn detect_column_renders_and_telescopes() {
+        let mut a = row(0, 0, 0, 0);
+        a.detect = Some(Duration::from_millis(2));
+        a.delta.task_replays = 1;
+        let mut b = row(1, 0, 0, 0);
+        b.detect = Some(Duration::from_millis(3));
+        b.delta.task_vote_mismatches = 1;
+        let mut totals = StatsSnapshot::default();
+        totals.task_replays = 1;
+        totals.task_vote_mismatches = 1;
+        let report = CostReport { rows: vec![a, b], totals, bundles: vec![] };
+        // The new counters participate in the telescoping check.
+        assert!(report.consistent_with_totals());
+        let text = report.render();
+        assert!(text.contains("detect(t)"), "per-row detection column present");
+        assert!(text.contains("detect 5.00ms"), "totals line sums the rows");
+        assert!(text.contains("task replays 1"), "task counters reach the totals line");
+        assert!(text.contains("vote mismatches 1"));
     }
 
     #[test]

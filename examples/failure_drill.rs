@@ -13,6 +13,11 @@
 //! iteration is artificially slowed to trip the watchdog's regression
 //! anomaly, and the watchdog summary is printed at the end.
 //!
+//! A third phase exercises the task-resilience layer: a policied async task
+//! panics once and is replayed, and the final matrix state is replicated
+//! and digest-voted across live places (the `final_state_digest` line it
+//! prints is diffed across `GML_TASK_REPLICAS` settings by `ci.sh`).
+//!
 //! ```sh
 //! cargo run --release --example failure_drill
 //! # with structured tracing exported as Chrome trace JSON:
@@ -225,6 +230,54 @@ fn main() {
             );
         }
         assert_eq!(report.bundles.len() as u64, stats.restores, "one bundle per restore");
+
+        // Phase 3: the task-resilience layer. A policied async task panics
+        // on its first attempt and is replayed by `run_policied`; then the
+        // final matrix state is replicated and digest-voted across live
+        // places under the ambient `GML_TASK_*` policy. The `task_parity`
+        // step in `ci.sh` runs this drill at GML_TASK_REPLICAS=1 and =3 and
+        // diffs the `final_state_digest` line — a replicated vote that
+        // disagrees with the single-replica digest fails CI.
+        println!("\n=== task layer drill (replay + replicated vote) ===");
+        {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            use std::sync::Arc;
+            let attempts = Arc::new(AtomicU64::new(0));
+            let seen = Arc::clone(&attempts);
+            ctx.finish(|fs| {
+                fs.async_at_policied(
+                    Place::new(1),
+                    TaskPolicy::default().retries(2).backoff_ms(1),
+                    move |_| {
+                        if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                            panic!("transient task fault (drill)");
+                        }
+                    },
+                );
+            })
+            .expect("policied task must succeed after replay");
+            let rt_stats = ctx.stats();
+            println!(
+                "  transient task fault: {} attempt(s), {} replay(s) recorded",
+                attempts.load(Ordering::SeqCst),
+                rt_stats.task_replays
+            );
+            assert!(rt_stats.task_replays >= 1, "the panicking task must be replayed");
+
+            let final_state = app.m.gather_dense(ctx).expect("gather final");
+            let local_digest = fnv1a_f64s(final_state.as_slice());
+            let bytes: Vec<u8> =
+                final_state.as_slice().iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+            let voted = ctx
+                .replicated_vote(Place::new(0), TaskPolicy::from_env(), move |_| bytes.clone())
+                .expect("replicated vote");
+            assert_eq!(voted, local_digest, "majority digest must equal the local digest");
+            println!(
+                "  replicated vote: {} mismatch(es) recorded",
+                ctx.stats().task_vote_mismatches
+            );
+            println!("final_state_digest {voted:016x}");
+        }
 
         // Memory plane: the ledger's store_shard tag is charged on insert
         // and discharged on evict/kill, so at this settle point it equals

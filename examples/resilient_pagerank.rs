@@ -29,6 +29,12 @@ impl ResilientIterativeApp for FailureInjector {
     fn is_finished(&self, ctx: &Ctx, iteration: u64) -> bool {
         self.inner.is_finished(ctx, iteration)
     }
+    // Opt in to pre-commit output verification: the executor records the
+    // rank digest after each step and re-checks it before every checkpoint
+    // commit, so the report's detect(t) column is live in all four modes.
+    fn as_checksummed(&self) -> Option<&dyn ChecksummedStep> {
+        Some(self)
+    }
     fn step(&mut self, ctx: &Ctx, iteration: u64) -> GmlResult<()> {
         if iteration == self.kill_at && !self.fired {
             self.fired = true;
@@ -53,6 +59,12 @@ impl ResilientIterativeApp for FailureInjector {
             new_places
         );
         self.inner.restore(ctx, new_places, store, snapshot_iteration, rebalance)
+    }
+}
+
+impl ChecksummedStep for FailureInjector {
+    fn output_digest(&self, ctx: &Ctx) -> GmlResult<u64> {
+        Ok(fnv1a_f64s(self.inner.app.ranks(ctx)?.as_slice()))
     }
 }
 
@@ -121,12 +133,14 @@ fn main() {
                 final_group, stats.iterations_run, stats.checkpoints, stats.restores
             );
             println!(
-                "  time: step {:.1?}, checkpoint {:.1?} ({:.0}%), restore {:.1?} ({:.0}%)",
+                "  time: step {:.1?}, checkpoint {:.1?} ({:.0}%), restore {:.1?} ({:.0}%), \
+                 detect {:.1?}",
                 stats.step_time,
                 stats.checkpoint_time,
                 stats.checkpoint_pct(),
                 stats.restore_time,
-                stats.restore_pct()
+                stats.restore_pct(),
+                stats.detect_time
             );
             println!("--- per-iteration cost report ---");
             print!("{}", report.render());

@@ -4,12 +4,22 @@
 //! error (dead-place) or the operation completes — never a hang, never a
 //! wrong answer.
 
+use std::sync::Mutex;
+
 use apgas::prelude::*;
 use apgas::runtime::{Runtime, RuntimeConfig};
 use resilient_gml::core::{
-    AppResilientStore, DistBlockMatrix, DupVector, ResilientStore, Snapshottable,
+    AppResilientStore, ChecksummedStep, DistBlockMatrix, DupVector, ExecutorConfig, GmlResult,
+    ResilientExecutor, ResilientIterativeApp, ResilientStore, RestoreMode, Snapshottable,
 };
 use resilient_gml::matrix::{builder, BlockData};
+
+/// Serializes every test that charges the process-global `store_shard`
+/// memory ledger: the chaos drill below reconciles that ledger against one
+/// store's live inventory, which is only meaningful if no other store in
+/// this process is concurrently charging it (same pattern as
+/// `tests/mem_plane.rs`).
+static STORE_LEDGER: Mutex<()> = Mutex::new(());
 
 fn fill(r0: usize, c0: usize, rows: usize, cols: usize) -> BlockData {
     BlockData::Dense(builder::random_dense(rows, cols, (r0 * 31 + c0) as u64))
@@ -64,6 +74,7 @@ fn kill_racing_a_collective_is_recoverable_or_harmless() {
 /// (backups serve the dead owner's blocks).
 #[test]
 fn restore_after_kill_between_snapshot_and_restore() {
+    let _guard = STORE_LEDGER.lock().unwrap_or_else(|e| e.into_inner());
     Runtime::run(RuntimeConfig::new(5).resilient(true), |ctx| {
         let g = ctx.world();
         let store = ResilientStore::make(ctx).unwrap();
@@ -86,6 +97,7 @@ fn restore_after_kill_between_snapshot_and_restore() {
 /// not hang or fabricate zeros.
 #[test]
 fn adjacent_double_failure_reports_data_loss() {
+    let _guard = STORE_LEDGER.lock().unwrap_or_else(|e| e.into_inner());
     Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
         let g = ctx.world();
         let store = ResilientStore::make(ctx).unwrap();
@@ -110,6 +122,7 @@ fn adjacent_double_failure_reports_data_loss() {
 /// previous committed snapshot remains usable and no partial entries leak.
 #[test]
 fn cancelled_checkpoint_leaks_nothing() {
+    let _guard = STORE_LEDGER.lock().unwrap_or_else(|e| e.into_inner());
     Runtime::run(RuntimeConfig::new(3).resilient(true), |ctx| {
         let g = ctx.world();
         let mut store = AppResilientStore::make(ctx).unwrap();
@@ -145,6 +158,171 @@ fn cancelled_checkpoint_leaks_nothing() {
             "cancel leaked entries: {after_entries} > {baseline_entries}"
         );
         assert_eq!(store.snapshot_iteration(), Some(0), "old snapshot still the recovery point");
+    })
+    .unwrap();
+}
+
+/// The combined chaos drill: one executor run absorbs, in order, a task
+/// that panics mid-iteration (replayed in place by its policy), a straggler
+/// task that overruns its deadline (abandoned and replayed elsewhere), and
+/// a silent checksum flip between the recorded digest and the pre-commit
+/// verification (detected, restored on the unchanged group under the
+/// `silent_error` effective mode). Afterwards the result is bit-exact, the
+/// flight recorder carries the mismatching digest pair, the runtime stats
+/// telescoped every replay, and the store ledger still reconciles
+/// byte-for-byte with the live inventory.
+#[test]
+fn chaos_drill_replay_timeout_and_silent_error_in_one_run() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let _guard = STORE_LEDGER.lock().unwrap_or_else(|e| e.into_inner());
+
+    /// A counter app (the duplicated vector gains 1.0 per iteration) that
+    /// injects all three chaos events itself: the atomics make each event
+    /// fire exactly once even when the iteration re-runs after rollback.
+    struct ChaosApp {
+        v: DupVector,
+        total_iters: u64,
+        panic_hits: Arc<AtomicU64>,
+        slow_hits: Arc<AtomicU64>,
+        corrupt_at_digest_call: u64,
+        digest_calls: std::cell::Cell<u64>,
+    }
+
+    impl ResilientIterativeApp for ChaosApp {
+        fn is_finished(&self, _ctx: &Ctx, iteration: u64) -> bool {
+            iteration >= self.total_iters
+        }
+
+        fn step(&mut self, ctx: &Ctx, iteration: u64) -> GmlResult<()> {
+            if iteration == 1 {
+                // Chaos 1: a transient fault — the task panics on its first
+                // attempt ever and succeeds on the policy's replay.
+                let hits = Arc::clone(&self.panic_hits);
+                ctx.finish(|fs| {
+                    fs.async_at_policied(
+                        Place::new(1),
+                        TaskPolicy::default().retries(2).backoff_ms(1),
+                        move |_| {
+                            if hits.fetch_add(1, Ordering::SeqCst) == 0 {
+                                panic!("chaos: transient task fault");
+                            }
+                        },
+                    );
+                })?;
+            }
+            if iteration == 2 {
+                // Chaos 2: a straggler — the first attempt sleeps far past
+                // the 40ms deadline, is abandoned, and the replay (eligible
+                // to land at a different live place) returns promptly.
+                let hits = Arc::clone(&self.slow_hits);
+                ctx.finish(|fs| {
+                    fs.async_at_policied(
+                        Place::new(2),
+                        TaskPolicy::default().retries(2).timeout_ms(40).backoff_ms(1),
+                        move |_| {
+                            if hits.fetch_add(1, Ordering::SeqCst) == 0 {
+                                std::thread::sleep(std::time::Duration::from_millis(250));
+                            }
+                        },
+                    );
+                })?;
+            }
+            self.v.apply(ctx, |x| {
+                x.cell_add_scalar(1.0);
+            })
+        }
+
+        fn checkpoint(&mut self, ctx: &Ctx, store: &mut AppResilientStore) -> GmlResult<()> {
+            store.start_new_snapshot();
+            store.save(ctx, &self.v)?;
+            store.commit(ctx)
+        }
+
+        fn restore(
+            &mut self,
+            ctx: &Ctx,
+            new_places: &PlaceGroup,
+            store: &mut AppResilientStore,
+            _snapshot_iteration: u64,
+            _rebalance: bool,
+        ) -> GmlResult<()> {
+            self.v.remake(ctx, new_places)?;
+            store.restore(ctx, &mut [&mut self.v])
+        }
+
+        fn as_checksummed(&self) -> Option<&dyn ChecksummedStep> {
+            Some(self)
+        }
+    }
+
+    impl ChecksummedStep for ChaosApp {
+        fn output_digest(&self, ctx: &Ctx) -> GmlResult<u64> {
+            let n = self.digest_calls.get() + 1;
+            self.digest_calls.set(n);
+            if n == self.corrupt_at_digest_call {
+                // Chaos 3: flip the data after the step recorded its digest
+                // so the pre-commit verification sees a silent error.
+                self.v.apply(ctx, |x| {
+                    x.cell_add_scalar(0.5);
+                })?;
+            }
+            Ok(fnv1a_f64s(self.v.read_local(ctx)?.as_slice()))
+        }
+    }
+
+    Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+        let g = ctx.world();
+        let before = ctx.stats();
+        let mut store = AppResilientStore::make(ctx).unwrap();
+        let mut app = ChaosApp {
+            v: DupVector::make(ctx, 3, &g).unwrap(),
+            total_iters: 8,
+            panic_hits: Arc::new(AtomicU64::new(0)),
+            slow_hits: Arc::new(AtomicU64::new(0)),
+            // One record after each step, one verify before each commit:
+            // with interval 4, the verify at iteration 4 is call #5.
+            corrupt_at_digest_call: 5,
+            digest_calls: std::cell::Cell::new(0),
+        };
+        let exec = ResilientExecutor::new(ExecutorConfig::new(4, RestoreMode::Shrink));
+        let (final_group, stats, report) =
+            exec.run_reported(ctx, &mut app, &g, &mut store).unwrap();
+
+        // Bit-exact result on the unchanged group: nothing died, every
+        // chaos event was absorbed below the application's answer.
+        assert_eq!(app.v.read_local(ctx).unwrap().get(0), 8.0);
+        assert_eq!(final_group, g, "no place died; the group must be unchanged");
+        assert_eq!(stats.restores, 1, "exactly the silent-error rollback");
+        // Iterations 0..4 re-ran after rolling back to snapshot@0.
+        assert_eq!(stats.iterations_run, 12);
+
+        // Each injected task ran three times: the faulting attempt, the
+        // policy's replay, and the benign re-execution after the rollback
+        // re-ran its iteration.
+        assert_eq!(app.panic_hits.load(Ordering::SeqCst), 3, "panic task: fault+replay+rerun");
+        assert_eq!(app.slow_hits.load(Ordering::SeqCst), 3, "straggler: timeout+replay+rerun");
+        let delta = ctx.stats().since(&before);
+        assert!(delta.task_replays >= 2, "both faults replayed: {}", delta.task_replays);
+        assert!(delta.task_timeouts >= 1, "the straggler timed out: {}", delta.task_timeouts);
+
+        // The flight recorder pinned the silent error: effective mode
+        // silent_error, no dead places, mismatching digest pair.
+        let pm = &report.bundles[0];
+        assert_eq!(pm.decision.effective_label, "silent_error");
+        assert!(pm.decision.dead_places.is_empty());
+        assert_ne!(pm.decision.expected_digest, pm.decision.observed_digest);
+        pm.validate().unwrap();
+        assert!(stats.detect_time > std::time::Duration::ZERO);
+        assert!(report.consistent_with_totals(), "rows must telescope to totals");
+
+        // Memory plane: after all that chaos the store ledger still equals
+        // the summed live inventory, byte for byte.
+        if mem::enabled() {
+            let inv: u64 = store.store().inventory(ctx).iter().map(|p| p.bytes).sum();
+            assert_eq!(mem::current(MemTag::StoreShard), inv, "ledger must reconcile");
+        }
     })
     .unwrap();
 }
