@@ -94,6 +94,28 @@ cargo run --release -p gml-bench --bin checkpoint_parity -- per_pair \
 diff "$CKPT_DIR/batched.txt" "$CKPT_DIR/per_pair.txt" \
     || { echo "checkpoint parity: batched and per-pair transports diverge"; exit 1; }
 
+echo "== checkpoint codec parity (raw vs delta vs delta+compressed, + lossy bound) =="
+# Restored bits must be codec-invariant in the lossless modes: each codec leg
+# runs two epochs (full bases, then a small mutation so the delta legs build
+# real chains), wipes, restores through the chain, and prints one FNV digest
+# per object. The digest lines must agree three ways. Only digest lines are
+# diffed — per-place wire bytes legitimately differ per codec.
+for C in codec_raw codec_delta codec_delta_comp; do
+    cargo run --release -p gml-bench --bin checkpoint_parity -- "$C" \
+        | grep -E '^(dist|dup)_' > "$CKPT_DIR/$C.txt"
+done
+diff "$CKPT_DIR/codec_raw.txt" "$CKPT_DIR/codec_delta.txt" \
+    || { echo "checkpoint codec parity: delta restore diverges from raw"; exit 1; }
+diff "$CKPT_DIR/codec_raw.txt" "$CKPT_DIR/codec_delta_comp.txt" \
+    || { echo "checkpoint codec parity: delta+compressed restore diverges from raw"; exit 1; }
+# Lossy leg: the opt-in quantizer must honour its advertised absolute-error
+# bound on deliberately off-grid values. The binary asserts the measured
+# max error is nonzero (the lossy path really ran), within tolerance, and
+# that lossy-flagged frames were produced; CI checks the ok stamp.
+cargo run --release -p gml-bench --bin checkpoint_parity -- codec_lossy \
+    | grep '^max_abs_err' | grep -q 'ok=true' \
+    || { echo "checkpoint codec parity: lossy error bound violated"; exit 1; }
+
 echo "== mem overhead (profiled cost ceiling + compiled-out no-op path) =="
 # The memory plane's two-sided cost contract: with the default features the
 # ledger's charge/discharge pair must stay within a small fixed ceiling and

@@ -53,7 +53,9 @@ pub fn classify(kind: SpanKind) -> CostClass {
         | SpanKind::StoreSaveBatch
         | SpanKind::StoreFetch
         | SpanKind::StoreDelete
-        | SpanKind::CkptShip => CostClass::Ship,
+        | SpanKind::CkptShip
+        | SpanKind::CkptEncode
+        | SpanKind::CkptDecode => CostClass::Ship,
         SpanKind::CtlSpawn | SpanKind::CtlTerm | SpanKind::CtlWait => CostClass::Ctl,
         SpanKind::Step
         | SpanKind::Checkpoint

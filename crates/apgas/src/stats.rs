@@ -113,6 +113,28 @@ impl StatsSnapshot {
                 .saturating_sub(earlier.task_vote_mismatches),
         }
     }
+
+    /// Counter-wise sum `self + other` — for folding a late-settling delta
+    /// (e.g. background ships joined after the last report row closed) into
+    /// an already-taken delta without losing or double-counting a tick.
+    pub fn merged(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            tasks_spawned: self.tasks_spawned + other.tasks_spawned,
+            at_calls: self.at_calls + other.at_calls,
+            ctl_spawns: self.ctl_spawns + other.ctl_spawns,
+            ctl_terms: self.ctl_terms + other.ctl_terms,
+            ctl_waits: self.ctl_waits + other.ctl_waits,
+            bytes_shipped: self.bytes_shipped + other.bytes_shipped,
+            bytes_received: self.bytes_received + other.bytes_received,
+            encode_nanos: self.encode_nanos + other.encode_nanos,
+            decode_nanos: self.decode_nanos + other.decode_nanos,
+            failures: self.failures + other.failures,
+            places_spawned: self.places_spawned + other.places_spawned,
+            task_replays: self.task_replays + other.task_replays,
+            task_timeouts: self.task_timeouts + other.task_timeouts,
+            task_vote_mismatches: self.task_vote_mismatches + other.task_vote_mismatches,
+        }
+    }
 }
 
 impl RuntimeStats {

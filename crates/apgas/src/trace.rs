@@ -105,10 +105,16 @@ pub enum SpanKind {
     /// A majority vote over replica digests of a replicated task; the
     /// numeric argument is the number of replicas polled.
     TaskVote,
+    /// Checkpoint codec encode of one place's batch (delta diff +
+    /// compression); the numeric argument is the logical payload bytes in.
+    CkptEncode,
+    /// Checkpoint codec decode of one fetched entry (chain replay
+    /// included); the numeric argument is the head frame's wire bytes.
+    CkptDecode,
 }
 
 /// Number of span kinds (size of per-kind arrays).
-pub const SPAN_KIND_COUNT: usize = 25;
+pub const SPAN_KIND_COUNT: usize = 27;
 
 impl SpanKind {
     /// Every kind, in discriminant order.
@@ -138,6 +144,8 @@ impl SpanKind {
         SpanKind::AsyncTask,
         SpanKind::TaskReplay,
         SpanKind::TaskVote,
+        SpanKind::CkptEncode,
+        SpanKind::CkptDecode,
     ];
 
     /// Dotted display name (`"exec.restore"`, `"serial.encode"`, …).
@@ -168,6 +176,8 @@ impl SpanKind {
             SpanKind::AsyncTask => "apgas.async_task",
             SpanKind::TaskReplay => "task.replay",
             SpanKind::TaskVote => "task.vote",
+            SpanKind::CkptEncode => "ckpt.encode",
+            SpanKind::CkptDecode => "ckpt.decode",
         }
     }
 

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use apgas::prelude::*;
 
+use crate::codec::{CaptureCtx, CodecConfig};
 use crate::error::{GmlError, GmlResult};
 use crate::snapshot::{Snapshot, Snapshottable};
 use crate::store::{ResilientStore, ShipOrder};
@@ -75,6 +76,11 @@ pub struct AppResilientStore {
     capture_time: Duration,
     ship_time: Duration,
     ship_gate: Option<Arc<AtomicBool>>,
+    /// Snap ids that are *delta bases* of the committed snapshot's chains —
+    /// older snapshots' ids kept alive past their own retirement because a
+    /// committed delta frame still references them. Swept by the chain-aware
+    /// GC in `promote` once no live chain needs them.
+    retained_chain: HashSet<u64>,
 }
 
 /// Spawn the ship phase for one saved object: a thread executing its
@@ -139,16 +145,32 @@ fn drain_ships(ships: &mut Vec<ShipTask>, ship_time: &mut Duration) -> GmlResult
 }
 
 impl AppResilientStore {
-    /// Create the store (shards at every place, spares included).
+    /// Create the store (shards at every place, spares included), with the
+    /// checkpoint codec configured from the `GML_CKPT_*` environment —
+    /// delta frames with lossless compression by default
+    /// (`GML_CKPT_CODEC=raw` restores the pre-codec byte-identical path).
     pub fn make(ctx: &Ctx) -> GmlResult<Self> {
-        Self::make_with_redundancy(ctx, true)
+        Self::make_with_codec(ctx, CodecConfig::from_env())
+    }
+
+    /// Create the store with an explicit codec configuration (tests and
+    /// parity drills pass configs directly to stay independent of the
+    /// environment, which is shared across concurrently running tests).
+    pub fn make_with_codec(ctx: &Ctx, config: CodecConfig) -> GmlResult<Self> {
+        Ok(Self::with_store(ResilientStore::make_with_codec(ctx, config)?))
     }
 
     /// Create the store with backup copies toggled (ablation; see
-    /// [`ResilientStore::make_with_redundancy`]).
+    /// [`ResilientStore::make_with_redundancy`]). The ablation path keeps
+    /// the codec off so its byte accounting stays directly comparable to
+    /// the historical baselines.
     pub fn make_with_redundancy(ctx: &Ctx, redundant: bool) -> GmlResult<Self> {
-        Ok(AppResilientStore {
-            store: ResilientStore::make_with_redundancy(ctx, redundant)?,
+        Ok(Self::with_store(ResilientStore::make_with_redundancy(ctx, redundant)?))
+    }
+
+    fn with_store(store: ResilientStore) -> Self {
+        AppResilientStore {
+            store,
             committed: None,
             provisional: None,
             provisional_ships: Vec::new(),
@@ -160,7 +182,8 @@ impl AppResilientStore {
             capture_time: Duration::ZERO,
             ship_time: Duration::ZERO,
             ship_gate: None,
-        })
+            retained_chain: HashSet::new(),
+        }
     }
 
     /// Toggle checkpoint/compute overlap (see the type docs). The executor
@@ -222,13 +245,42 @@ impl AppResilientStore {
     /// handed to a background ship thread before this method returns.
     pub fn save(&mut self, ctx: &Ctx, obj: &dyn Snapshottable) -> GmlResult<()> {
         let t0 = Instant::now();
+        // Delta base for the codec: the newest settled snapshot of this
+        // same object — but only while it is still fully redundant. A
+        // degraded snapshot (one replica lost) is never a delta base: its
+        // frames may live on a dead place, and the next checkpoint must
+        // re-establish a self-contained full base anyway to restore double
+        // redundancy. After a restore, `force_full` does the same for one
+        // epoch so chains never straddle a recovery.
+        let ref_snap = if self.store.codec_config().is_raw() || self.store.force_full() {
+            None
+        } else {
+            self.provisional
+                .as_ref()
+                .or(self.committed.as_ref())
+                .and_then(|c| c.map.get(&obj.object_id()))
+                .filter(|s| s.fully_redundant(ctx))
+                .cloned()
+        };
+        self.store
+            .begin_capture(CaptureCtx { ref_snap: ref_snap.clone(), class: obj.payload_class() });
         self.store.begin_deferred_ships();
         let result = obj.make_snapshot(ctx, &self.store);
         let orders = self.store.take_deferred_ships();
+        let used_delta = self.store.end_capture();
         self.capture_time += t0.elapsed();
         // On failure the queued orders are dropped unexecuted; the
         // watermark in `cancel_snapshot` wipes the partial owner inserts.
-        let snap = result?;
+        let mut snap = result?;
+        if used_delta {
+            // At least one place emitted a delta frame: this snapshot's
+            // restore needs the base's frames, so the base id (and whatever
+            // it in turn references) rides along for the chain-aware GC.
+            if let Some(base) = &ref_snap {
+                snap.chain = base.chain.clone();
+                snap.chain.push(base.snap_id);
+            }
+        }
         if !orders.is_empty() {
             self.pending_ships.push(spawn_ship(ctx, &self.store, orders, self.ship_gate.clone()));
         }
@@ -346,26 +398,38 @@ impl AppResilientStore {
     }
 
     /// Replace `committed` with `snap` and delete the retired snapshot's
-    /// entries (except those `snap` reuses).
+    /// entries (except those `snap` reuses, and except delta-chain bases the
+    /// new snapshot's frames still reference). A base and its deltas promote
+    /// or retire **atomically**: a chain id is deleted only once no live
+    /// snapshot — head or chain — needs it.
     fn promote(&mut self, ctx: &Ctx, snap: AppSnapshot) {
         let old = self.committed.replace(snap);
-        if let Some(old) = old {
-            let keep: HashSet<u64> = self
-                .committed
-                .as_ref()
-                .expect("just replaced")
-                .map
-                .values()
-                .map(|s| s.snap_id)
-                .collect();
-            for snap in old.map.values() {
-                if !keep.contains(&snap.snap_id) {
-                    // Deleting old checkpoints is best-effort cleanup; a
-                    // failure here must not fail the commit.
-                    let _ = self.store.delete_snapshot(ctx, snap.snap_id);
-                }
+        let new = self.committed.as_ref().expect("just replaced");
+        let mut keep: HashSet<u64> = new.map.values().map(|s| s.snap_id).collect();
+        for s in new.map.values() {
+            keep.extend(s.chain.iter().copied());
+        }
+        // Candidates for deletion: the previously retained chain bases plus
+        // the retired snapshot's heads and chains.
+        let mut stale: HashSet<u64> = std::mem::take(&mut self.retained_chain);
+        if let Some(old) = &old {
+            for s in old.map.values() {
+                stale.insert(s.snap_id);
+                stale.extend(s.chain.iter().copied());
             }
         }
+        for id in stale {
+            if !keep.contains(&id) {
+                // Deleting old checkpoints is best-effort cleanup; a
+                // failure here must not fail the commit.
+                let _ = self.store.delete_snapshot(ctx, id);
+            }
+        }
+        self.retained_chain =
+            new.map.values().flat_map(|s| s.chain.iter().copied()).collect();
+        // A snapshot settled cleanly: the post-restore full-base override
+        // (if any) has produced its full frames and can lift.
+        self.store.clear_force_full();
     }
 
     /// Best-effort delete of every snap id in `first..end` except `exclude`.
@@ -442,6 +506,11 @@ impl AppResilientStore {
     /// snapshot (the paper's single `restore()` call restoring all saved
     /// GML objects).
     pub fn restore(&self, ctx: &Ctx, objs: &mut [&mut dyn Snapshottable]) -> GmlResult<()> {
+        // Any restore breaks delta continuity: the surviving replicas may be
+        // mid-rebuild and the restored in-memory state no longer descends
+        // from the last committed frames' successor. The next checkpoint
+        // emits full bases (cleared once that checkpoint settles).
+        self.store.mark_force_full();
         for obj in objs.iter_mut() {
             let snap = self.snapshot_of(obj.object_id())?;
             obj.restore_snapshot(ctx, &self.store, &snap)?;
@@ -496,7 +565,10 @@ mod tests {
     fn commit_deletes_previous_snapshot_entries() {
         run(2, |ctx| {
             let g = ctx.world();
-            let mut store = AppResilientStore::make(ctx).unwrap();
+            // Raw codec: with deltas on, the previous snapshot would be
+            // *retained* as the new head's chain base (covered below).
+            let mut store =
+                AppResilientStore::make_with_codec(ctx, CodecConfig::raw()).unwrap();
             let v = DupVector::make(ctx, 2, &g).unwrap();
 
             store.start_new_snapshot();
@@ -513,6 +585,51 @@ mod tests {
             // The new one is intact.
             let second = store.snapshot_of(v.object_id()).unwrap();
             assert!(second.fetch(ctx, store.store(), 0).is_ok());
+        });
+    }
+
+    #[test]
+    fn delta_commit_retains_chain_bases_until_superseded() {
+        run(2, |ctx| {
+            let g = ctx.world();
+            let mut store =
+                AppResilientStore::make_with_codec(ctx, CodecConfig::from_env()).unwrap();
+            // Big enough to span many chunks, so a one-element mutation
+            // stays under the dirty-ratio threshold and deltas.
+            let mut v = DupVector::make(ctx, 4096, &g).unwrap();
+            v.init(ctx, |i| i as f64).unwrap();
+
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            let first = store.snapshot_of(v.object_id()).unwrap();
+            assert!(first.chain.is_empty(), "first snapshot is a full base");
+
+            // Small mutation → the second snapshot deltas against the first,
+            // so the first's frames must survive the commit as chain bases.
+            v.apply(ctx, |x| x.as_mut_slice()[0] = 7.0).unwrap();
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            let second = store.snapshot_of(v.object_id()).unwrap();
+            assert_eq!(second.chain, vec![first.snap_id], "head records its base");
+            assert!(first.fetch(ctx, store.store(), 0).is_ok(), "base retained");
+            let got = second.fetch(ctx, store.store(), 0).unwrap();
+            let want = ctx.encode(&*v.local(ctx).unwrap().lock());
+            assert_eq!(&got[..], &want[..], "delta head replays bit-identically");
+
+            // Restoring flips force_full: the next snapshot re-bases (full
+            // frames, empty chain) and promotion garbage-collects the
+            // superseded head *and* its chain bases.
+            store.restore(ctx, &mut [&mut v]).unwrap();
+            store.start_new_snapshot();
+            store.save(ctx, &v).unwrap();
+            store.commit(ctx).unwrap();
+            let third = store.snapshot_of(v.object_id()).unwrap();
+            assert!(third.chain.is_empty(), "post-restore snapshot is a full base");
+            assert!(second.fetch(ctx, store.store(), 0).is_err(), "old head GC'd");
+            assert!(first.fetch(ctx, store.store(), 0).is_err(), "old chain base GC'd");
+            assert!(third.fetch(ctx, store.store(), 0).is_ok());
         });
     }
 

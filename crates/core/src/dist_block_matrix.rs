@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 
 use crate::dist_vector::DistVector;
 use crate::dup_vector::DupVector;
+use crate::codec::PayloadClass;
 use crate::error::{GmlError, GmlResult};
 use crate::snapshot::{ErrorPot, Snapshot, SnapshotBuilder, Snapshottable};
 use crate::store::ResilientStore;
@@ -820,6 +821,12 @@ fn fetch_sub_block(
 impl Snapshottable for DistBlockMatrix {
     fn object_id(&self) -> u64 {
         self.object_id
+    }
+
+    fn payload_class(&self) -> PayloadClass {
+        // `MatrixBlock::write` mixes placement metadata (and, for sparse
+        // blocks, CSR index arrays) with the values — never quantize.
+        PayloadClass::Opaque
     }
 
     fn make_snapshot(&self, ctx: &Ctx, store: &ResilientStore) -> GmlResult<Snapshot> {

@@ -10,6 +10,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gml_matrix::DenseMatrix;
 use parking_lot::Mutex;
 
+use crate::codec::PayloadClass;
 use crate::error::{GmlError, GmlResult};
 use crate::snapshot::{ErrorPot, Snapshot, SnapshotBuilder, Snapshottable};
 use crate::store::ResilientStore;
@@ -160,6 +161,12 @@ impl DupDenseHandle {
 impl Snapshottable for DupDenseMatrix {
     fn object_id(&self) -> u64 {
         self.object_id
+    }
+
+    fn payload_class(&self) -> PayloadClass {
+        // `DenseMatrix::write` is rows + cols + length (3 u64s) followed by
+        // packed f64s.
+        PayloadClass::F64Tail { offset: 24 }
     }
 
     fn make_snapshot(&self, ctx: &Ctx, store: &ResilientStore) -> GmlResult<Snapshot> {

@@ -198,12 +198,14 @@ impl PostMortem {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"place\":{},\"alive\":{},\"entries\":{},\"snapshots\":{},\"bytes\":{}}}",
+                "{{\"place\":{},\"alive\":{},\"entries\":{},\"snapshots\":{},\"bytes\":{},\
+                 \"wire_bytes\":{}}}",
                 p.place.id(),
                 p.alive,
                 p.entries,
                 p.snapshots,
                 p.bytes,
+                p.wire_bytes,
             ));
         }
         s.push_str("],\"snapshots\":[");
@@ -474,6 +476,7 @@ mod tests {
                 entries: 4,
                 snapshots: 2,
                 bytes: 256,
+                wire_bytes: 256,
             }],
             snapshots: vec![SnapshotAudit {
                 snap_id: 5,

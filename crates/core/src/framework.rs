@@ -275,6 +275,11 @@ impl ResilientExecutor {
         let mut next_checkpoint: u64 = 0;
         let first_snap = ctx.stats();
         let mut prev_snap = first_snap;
+        // Codec counters are process-global but sampled at the same shared
+        // row boundaries as the runtime stats, so rows telescope to the
+        // report's codec totals exactly like the counter deltas do.
+        let first_codec = crate::codec::counters();
+        let mut prev_codec = first_codec;
         let mut rows: Vec<IterRow> = Vec::new();
         let mut bundles: Vec<PostMortem> = Vec::new();
         // Silent-error screen: the digest recorded the last time a step
@@ -296,6 +301,9 @@ impl ResilientExecutor {
                 path: None,
                 resident: 0,
                 ckpt_bytes: 0,
+                ckpt_logical: 0,
+                ckpt_wire: 0,
+                codec_time: Duration::ZERO,
             };
             // Periodic coordinated checkpoint (also re-taken right after a
             // restore, re-establishing full snapshot redundancy).
@@ -328,7 +336,7 @@ impl ResilientExecutor {
                     )?;
                     row.restore = Some(cost);
                     next_checkpoint = iteration;
-                    Self::close_row(ctx, &mut rows, row, &mut prev_snap);
+                    Self::close_row(ctx, &mut rows, row, &mut prev_snap, &mut prev_codec);
                     continue;
                 }
                 store.set_current_iteration(iteration);
@@ -367,7 +375,7 @@ impl ResilientExecutor {
                         )?;
                         row.restore = Some(cost);
                         next_checkpoint = iteration;
-                        Self::close_row(ctx, &mut rows, row, &mut prev_snap);
+                        Self::close_row(ctx, &mut rows, row, &mut prev_snap, &mut prev_codec);
                         continue;
                     }
                     Err(e) => {
@@ -432,28 +440,61 @@ impl ResilientExecutor {
                     return Err(e);
                 }
             }
-            Self::close_row(ctx, &mut rows, row, &mut prev_snap);
+            Self::close_row(ctx, &mut rows, row, &mut prev_snap, &mut prev_codec);
         }
         // End-of-run barrier: settle the last overlap-mode checkpoint. A
         // dead-place error here is ignored deliberately — the run already
         // produced its result, and the previous committed snapshot remains
         // the recovery point for anyone restoring afterwards.
         let _ = store.drain(ctx);
+        // The barrier can land counter ticks *after* the last row closed: a
+        // background ship caught mid-flight at that boundary records its
+        // shipped and received bytes on opposite sides of the snapshot.
+        // Fold the post-drain residue into the final row so rows still
+        // telescope and the totals only ever see whole transfers (the
+        // failure-free invariant `bytes_received == bytes_shipped` depends
+        // on it).
+        if let Some(last) = rows.last_mut() {
+            let now = ctx.stats();
+            last.delta = last.delta.merged(&now.since(&prev_snap));
+            prev_snap = now;
+        }
         let (capture, ship) = store.take_phases();
         stats.capture_time += capture;
         stats.ship_time += ship;
         stats.total_time = start.elapsed();
-        let report = CostReport { rows, totals: prev_snap.since(&first_snap), bundles };
+        let report = CostReport {
+            rows,
+            totals: prev_snap.since(&first_snap),
+            codec_totals: crate::codec::counters().since(&first_codec),
+            bundles,
+        };
         Ok((group, stats, report))
     }
 
     /// Finish a report row: charge it the counter delta since the previous
     /// row boundary. The boundary snapshot is shared with the next row, so
     /// no counter tick is ever double-counted or lost.
-    fn close_row(ctx: &Ctx, rows: &mut Vec<IterRow>, mut row: IterRow, prev_snap: &mut apgas::stats::StatsSnapshot) {
+    fn close_row(
+        ctx: &Ctx,
+        rows: &mut Vec<IterRow>,
+        mut row: IterRow,
+        prev_snap: &mut apgas::stats::StatsSnapshot,
+        prev_codec: &mut crate::codec::CodecSnapshot,
+    ) {
         let now = ctx.stats();
         row.delta = now.since(prev_snap);
         *prev_snap = now;
+        // Codec plane: logical vs wire checkpoint bytes this pass encoded
+        // plus the encode+decode wall time spent, from the same shared
+        // boundary discipline as the counter snapshots.
+        let now_codec = crate::codec::counters();
+        let codec_delta = now_codec.since(prev_codec);
+        *prev_codec = now_codec;
+        row.ckpt_logical = codec_delta.logical_bytes;
+        row.ckpt_wire = codec_delta.wire_bytes;
+        row.codec_time =
+            Duration::from_nanos(codec_delta.encode_nanos + codec_delta.decode_nanos);
         // Memory levels are read at the same shared boundary as the counter
         // snapshot, so consecutive rows telescope: each row's level is the
         // next row's starting point. Both are 0 with `mem-profile` off.

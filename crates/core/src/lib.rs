@@ -19,6 +19,7 @@
 //! [`AppResilientStore`], [`ResilientExecutor`] and [`RestoreMode`].
 
 pub mod app_store;
+pub mod codec;
 pub mod dist_block_matrix;
 pub mod dist_dense;
 pub mod dist_sparse;
@@ -33,6 +34,7 @@ pub mod snapshot;
 pub mod store;
 
 pub use app_store::AppResilientStore;
+pub use codec::{CodecConfig, CodecMode, CodecSnapshot, PayloadClass};
 pub use dist_block_matrix::{DistBlockHandle, DistBlockMatrix, DupOperand};
 pub use dist_dense::DistDenseMatrix;
 pub use dist_sparse::DistSparseMatrix;

@@ -16,6 +16,7 @@ use apgas::metrics::fmt_nanos;
 use apgas::stats::StatsSnapshot;
 use apgas::IterProfile;
 
+use crate::codec::CodecSnapshot;
 use crate::forensics::PostMortem;
 
 /// Wall time and shape of one restore performed by the executor.
@@ -68,10 +69,19 @@ pub struct IterRow {
     /// snapshots, so consecutive rows telescope by construction. Zero when
     /// `mem-profile` is compiled out.
     pub resident: u64,
-    /// Store-ledger bytes (owner + backup snapshot payloads) at the pass's
-    /// close boundary. Reconciles with `ResilientStore::inventory` at every
-    /// commit point. Zero when `mem-profile` is compiled out.
+    /// Store-ledger bytes (owner + backup snapshot payloads, **wire**
+    /// frames) at the pass's close boundary. Reconciles with
+    /// `ResilientStore::inventory` wire bytes at every commit point. Zero
+    /// when `mem-profile` is compiled out.
     pub ckpt_bytes: u64,
+    /// Logical (pre-codec) checkpoint bytes this pass fed the codec plane.
+    /// Zero on raw-codec runs (nothing was framed).
+    pub ckpt_logical: u64,
+    /// Wire (post-codec) checkpoint bytes the codec emitted this pass; the
+    /// ratio `ckpt_wire / ckpt_logical` is the pass's compression factor.
+    pub ckpt_wire: u64,
+    /// Wall time the codec spent encoding + decoding frames this pass.
+    pub codec_time: Duration,
     /// Runtime counter deltas consumed by this pass.
     pub delta: StatsSnapshot,
     /// Cross-place critical-path profile of this pass's step window,
@@ -88,6 +98,10 @@ pub struct CostReport {
     /// Counter deltas for the whole run (same boundary snapshots as the
     /// rows, so the rows sum to exactly this).
     pub totals: StatsSnapshot,
+    /// Checkpoint-codec counter deltas for the whole run (same shared
+    /// boundaries, so the rows' logical/wire/codec-time columns sum to
+    /// exactly this too). All-zero on raw-codec runs.
+    pub codec_totals: CodecSnapshot,
     /// One flight-recorder bundle per restore, in restore order (see
     /// [`PostMortem`]).
     pub bundles: Vec<PostMortem>,
@@ -123,6 +137,19 @@ impl CostReport {
         self.summed() == self.totals
     }
 
+    /// Do the rows' codec columns (logical bytes, wire bytes, codec wall
+    /// time) telescope to [`CostReport::codec_totals`]? True by construction
+    /// — the codec counters are sampled at the same shared row boundaries as
+    /// the runtime counters. Vacuously true on raw-codec runs (all zeros).
+    pub fn codec_consistent(&self) -> bool {
+        let logical: u64 = self.rows.iter().map(|r| r.ckpt_logical).sum();
+        let wire: u64 = self.rows.iter().map(|r| r.ckpt_wire).sum();
+        let nanos: u64 = self.rows.iter().map(|r| r.codec_time.as_nanos() as u64).sum();
+        logical == self.codec_totals.logical_bytes
+            && wire == self.codec_totals.wire_bytes
+            && nanos == self.codec_totals.encode_nanos + self.codec_totals.decode_nanos
+    }
+
     /// Total restores across all rows.
     pub fn restores(&self) -> u64 {
         self.rows.iter().filter(|r| r.restore.is_some()).count() as u64
@@ -151,14 +178,17 @@ impl CostReport {
     /// messages; `enc+dec` is codec wall time; `ship / recv` are payload
     /// bytes. `resident / ckptmem` are memory *levels* at the pass's close
     /// boundary (live heap, store-ledger bytes) rather than deltas; both
-    /// read 0 with `mem-profile` compiled out.
+    /// read 0 with `mem-profile` compiled out. `logical / wire` split this
+    /// pass's checkpoint volume into pre-codec payload bytes and post-codec
+    /// frame bytes (both 0 on raw-codec runs), and `codec(t)` is the wall
+    /// time the checkpoint codec spent encoding + decoding frames.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10} \
-             {:>9} {:>9}\n",
+             {:>9} {:>9} {:>9} {:>9} {:>10}\n",
             "iter", "step", "ckpt", "capture", "ship(t)", "detect(t)", "restore", "ctl",
-            "enc+dec", "ship", "recv", "resident", "ckptmem"
+            "enc+dec", "ship", "recv", "resident", "ckptmem", "logical", "wire", "codec(t)"
         ));
         for r in &self.rows {
             let opt = |d: Option<Duration>| {
@@ -177,7 +207,7 @@ impl CostReport {
                 .unwrap_or_else(|| "-".into());
             out.push_str(&format!(
                 "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>24} {:>6} {:>10} {:>10} {:>10} \
-                 {:>9} {:>9}\n",
+                 {:>9} {:>9} {:>9} {:>9} {:>10}\n",
                 r.iteration,
                 fmt_nanos(r.step.as_nanos() as u64),
                 opt(r.checkpoint),
@@ -191,15 +221,20 @@ impl CostReport {
                 fmt_bytes(r.delta.bytes_received),
                 fmt_bytes(r.resident),
                 fmt_bytes(r.ckpt_bytes),
+                fmt_bytes(r.ckpt_logical),
+                fmt_bytes(r.ckpt_wire),
+                fmt_nanos(r.codec_time.as_nanos() as u64),
             ));
         }
         let t = &self.totals;
         let detect_total: Duration =
             self.rows.iter().filter_map(|r| r.detect).sum();
+        let c = &self.codec_totals;
         out.push_str(&format!(
             "total: {} rows, {} restores, ctl {} (spawn {} term {} wait {}), \
              encode {} decode {}, shipped {} received {}, peak resident {}, \
-             detect {}, task replays {} timeouts {} vote mismatches {}\n",
+             detect {}, task replays {} timeouts {} vote mismatches {}, \
+             ckpt logical {} wire {} (ratio {:.2}) codec {}\n",
             self.rows.len(),
             self.restores(),
             t.ctl_total(),
@@ -215,6 +250,10 @@ impl CostReport {
             t.task_replays,
             t.task_timeouts,
             t.task_vote_mismatches,
+            fmt_bytes(c.logical_bytes),
+            fmt_bytes(c.wire_bytes),
+            c.compression_ratio(),
+            fmt_nanos(c.encode_nanos + c.decode_nanos),
         ));
         if self.rows.iter().any(|r| r.path.is_some()) {
             out.push_str(&self.render_paths());
@@ -281,6 +320,9 @@ mod tests {
             restore: None,
             resident: 0,
             ckpt_bytes: 0,
+            ckpt_logical: 0,
+            ckpt_wire: 0,
+            codec_time: Duration::ZERO,
             delta: StatsSnapshot {
                 bytes_shipped: shipped,
                 bytes_received: received,
@@ -300,7 +342,7 @@ mod tests {
             ctl_spawns: 5,
             ..Default::default()
         };
-        let report = CostReport { rows, totals, bundles: vec![] };
+        let report = CostReport { rows, totals, codec_totals: Default::default(), bundles: vec![] };
         assert!(report.consistent_with_totals());
         let mut wrong = report.clone();
         wrong.totals.bytes_shipped = 151;
@@ -320,7 +362,12 @@ mod tests {
             rolled_back_to: 5,
             attempts: 1,
         });
-        let report = CostReport { totals: r.delta, rows: vec![r], bundles: vec![] };
+        let report = CostReport {
+            totals: r.delta,
+            rows: vec![r],
+            codec_totals: Default::default(),
+            bundles: vec![],
+        };
         let text = report.render();
         assert!(text.contains("shrink_rebalance"));
         assert!(text.contains("→it5"));
@@ -341,7 +388,8 @@ mod tests {
         let mut totals = StatsSnapshot::default();
         totals.task_replays = 1;
         totals.task_vote_mismatches = 1;
-        let report = CostReport { rows: vec![a, b], totals, bundles: vec![] };
+        let report =
+            CostReport { rows: vec![a, b], totals, codec_totals: Default::default(), bundles: vec![] };
         // The new counters participate in the telescoping check.
         assert!(report.consistent_with_totals());
         let text = report.render();
@@ -356,7 +404,12 @@ mod tests {
         let mut r = row(0, 0, 0, 0);
         r.resident = 3 << 20;
         r.ckpt_bytes = 2048;
-        let report = CostReport { totals: r.delta, rows: vec![r], bundles: vec![] };
+        let report = CostReport {
+            totals: r.delta,
+            rows: vec![r],
+            codec_totals: Default::default(),
+            bundles: vec![],
+        };
         let text = report.render();
         assert!(text.contains("resident"), "memory column header present");
         assert!(text.contains("ckptmem"), "store-ledger column header present");
@@ -380,7 +433,12 @@ mod tests {
             straggler_ratio: 1.75,
             complete: true,
         });
-        let report = CostReport { totals: r.delta, rows: vec![r], bundles: vec![] };
+        let report = CostReport {
+            totals: r.delta,
+            rows: vec![r],
+            codec_totals: Default::default(),
+            bundles: vec![],
+        };
         assert!(report.paths_consistent());
         let text = report.render();
         assert!(text.contains("critical path:"));
@@ -394,6 +452,49 @@ mod tests {
         let mut dropped = report;
         dropped.rows[0].path.as_mut().unwrap().complete = false;
         assert!(dropped.render().contains("3!"));
+    }
+
+    #[test]
+    fn codec_columns_render_and_telescope() {
+        let mut a = row(0, 0, 0, 0);
+        a.ckpt_logical = 4096;
+        a.ckpt_wire = 1024;
+        a.codec_time = Duration::from_millis(2);
+        let mut b = row(1, 0, 0, 0);
+        b.ckpt_logical = 4096;
+        b.ckpt_wire = 1024;
+        b.codec_time = Duration::from_millis(3);
+        let codec_totals = CodecSnapshot {
+            logical_bytes: 8192,
+            wire_bytes: 2048,
+            encode_nanos: 4_000_000,
+            decode_nanos: 1_000_000,
+            ..Default::default()
+        };
+        let report = CostReport {
+            rows: vec![a, b],
+            totals: StatsSnapshot::default(),
+            codec_totals,
+            bundles: vec![],
+        };
+        assert!(report.codec_consistent(), "codec columns telescope to codec_totals");
+        let text = report.render();
+        assert!(text.contains("logical"), "logical byte column present");
+        assert!(text.contains("wire"), "wire byte column present");
+        assert!(text.contains("codec(t)"), "codec time column present");
+        assert!(text.contains("ckpt logical 8.0KB wire 2.0KB (ratio 0.25) codec 5.00ms"));
+        // A wire-byte mismatch breaks the telescoping check.
+        let mut bad = report.clone();
+        bad.rows[0].ckpt_wire += 1;
+        assert!(!bad.codec_consistent());
+        // Raw-codec runs (all zeros) are vacuously consistent.
+        let raw = CostReport {
+            rows: vec![row(0, 0, 0, 0)],
+            totals: StatsSnapshot::default(),
+            codec_totals: Default::default(),
+            bundles: vec![],
+        };
+        assert!(raw.codec_consistent());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use apgas::prelude::*;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use crate::codec::PayloadClass;
 use crate::error::{GmlError, GmlResult};
 use crate::store::ResilientStore;
 
@@ -44,6 +45,11 @@ pub struct Snapshot {
     pub entries: Arc<HashMap<u64, EntryLoc>>,
     /// Class-specific metadata (serialized grid, dims, ...).
     pub descriptor: Bytes,
+    /// Snapshot ids whose stored frames this snapshot's delta frames
+    /// reference, oldest base first. Empty for full snapshots. The ids in a
+    /// chain must outlive this snapshot in the store (they promote and
+    /// discard with it — see `AppResilientStore`'s chain-aware GC).
+    pub chain: Vec<u64>,
 }
 
 impl Snapshot {
@@ -114,6 +120,14 @@ pub trait Snapshottable {
         store: &ResilientStore,
         snapshot: &Snapshot,
     ) -> GmlResult<()>;
+
+    /// How the checkpoint codec may treat this object's serialized entries.
+    /// The default is [`PayloadClass::Opaque`] — always bit-exact; objects
+    /// whose payload is a plain f64 tail opt in to lossy quantization by
+    /// overriding this (see `GML_CKPT_LOSSY_TOL`).
+    fn payload_class(&self) -> PayloadClass {
+        PayloadClass::Opaque
+    }
 }
 
 /// Accumulates entry locations produced concurrently by the per-place save
@@ -147,7 +161,7 @@ impl SnapshotBuilder {
                 .map(Mutex::into_inner)
                 .unwrap_or_else(|arc| arc.lock().clone()),
         );
-        Snapshot { snap_id, object_id, group, entries, descriptor }
+        Snapshot { snap_id, object_id, group, entries, descriptor, chain: Vec::new() }
     }
 
     /// Finish building *with metadata accounting*: the key → [`EntryLoc`]

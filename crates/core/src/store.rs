@@ -20,18 +20,33 @@ use apgas::prelude::*;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use crate::codec::{self, CaptureCtx, CodecConfig, CodecState};
 use crate::error::{GmlError, GmlResult};
 
-/// Per-place storage shard: `(snapshot id, key) → serialized payload`.
+/// One stored replica: the wire bytes plus enough metadata to know what
+/// they are. `framed == false` means `bytes` *is* the logical payload (the
+/// raw pre-codec path); `framed == true` means `bytes` is a codec frame
+/// whose decoded length is `logical`.
+#[derive(Clone)]
+pub(crate) struct StoredEntry {
+    pub(crate) bytes: Bytes,
+    pub(crate) framed: bool,
+    pub(crate) logical: u64,
+}
+
+/// Per-place storage shard: `(snapshot id, key) → stored replica`.
 ///
-/// Every payload byte held here is charged to the memory ledger's
-/// [`StoreShard`](apgas::mem::MemTag::StoreShard) tag — *logical* payload bytes, the
-/// same quantity [`ResilientStore::inventory`] reports, so the two
-/// reconcile exactly at any quiescent point. (Owner copies may share the
+/// Every byte held here is charged to the memory ledger's
+/// [`StoreShard`](apgas::mem::MemTag::StoreShard) tag — **wire** bytes (the
+/// frames actually resident), the same quantity
+/// [`ResilientStore::inventory`] reports as `wire_bytes`, so the two
+/// reconcile exactly at any quiescent point. *Logical* payload bytes — what
+/// the frames decode back to — are reported separately; with the codec
+/// disabled the two quantities coincide. (Owner copies may share the
 /// encoder's allocation by refcount; the ledger counts held bytes, not
 /// unique heap blocks — the allocator-level view is `mem::heap_bytes`.)
 pub(crate) struct PlaceStore {
-    map: Mutex<HashMap<(u64, u64), Bytes>>,
+    map: Mutex<HashMap<(u64, u64), StoredEntry>>,
 }
 
 impl PlaceStore {
@@ -39,16 +54,16 @@ impl PlaceStore {
         PlaceStore { map: Mutex::new(HashMap::new()) }
     }
 
-    fn insert(&self, snap_id: u64, key: u64, value: Bytes) {
-        let added = value.len();
+    fn insert(&self, snap_id: u64, key: u64, value: StoredEntry) {
+        let added = value.bytes.len();
         let replaced = self.map.lock().insert((snap_id, key), value);
         mem::charge(MemTag::StoreShard, added);
         if let Some(old) = replaced {
-            mem::discharge(MemTag::StoreShard, old.len());
+            mem::discharge(MemTag::StoreShard, old.bytes.len());
         }
     }
 
-    fn get(&self, snap_id: u64, key: u64) -> Option<Bytes> {
+    fn get(&self, snap_id: u64, key: u64) -> Option<StoredEntry> {
         self.map.lock().get(&(snap_id, key)).cloned()
     }
 
@@ -57,7 +72,7 @@ impl PlaceStore {
         self.map.lock().retain(|(sid, _), v| {
             let keep = *sid != snap_id;
             if !keep {
-                freed += v.len();
+                freed += v.bytes.len();
             }
             keep
         });
@@ -73,16 +88,19 @@ impl PlaceStore {
         self.map.lock().contains_key(&(snap_id, key))
     }
 
-    /// `(entries, distinct snapshots, payload bytes)` under one lock.
-    fn inventory(&self) -> (usize, usize, u64) {
+    /// `(entries, distinct snapshots, logical bytes, wire bytes)` under one
+    /// lock.
+    fn inventory(&self) -> (usize, usize, u64, u64) {
         let map = self.map.lock();
         let mut snaps = std::collections::HashSet::new();
-        let mut bytes = 0u64;
+        let mut logical = 0u64;
+        let mut wire = 0u64;
         for ((sid, _), v) in map.iter() {
             snaps.insert(*sid);
-            bytes += v.len() as u64;
+            logical += v.logical;
+            wire += v.bytes.len() as u64;
         }
-        (map.len(), snaps.len(), bytes)
+        (map.len(), snaps.len(), logical, wire)
     }
 }
 
@@ -91,7 +109,7 @@ impl Drop for PlaceStore {
     /// place-local map), so the remaining charge is discharged here —
     /// keeping the ledger equal to the *live* inventory across failures.
     fn drop(&mut self) {
-        let held: usize = self.map.lock().values().map(Bytes::len).sum();
+        let held: usize = self.map.lock().values().map(|v| v.bytes.len()).sum();
         mem::discharge(MemTag::StoreShard, held);
     }
 }
@@ -110,8 +128,12 @@ pub struct PlaceInventory {
     pub entries: usize,
     /// Distinct snapshot ids with at least one entry here.
     pub snapshots: usize,
-    /// Total payload bytes held.
+    /// Total *logical* payload bytes held — what the stored entries decode
+    /// back to. Equals `wire_bytes` when the checkpoint codec is off.
     pub bytes: u64,
+    /// Total *wire* bytes actually resident (frames as stored/shipped).
+    /// This is the quantity the `StoreShard` memory-ledger tag charges.
+    pub wire_bytes: u64,
 }
 
 /// Result of auditing one [`Snapshot`](crate::snapshot::Snapshot) against
@@ -191,37 +213,58 @@ pub struct ResilientStore {
     /// that proves batching is a pure transport optimisation.
     batched: bool,
     ships: Arc<ShipState>,
+    /// The checkpoint codec plane (delta frames + compression). Shared by
+    /// every clone, so capture context set by the app driver is visible to
+    /// the per-place save tasks. Bare stores run with the codec off
+    /// ([`CodecConfig::raw`]); `AppResilientStore` turns it on by default.
+    codec: Arc<CodecState>,
 }
 
 impl ResilientStore {
     /// Create the store's shard at every place (including spares).
     pub fn make(ctx: &Ctx) -> GmlResult<Self> {
-        Self::make_with_redundancy(ctx, true)
+        Self::make_full(ctx, true, true, CodecConfig::raw())
     }
 
     /// Create the store with the backup copies toggled (see `redundant`).
     pub fn make_with_redundancy(ctx: &Ctx, redundant: bool) -> GmlResult<Self> {
-        let all = ctx.all_places();
-        let plh = PlaceLocalHandle::make(ctx, &all, |_| PlaceStore::new())?;
-        Ok(ResilientStore {
-            plh,
-            next_snap_id: Arc::new(AtomicU64::new(1)),
-            redundant,
-            batched: true,
-            ships: Arc::new(ShipState {
-                defer: std::sync::atomic::AtomicBool::new(false),
-                queue: Mutex::new(Vec::new()),
-            }),
-        })
+        Self::make_full(ctx, redundant, true, CodecConfig::raw())
     }
 
     /// Create the store with batched shipping toggled (see `batched`). The
     /// per-pair path is the semantic reference; `ci.sh`'s `checkpoint_parity`
     /// step diffs the two bit-for-bit.
     pub fn make_with_batching(ctx: &Ctx, batched: bool) -> GmlResult<Self> {
-        let mut store = Self::make(ctx)?;
-        store.batched = batched;
-        Ok(store)
+        Self::make_full(ctx, true, batched, CodecConfig::raw())
+    }
+
+    /// Create the store with an explicit checkpoint codec configuration.
+    /// The codec rides the batched transport, so batching is forced on.
+    pub fn make_with_codec(ctx: &Ctx, config: CodecConfig) -> GmlResult<Self> {
+        Self::make_full(ctx, true, true, config)
+    }
+
+    fn make_full(
+        ctx: &Ctx,
+        redundant: bool,
+        batched: bool,
+        config: CodecConfig,
+    ) -> GmlResult<Self> {
+        let all = ctx.all_places();
+        let plh = PlaceLocalHandle::make(ctx, &all, |_| PlaceStore::new())?;
+        Ok(ResilientStore {
+            plh,
+            next_snap_id: Arc::new(AtomicU64::new(1)),
+            redundant,
+            // The codec plane only hooks the batched transport; the per-pair
+            // reference path stays byte-for-byte raw.
+            batched: batched || !config.is_raw(),
+            ships: Arc::new(ShipState {
+                defer: std::sync::atomic::AtomicBool::new(false),
+                queue: Mutex::new(Vec::new()),
+            }),
+            codec: Arc::new(CodecState::new(config)),
+        })
     }
 
     /// Whether backup copies are being written.
@@ -232,6 +275,43 @@ impl ResilientStore {
     /// Whether `save_batch` uses the batched single-`at` transport.
     pub fn is_batched(&self) -> bool {
         self.batched
+    }
+
+    /// The checkpoint codec configuration this store was built with.
+    pub fn codec_config(&self) -> &CodecConfig {
+        &self.codec.config
+    }
+
+    /// Install the capture context for the object whose `make_snapshot` is
+    /// about to run (delta base + payload class); cleared by
+    /// [`end_capture`](Self::end_capture).
+    pub(crate) fn begin_capture(&self, capture: CaptureCtx) {
+        self.codec.used_delta.store(false, Ordering::Release);
+        *self.codec.capture.lock() = Some(capture);
+    }
+
+    /// Clear the capture context; returns whether any place emitted a delta
+    /// frame during the capture (the caller then records the chain).
+    pub(crate) fn end_capture(&self) -> bool {
+        *self.codec.capture.lock() = None;
+        self.codec.used_delta.swap(false, Ordering::AcqRel)
+    }
+
+    /// Force full bases until [`clear_force_full`](Self::clear_force_full)
+    /// (set after every restore).
+    pub(crate) fn mark_force_full(&self) {
+        self.codec.force_full.store(true, Ordering::Release);
+    }
+
+    /// Lift the post-restore full-base override (called once a checkpoint
+    /// commits cleanly).
+    pub(crate) fn clear_force_full(&self) {
+        self.codec.force_full.store(false, Ordering::Release);
+    }
+
+    /// Whether the post-restore full-base override is active.
+    pub(crate) fn force_full(&self) -> bool {
+        self.codec.force_full.load(Ordering::Acquire)
     }
 
     /// Allocate a namespace for one object snapshot.
@@ -282,7 +362,12 @@ impl ResilientStore {
         let shard = self.shard(ctx)?;
         // Owner copy: a refcount bump only — the serialized buffer produced
         // at this place IS the stored replica; no place boundary is crossed.
-        shard.insert(snap_id, key, value.clone());
+        // The per-pair reference path never frames (codec is batched-only).
+        shard.insert(
+            snap_id,
+            key,
+            StoredEntry { bytes: value.clone(), framed: false, logical: len as u64 },
+        );
         if self.redundant && backup != ctx.here() {
             let store = self.clone();
             ctx.record_bytes(len);
@@ -295,7 +380,11 @@ impl ResilientStore {
                 // wire copy on the save path.
                 let owned = Bytes::copy_from_slice(&value);
                 ctx.record_bytes_received(owned.len());
-                store.shard(ctx)?.insert(snap_id, key, owned);
+                store.shard(ctx)?.insert(
+                    snap_id,
+                    key,
+                    StoredEntry { bytes: owned, framed: false, logical: len as u64 },
+                );
                 Ok(())
             })??;
         }
@@ -335,11 +424,15 @@ impl ResilientStore {
             return Ok(total);
         }
         let shard = self.shard(ctx)?;
-        for (key, value) in &entries {
+        // Codec plane: frame the batch (delta + compression) before it is
+        // stored or shipped. The raw store bypasses this entirely, keeping
+        // bare stores byte-for-byte identical to the pre-codec behavior.
+        let stored = self.encode_batch(ctx, snap_id, entries, backup)?;
+        for (key, entry) in &stored {
             // Owner copies: refcount bumps only, as in `save_pair`.
-            shard.insert(snap_id, *key, value.clone());
+            shard.insert(snap_id, *key, entry.clone());
         }
-        if self.redundant && backup != ctx.here() && !entries.is_empty() {
+        if self.redundant && backup != ctx.here() && !stored.is_empty() {
             // Fail fast on a backup that is already dead, so the enclosing
             // checkpoint aborts at save time (atomic cancel) rather than at
             // the ship barrier. A death *after* this check is caught by the
@@ -354,47 +447,136 @@ impl ResilientStore {
                     snap_id,
                     owner: ctx.here(),
                     backup,
-                    keys: entries.iter().map(|(k, _)| *k).collect(),
-                    total,
+                    keys: stored.iter().map(|(k, _)| *k).collect(),
+                    total: stored.iter().map(|(_, e)| e.bytes.len()).sum(),
                 });
             } else {
-                self.ship_entries(ctx, snap_id, entries, backup)?;
+                self.ship_entries(ctx, snap_id, stored, backup)?;
             }
         }
         Ok(total)
     }
 
+    /// Run one place's batch through the codec plane. With the codec off
+    /// this is a passthrough (raw unframed entries). With it on, each
+    /// payload is (optionally) quantized, diffed against its last committed
+    /// frame when eligible, and compressed — the multi-chunk work fans out
+    /// over the kernel worker pool inside `codec::encode_entry`.
+    fn encode_batch(
+        &self,
+        ctx: &Ctx,
+        _snap_id: u64,
+        entries: Vec<(u64, Bytes)>,
+        backup: Place,
+    ) -> GmlResult<Vec<(u64, StoredEntry)>> {
+        let cfg = &self.codec.config;
+        if cfg.is_raw() {
+            return Ok(entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let logical = v.len() as u64;
+                    (k, StoredEntry { bytes: v, framed: false, logical })
+                })
+                .collect());
+        }
+        let total: usize = entries.iter().map(|(_, v)| v.len()).sum();
+        let _span = ctx.trace_span(SpanKind::CkptEncode, total as u64);
+        let capture = self.codec.capture.lock().clone();
+        let force_full = self.force_full();
+        let shard = self.shard(ctx)?;
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            // Lossy quantization happens before digesting, so the stored
+            // digests describe exactly what restore will reproduce. Opaque
+            // payloads and misaligned tails are rejected inside.
+            let (payload, lossy) = match (cfg.lossy_tol, &capture) {
+                (Some(tol), Some(cap)) => match codec::quantize_payload(&value, cap.class, tol) {
+                    Some(q) => (q, true),
+                    None => (value, false),
+                },
+                _ => (value, false),
+            };
+            // Delta eligibility, placement half: the reference frame must
+            // describe this same key at this same owner/backup pair and be
+            // locally present as a frame. Geometry and chain-depth checks
+            // live in `codec::encode_entry`.
+            let ref_frame = if force_full {
+                None
+            } else {
+                capture
+                    .as_ref()
+                    .and_then(|cap| cap.ref_snap.as_ref())
+                    .and_then(|rs| {
+                        let loc = rs.entries.get(&key)?;
+                        if loc.owner != ctx.here() || loc.backup != backup {
+                            return None;
+                        }
+                        let prev = shard.get(rs.snap_id, key)?;
+                        prev.framed.then_some((prev.bytes, rs.snap_id))
+                    })
+            };
+            let outcome = codec::encode_entry(
+                cfg,
+                &payload,
+                ref_frame.as_ref().map(|(b, _)| &b[..]),
+                ref_frame.as_ref().map(|(_, id)| *id).unwrap_or(0),
+                lossy,
+            );
+            if outcome.delta {
+                self.codec.used_delta.store(true, Ordering::Release);
+            }
+            out.push((
+                key,
+                StoredEntry {
+                    bytes: outcome.frame,
+                    framed: true,
+                    logical: payload.len() as u64,
+                },
+            ));
+        }
+        Ok(out)
+    }
+
     /// The batched backup transfer: one `at` to `backup` carrying the whole
-    /// frame of `(key, payload)` pairs. Runs at the owning place.
+    /// frame of `(key, stored entry)` pairs. Runs at the owning place.
     fn ship_entries(
         &self,
         ctx: &Ctx,
         snap_id: u64,
-        entries: Vec<(u64, Bytes)>,
+        entries: Vec<(u64, StoredEntry)>,
         backup: Place,
     ) -> GmlResult<()> {
-        let total: usize = entries.iter().map(|(_, v)| v.len()).sum();
+        // Wire accounting: what actually crosses the place boundary is the
+        // stored (possibly framed) bytes — with the codec on this is where
+        // the delta/compression win shows up in `bytes_shipped`.
+        let total: usize = entries.iter().map(|(_, e)| e.bytes.len()).sum();
         let store = self.clone();
         ctx.record_bytes(total);
         // Causal context rides the batch frame as a real 12-byte serialized
         // header (`TraceCtx: Serial`) and is decoded + adopted before the
         // receiving side does its work, so the backup's copies link back to
         // the owning place's save span. Trace plumbing, not payload: the
-        // header is deliberately excluded from `record_bytes` accounting.
+        // header is deliberately excluded from `record_bytes` accounting,
+        // as is the per-entry framed/logical metadata.
         let header = TraceCtx::capture(ctx.tracer(), ctx.here().id()).to_bytes();
         ctx.at(backup, move |ctx| -> GmlResult<()> {
             let _adopt = TraceCtx::from_bytes(header).adopt();
             let shard = store.shard(ctx)?;
-            for (key, value) in entries {
+            for (key, entry) in entries {
                 // One-honest-copy invariant, per entry: batching collapses B
                 // round trips into one, but each entry still costs exactly
                 // one physical copy, made here at the receiving place — the
                 // backup must not share the owner's allocation, or `kill`
                 // would not model memory loss. This is the only wire copy
-                // on the batched save path.
-                let owned = Bytes::copy_from_slice(&value);
+                // on the batched save path. Frames ship verbatim, so the
+                // backup replica is bit-identical to the owner's.
+                let owned = Bytes::copy_from_slice(&entry.bytes);
                 ctx.record_bytes_received(owned.len());
-                shard.insert(snap_id, key, owned);
+                shard.insert(
+                    snap_id,
+                    key,
+                    StoredEntry { bytes: owned, framed: entry.framed, logical: entry.logical },
+                );
             }
             Ok(())
         })??;
@@ -423,7 +605,7 @@ impl ResilientStore {
         let store = self.clone();
         ctx.at(order.owner, move |ctx| -> GmlResult<()> {
             let shard = store.shard(ctx)?;
-            let entries: Vec<(u64, Bytes)> = order
+            let entries: Vec<(u64, StoredEntry)> = order
                 .keys
                 .iter()
                 // A missing key means the snapshot was cancelled between
@@ -436,8 +618,10 @@ impl ResilientStore {
         Ok(())
     }
 
-    /// Fetch an entry from wherever it survives: this place's shard first,
-    /// then the owner's, then the backup's.
+    /// Fetch an entry's **logical payload** from wherever it survives,
+    /// decoding codec frames (and replaying their delta chains) as needed.
+    /// Lossless frames are digest-verified on decode; any mismatch is
+    /// reported as data loss, never returned as data.
     pub fn fetch(
         &self,
         ctx: &Ctx,
@@ -446,13 +630,31 @@ impl ResilientStore {
         owner: Place,
         backup: Place,
     ) -> GmlResult<Bytes> {
+        let (bytes, framed) = self.fetch_stored(ctx, snap_id, key, owner, backup)?;
+        if !framed {
+            return Ok(bytes);
+        }
+        let _span = ctx.trace_span(SpanKind::CkptDecode, bytes.len() as u64);
+        self.decode_chain(ctx, bytes, key, owner, backup, 0)
+    }
+
+    /// Fetch an entry's **stored** bytes (frame or raw) from this place's
+    /// shard first, then the owner's, then the backup's.
+    fn fetch_stored(
+        &self,
+        ctx: &Ctx,
+        snap_id: u64,
+        key: u64,
+        owner: Place,
+        backup: Place,
+    ) -> GmlResult<(Bytes, bool)> {
         let mut span = ctx.trace_span(SpanKind::StoreFetch, 0);
         // Local shard hit: no place boundary crossed, so a refcount handoff
         // of the stored buffer is honest (and free).
         if let Ok(shard) = self.plh.local(ctx) {
-            if let Some(v) = shard.get(snap_id, key) {
-                span.set_arg(v.len() as u64);
-                return Ok(v);
+            if let Some(e) = shard.get(snap_id, key) {
+                span.set_arg(e.bytes.len() as u64);
+                return Ok((e.bytes, e.framed));
             }
         }
         for source in [owner, backup] {
@@ -466,19 +668,24 @@ impl ResilientStore {
             // fetch's causal context crosses as a framed 12-byte header,
             // excluded from byte accounting like the save path's.
             let header = TraceCtx::capture(ctx.tracer(), ctx.here().id()).to_bytes();
-            let got: Option<Bytes> = ctx
+            let got: Option<(Bytes, bool)> = ctx
                 .at(source, move |ctx| {
                     let _adopt = TraceCtx::from_bytes(header).adopt();
-                    plh.local(ctx).ok().and_then(|s| s.get(snap_id, key))
+                    plh.local(ctx)
+                        .ok()
+                        .and_then(|s| s.get(snap_id, key))
+                        .map(|e| (e.bytes, e.framed))
                 })
                 .unwrap_or(None);
-            if let Some(v) = got {
+            if let Some((v, framed)) = got {
                 span.set_arg(v.len() as u64);
                 ctx.record_bytes(v.len());
                 ctx.record_bytes_received(v.len());
                 // One-honest-copy invariant: the only wire copy on the fetch
-                // path — the payload lands in this place's "memory".
-                return Ok(Bytes::copy_from_slice(&v));
+                // path — the payload lands in this place's "memory". With
+                // the codec on, what crosses (and is accounted) is the
+                // frame, not its decoded expansion.
+                return Ok((Bytes::copy_from_slice(&v), framed));
             }
         }
         Err(GmlError::data_loss(format!(
@@ -486,9 +693,70 @@ impl ResilientStore {
         )))
     }
 
-    /// This place's shard copy of an entry, if present (no communication).
+    /// Decode a frame into its logical payload, recursively fetching and
+    /// decoding the delta bases it references. Chain entries share their
+    /// head's owner/backup placement (delta eligibility enforces this at
+    /// encode time), so the base lookup reuses the same replica pair.
+    fn decode_chain(
+        &self,
+        ctx: &Ctx,
+        frame: Bytes,
+        key: u64,
+        owner: Place,
+        backup: Place,
+        depth: usize,
+    ) -> GmlResult<Bytes> {
+        if depth > 255 {
+            return Err(GmlError::data_loss(format!("key {key}: delta chain exceeds depth 255")));
+        }
+        let header = codec::parse_header(&frame)
+            .map_err(|e| GmlError::data_loss(format!("key {key}: corrupt frame: {e}")))?;
+        let base = if header.is_delta() {
+            let (bframe, bframed) =
+                self.fetch_stored(ctx, header.ref_snap_id, key, owner, backup)?;
+            Some(if bframed {
+                self.decode_chain(ctx, bframe, key, owner, backup, depth + 1)?
+            } else {
+                bframe
+            })
+        } else {
+            None
+        };
+        codec::decode_frame(&frame, base.as_deref())
+            .map_err(|e| GmlError::data_loss(format!("key {key}: frame decode failed: {e}")))
+    }
+
+    /// This place's shard copy of an entry's logical payload, if the entry
+    /// — and, for delta frames, its whole base chain — is present locally
+    /// (no communication). Chain replicas are co-located with their head by
+    /// the delta-eligibility rule, so a local head implies a local chain.
     pub(crate) fn local_get(&self, ctx: &Ctx, snap_id: u64, key: u64) -> Option<Bytes> {
-        self.plh.local(ctx).ok().and_then(|s| s.get(snap_id, key))
+        let e = self.plh.local(ctx).ok()?.get(snap_id, key)?;
+        if !e.framed {
+            return Some(e.bytes);
+        }
+        self.local_decode_chain(ctx, e.bytes, key, 0)
+    }
+
+    /// Local-shard-only version of [`decode_chain`](Self::decode_chain);
+    /// returns `None` (treated as a shard miss) on any decode failure so the
+    /// caller falls back to a remote fetch.
+    fn local_decode_chain(&self, ctx: &Ctx, frame: Bytes, key: u64, depth: usize) -> Option<Bytes> {
+        if depth > 255 {
+            return None;
+        }
+        let header = codec::parse_header(&frame).ok()?;
+        let base = if header.is_delta() {
+            let b = self.plh.local(ctx).ok()?.get(header.ref_snap_id, key)?;
+            Some(if b.framed {
+                self.local_decode_chain(ctx, b.bytes, key, depth + 1)?
+            } else {
+                b.bytes
+            })
+        } else {
+            None
+        };
+        codec::decode_frame(&frame, base.as_deref()).ok()
     }
 
     /// True if the entry is still reachable (some replica's place is alive).
@@ -521,24 +789,31 @@ impl ResilientStore {
         Ok(ctx.at(p, move |ctx| plh.local(ctx).map(|s| s.len()).unwrap_or(0))?)
     }
 
-    /// Inventory every place's shard: entry/snapshot counts and payload
-    /// bytes. Dead places report zeroes rather than failing — the whole
-    /// point is to read the store's shape *during* a failure.
+    /// Inventory every place's shard: entry/snapshot counts and logical +
+    /// wire payload bytes. Dead places report zeroes rather than failing —
+    /// the whole point is to read the store's shape *during* a failure.
     pub fn inventory(&self, ctx: &Ctx) -> Vec<PlaceInventory> {
         let mut out = Vec::new();
         for place in ctx.all_places().iter() {
             if !ctx.is_alive(place) {
-                out.push(PlaceInventory { place, alive: false, entries: 0, snapshots: 0, bytes: 0 });
+                out.push(PlaceInventory {
+                    place,
+                    alive: false,
+                    entries: 0,
+                    snapshots: 0,
+                    bytes: 0,
+                    wire_bytes: 0,
+                });
                 continue;
             }
             let plh = self.plh;
-            let (entries, snapshots, bytes) = ctx
+            let (entries, snapshots, bytes, wire_bytes) = ctx
                 .at(place, move |ctx| {
-                    plh.local(ctx).map(|s| s.inventory()).unwrap_or((0, 0, 0))
+                    plh.local(ctx).map(|s| s.inventory()).unwrap_or((0, 0, 0, 0))
                 })
                 // Lost a race with a kill: same as dead.
-                .unwrap_or((0, 0, 0));
-            out.push(PlaceInventory { place, alive: true, entries, snapshots, bytes });
+                .unwrap_or((0, 0, 0, 0));
+            out.push(PlaceInventory { place, alive: true, entries, snapshots, bytes, wire_bytes });
         }
         out
     }
@@ -630,6 +905,7 @@ impl ResilientStore {
         ctx.add_monitor_collector(move || {
             let mut out = render_inventory(&store.inventory(&cx));
             render_tile_stats(&mut out);
+            codec::render_codec(&mut out);
             out
         });
     }
@@ -661,7 +937,10 @@ pub fn render_inventory(inv: &[PlaceInventory]) -> String {
         ("gml_store_snapshots", "Distinct snapshot ids present at the place.", |i| {
             i.snapshots as u64
         }),
-        ("gml_store_bytes", "Payload bytes held at the place.", |i| i.bytes),
+        ("gml_store_bytes", "Logical payload bytes held at the place.", |i| i.bytes),
+        ("gml_store_wire_bytes", "Wire (framed) bytes resident at the place.", |i| {
+            i.wire_bytes
+        }),
     ] {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
         for i in inv {

@@ -283,8 +283,8 @@ fn main() {
         // and discharged on evict/kill, so at this settle point it equals
         // the summed live inventory of both stores — byte for byte.
         if mem::enabled() {
-            let inv: u64 = store.inventory(ctx).iter().map(|p| p.bytes).sum::<u64>()
-                + app_store.store().inventory(ctx).iter().map(|p| p.bytes).sum::<u64>();
+            let inv: u64 = store.inventory(ctx).iter().map(|p| p.wire_bytes).sum::<u64>()
+                + app_store.store().inventory(ctx).iter().map(|p| p.wire_bytes).sum::<u64>();
             let ledger = mem::current(MemTag::StoreShard);
             println!("--- memory plane ---");
             println!(

@@ -145,6 +145,20 @@ fn main() {
             println!("--- per-iteration cost report ---");
             print!("{}", report.render());
             assert!(report.consistent_with_totals(), "rows must sum to totals");
+            // Codec plane, per checkpoint epoch: how many logical bytes the
+            // snapshots fed the codec vs what actually went on the wire.
+            // (Under the default delta codec the ratio drops sharply on the
+            // epochs where little changed since the previous commit.)
+            for row in report.rows.iter().filter(|r| r.ckpt_logical > 0) {
+                println!(
+                    "  codec epoch @iter {:>3}: logical {:>10} -> wire {:>10} (ratio {:.2})",
+                    row.iteration,
+                    fmt_bytes(row.ckpt_logical),
+                    fmt_bytes(row.ckpt_wire),
+                    row.ckpt_wire as f64 / row.ckpt_logical as f64
+                );
+            }
+            assert!(report.codec_consistent(), "row codec columns must sum to codec totals");
             for b in &report.bundles {
                 b.validate().expect("post-mortem bundle must be valid JSON");
                 println!(
@@ -161,7 +175,7 @@ fn main() {
             // exactly with the summed live inventory at this settle point.
             if mem::enabled() {
                 let inv: u64 =
-                    store.store().inventory(ctx).iter().map(|p| p.bytes).sum();
+                    store.store().inventory(ctx).iter().map(|p| p.wire_bytes).sum();
                 let ledger = mem::current(MemTag::StoreShard);
                 println!(
                     "  memory: store ledger {} | live inventory {} | heap {} (peak {})",

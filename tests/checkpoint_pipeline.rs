@@ -208,6 +208,137 @@ fn place_killed_during_ship_phase_surfaces_at_commit_and_restores() {
     .unwrap();
 }
 
+/// A delta codec configuration pinned explicitly (not `from_env`) so these
+/// drills are independent of `GML_CKPT_*` set by the surrounding CI run.
+/// The small chunk keeps one-element mutations well under the dirty-ratio
+/// fallback on the 4096-element test vectors.
+fn delta_codec() -> CodecConfig {
+    CodecConfig {
+        mode: CodecMode::Delta,
+        level: 1,
+        chunk: 1024,
+        dirty_max: 0.5,
+        full_every: 16,
+        lossy_tol: None,
+    }
+}
+
+/// Drill 1b — the backup dies mid-`save_batch` of a **delta** epoch: the
+/// attempt aborts atomically (watermark cancel reaps partial delta frames),
+/// the committed base chain stays intact, and restoring from it replays the
+/// pre-mutation state bit-for-bit.
+#[test]
+fn backup_killed_mid_delta_epoch_aborts_atomically_and_base_restores() {
+    Runtime::run(RuntimeConfig::new(4).resilient(true), |ctx| {
+        let world = ctx.world();
+        let mut dv = DistVector::make(ctx, 4_096, &world).unwrap();
+        dv.init(ctx, |i| (i as f64).sin()).unwrap();
+        let mut dup = DupVector::make(ctx, 4_096, &world).unwrap();
+        dup.init(ctx, |i| 1.0 / (1.0 + i as f64)).unwrap();
+
+        let mut store = AppResilientStore::make_with_codec(ctx, delta_codec()).unwrap();
+        store.set_current_iteration(0);
+        store.start_new_snapshot();
+        store.save(ctx, &dv).unwrap();
+        store.save(ctx, &dup).unwrap();
+        store.commit(ctx).unwrap();
+
+        // Small mutations so the doomed second epoch takes the delta path.
+        dv.for_each_segment(ctx, |_, _, seg| seg.as_mut_slice()[0] += 0.5).unwrap();
+        dup.apply(ctx, |v| v.as_mut_slice()[7] = 42.0).unwrap();
+
+        ctx.kill_place(Place::new(1)).unwrap();
+        let baseline = inventory_fingerprint(ctx, &store);
+
+        store.set_current_iteration(5);
+        store.start_new_snapshot();
+        assert!(store.save(ctx, &dup).unwrap_err().is_recoverable());
+        assert!(store.save(ctx, &dv).unwrap_err().is_recoverable());
+        store.cancel_snapshot(ctx);
+        assert_eq!(
+            inventory_fingerprint(ctx, &store),
+            baseline,
+            "cancelled delta epoch left partial frames behind"
+        );
+
+        // The committed (pre-mutation) snapshot restores bit-identically.
+        let survivors = world.without(&[Place::new(1)]);
+        dv.remake(ctx, &survivors).unwrap();
+        dup.remake(ctx, &survivors).unwrap();
+        store.restore(ctx, &mut [&mut dv, &mut dup]).unwrap();
+        let v = dv.gather(ctx).unwrap();
+        assert!((0..4_096).all(|i| v.get(i) == (i as f64).sin()));
+        let d = dup.read_local(ctx).unwrap();
+        assert!((0..4_096).all(|i| d.get(i) == 1.0 / (1.0 + i as f64)));
+    })
+    .unwrap();
+}
+
+/// FNV-1a digest of a vector's packed f64 contents.
+fn vector_fnv(v: &Vector) -> u64 {
+    let mut bytes = Vec::with_capacity(v.len() * 8);
+    for x in v.as_slice() {
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    apgas::digest::fnv1a_bytes(&bytes)
+}
+
+/// Drill 1c — the **owner** dies after a delta epoch committed: restore must
+/// replay base + delta frames from the backup copies, and the result must
+/// hash identically to a run where nothing was ever killed.
+#[test]
+fn owner_killed_after_delta_commit_replays_chain_from_backups() {
+    let run_once = |kill_owner: bool| -> u64 {
+        let digest = Arc::new(std::sync::Mutex::new(0u64));
+        let out = Arc::clone(&digest);
+        Runtime::run(RuntimeConfig::new(4).resilient(true), move |ctx| {
+            let world = ctx.world();
+            let mut dv = DistVector::make(ctx, 4_096, &world).unwrap();
+            dv.init(ctx, |i| (i as f64) * 0.25 - 7.0).unwrap();
+            let mut store = AppResilientStore::make_with_codec(ctx, delta_codec()).unwrap();
+
+            // Epoch 0: full bases.
+            store.set_current_iteration(0);
+            store.start_new_snapshot();
+            store.save(ctx, &dv).unwrap();
+            store.commit(ctx).unwrap();
+
+            // Epoch 1: sparse mutation → delta frames chained on epoch 0.
+            dv.for_each_segment(ctx, |s, _, seg| {
+                seg.as_mut_slice()[0] = s as f64 + 0.125;
+            })
+            .unwrap();
+            store.set_current_iteration(1);
+            store.start_new_snapshot();
+            store.save(ctx, &dv).unwrap();
+            store.commit(ctx).unwrap();
+
+            if kill_owner {
+                // Place 2 owned its segments; their frames (delta head *and*
+                // chain base) survive only at the backup (place 3).
+                ctx.kill_place(Place::new(2)).unwrap();
+                let survivors = world.without(&[Place::new(2)]);
+                dv.remake(ctx, &survivors).unwrap();
+            } else {
+                dv.for_each_segment(ctx, |_, _, seg| seg.as_mut_slice().fill(0.0))
+                    .unwrap();
+            }
+            store.restore(ctx, &mut [&mut dv]).unwrap();
+            *out.lock().unwrap() = vector_fnv(&dv.gather(ctx).unwrap());
+        })
+        .unwrap();
+        let d = *digest.lock().unwrap();
+        d
+    };
+
+    let undisturbed = run_once(false);
+    let replayed = run_once(true);
+    assert_eq!(
+        replayed, undisturbed,
+        "chain replay from backups must be bit-identical to the never-killed run"
+    );
+}
+
 /// Drill 2, overlap variant — with overlap on (the executor default),
 /// `commit()` promotes optimistically and returns before the parked ship
 /// fails; the next settle point audits the provisional snapshot, finds

@@ -318,9 +318,10 @@ fn chaos_drill_replay_timeout_and_silent_error_in_one_run() {
         assert!(report.consistent_with_totals(), "rows must telescope to totals");
 
         // Memory plane: after all that chaos the store ledger still equals
-        // the summed live inventory, byte for byte.
+        // the summed live inventory, byte for byte. The ledger charges wire
+        // (framed) bytes, so reconcile against the wire column.
         if mem::enabled() {
-            let inv: u64 = store.store().inventory(ctx).iter().map(|p| p.bytes).sum();
+            let inv: u64 = store.store().inventory(ctx).iter().map(|p| p.wire_bytes).sum();
             assert_eq!(mem::current(MemTag::StoreShard), inv, "ledger must reconcile");
         }
     })

@@ -79,9 +79,10 @@ fn unset_mem_budget_stays_quiet() {
     .unwrap();
 }
 
-/// Sum of live-place payload bytes, as the store reports them.
+/// Sum of live-place **wire** bytes, as the store reports them — the ledger
+/// charges framed (post-codec) bytes, so that is the reconcilable column.
 fn inventory_bytes(ctx: &Ctx, store: &AppResilientStore) -> u64 {
-    store.store().inventory(ctx).iter().map(|p| p.bytes).sum()
+    store.store().inventory(ctx).iter().map(|p| p.wire_bytes).sum()
 }
 
 /// Reconciliation: the ledger's `store_shard` tag is charged at insert and
